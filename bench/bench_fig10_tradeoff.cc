@@ -1,0 +1,57 @@
+// Figure 10: tuning the latency–precision trade-off — dispersion-threshold
+// sweep per model, reporting Precision@{1,5,10} and latency at each point.
+//
+// Flags: --device=nvidia|apple --queries=N --candidates=N
+//        --thresholds=csv (default 0.08,0.15,0.25,0.40,0.60)
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+
+namespace prism {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const DeviceProfile device = DeviceByName(flags.GetString("device", "nvidia"));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 1));
+  const size_t candidates = static_cast<size_t>(flags.GetInt("candidates", 20));
+  std::vector<float> thresholds;
+  {
+    std::stringstream ss(flags.GetString("thresholds", "0.08,0.15,0.25,0.40,0.60"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      thresholds.push_back(std::stof(item));
+    }
+  }
+
+  PrintHeader("Figure 10 — dispersion-threshold sweep (" + device.name + ", wikipedia)");
+
+  for (const ModelConfig& model : ModelZoo()) {
+    std::printf("\n--- %s ---\n", model.name.c_str());
+    std::printf("  %9s %12s %8s %8s %8s %14s\n", "threshold", "latency", "P@1", "P@5", "P@10",
+                "cand-layers");
+    for (float threshold : thresholds) {
+      double latency = 0.0;
+      double precision[3] = {0.0, 0.0, 0.0};
+      double work = 0.0;
+      const size_t kks[3] = {1, 5, 10};
+      for (int ki = 0; ki < 3; ++ki) {
+        const auto cases = MakeCases(model, "wikipedia", queries, candidates, kks[ki]);
+        auto engine = FreshRunner([&] { return MakePrism(model, device, threshold, false); });
+        const BenchRun run = RunCases(engine.get(), cases);
+        precision[ki] = run.mean_precision;
+        latency += run.mean_latency_ms;
+        work += run.mean_candidate_layers;
+      }
+      std::printf("  %9.2f %9.1f ms %8.3f %8.3f %8.3f %14.0f\n", threshold, latency / 3.0,
+                  precision[0], precision[1], precision[2], work / 3.0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

@@ -1,0 +1,87 @@
+// Figure 11: RAG personal-assistant pipeline.
+//  (a) stacked stage latencies + accuracy, HF vs PRISM, on both platforms
+//      (paper: Qwen3-0.6B reranker on Apple, BGE-MiniCPM on NVIDIA);
+//  (b,c) memory footprint over time of the retrieve→rerank window.
+//
+// Flags: --queries=N --corpus=N --devices=nvidia,apple
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "src/apps/corpus.h"
+#include "src/apps/rag.h"
+
+namespace prism {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 3));
+  const size_t background = static_cast<size_t>(flags.GetInt("corpus", 300));
+  std::vector<std::string> devices;
+  {
+    std::stringstream ss(flags.GetString("devices", "nvidia,apple"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      devices.push_back(item);
+    }
+  }
+
+  PrintHeader("Figure 11 — RAG pipeline: latency, accuracy, memory");
+
+  for (const std::string& device_name : devices) {
+    const DeviceProfile device = DeviceByName(device_name);
+    // The paper pairs Qwen3-0.6B with Apple and BGE-MiniCPM with NVIDIA.
+    const ModelConfig model =
+        device.name == "apple" ? Qwen3Reranker0_6B() : BgeRerankerV2MiniCpm();
+    const SearchCorpus corpus(DatasetByName("wikipedia"), model, queries, 5, background, 0xF11);
+    RagOptions options;  // Server-class generator defaults (Qwen3-32B on A800s).
+    RagPipeline rag(&corpus, options);
+
+    std::printf("\n[%s / %s]\n", device.name.c_str(), model.name.c_str());
+    for (const char* system : {"HF", "PRISM"}) {
+      MemoryTracker::Global().Reset();
+      std::unique_ptr<Runner> hf;
+      std::unique_ptr<PrismEngine> prism;
+      Runner* runner;
+      if (std::string(system) == "HF") {
+        hf = MakeHf(model, device, false);
+        runner = hf.get();
+      } else {
+        prism = MakePrism(model, device, kThresholdLow, false);
+        runner = prism.get();
+      }
+      double sparse = 0.0;
+      double dense = 0.0;
+      double rerank = 0.0;
+      double first_token = 0.0;
+      double total = 0.0;
+      double accuracy = 0.0;
+      MemoryTracker::Global().StartTimeline();
+      for (size_t q = 0; q < queries; ++q) {
+        const RagResult result = rag.Query(q, runner);
+        sparse += result.sparse_ms;
+        dense += result.dense_ms;
+        rerank += result.rerank_ms;
+        first_token += result.first_token_ms;
+        total += result.total_ms;
+        accuracy += result.accuracy;
+      }
+      MemoryTracker::Global().StopTimeline();
+      const auto n = static_cast<double>(queries);
+      std::printf("  %-6s sparse %6.1f ms | dense %6.1f ms | rerank %8.1f ms | "
+                  "first-token %7.1f ms | total %8.1f ms | acc %.3f\n",
+                  system, sparse / n, dense / n, rerank / n, first_token / n, total / n,
+                  accuracy / n);
+      std::printf("         memory: peak %8.2f MiB, avg %8.2f MiB\n",
+                  MiB(MemoryTracker::Global().PeakTotal()),
+                  MiB(static_cast<int64_t>(MemoryTracker::Global().AverageTotal())));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

@@ -1,0 +1,60 @@
+// Figures 12–13: agent-memory application.
+//  Fig 12: average task latency (env / inference / rerank breakdown) and task
+//          success rate for video & community workloads, three systems:
+//          memory Disabled, HF reranker, PRISM ("Ours").
+//  Fig 13: memory footprint during reranked steps (peak comparison).
+//
+// Flags: --device=nvidia|apple --tasks=N --steps=N
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/agent_memory.h"
+
+namespace prism {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const DeviceProfile device = DeviceByName(flags.GetString("device", "nvidia"));
+  const ModelConfig model = Qwen3Reranker0_6B();  // The paper's agent reranker.
+
+  PrintHeader("Figures 12–13 — agent memory (" + device.name + ", " + model.name + ")");
+
+  for (AgentWorkloadProfile profile : {VideoWorkload(), CommunityWorkload()}) {
+    if (flags.Has("tasks")) {
+      profile.n_tasks = static_cast<size_t>(flags.GetInt("tasks", profile.n_tasks));
+    }
+    if (flags.Has("steps")) {
+      profile.steps_per_task = static_cast<size_t>(flags.GetInt("steps", profile.steps_per_task));
+    }
+    AgentMemoryApp app(profile, model, 0xA6E47);
+    std::printf("\n[%s workload: %zu tasks × %zu steps]\n", profile.name.c_str(),
+                profile.n_tasks, profile.steps_per_task);
+    std::printf("  %-10s %12s %8s %10s %10s %10s %10s\n", "system", "task lat", "success",
+                "env", "inference", "rerank", "peak MiB");
+
+    auto report = [&](const char* name, Runner* runner) {
+      const AgentRunResult result = app.Run(runner);
+      std::printf("  %-10s %9.0f ms %8.3f %7.0f ms %7.0f ms %7.0f ms %10.2f\n", name,
+                  result.avg_task_latency_ms, result.success_rate, result.env_ms,
+                  result.inference_ms, result.rerank_ms,
+                  MiB(MemoryTracker::Global().PeakTotal()));
+    };
+    MemoryTracker::Global().Reset();
+    report("Disable", nullptr);
+    {
+      auto runner = FreshRunner([&] { return MakeHf(model, device, false); });
+      report("HF", runner.get());
+    }
+    {
+      auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, false); });
+      report("Ours", engine.get());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

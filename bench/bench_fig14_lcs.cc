@@ -1,0 +1,64 @@
+// Figures 14–15: LLM long-context selection.
+//  Fig 14: end-to-end latency (rerank + generation) and selection precision
+//          for Ours (PRISM), HF Rerank, and No-Reranker baseline.
+//  Fig 15: memory footprint of the rerank + generation window.
+//
+// Flags: --device=nvidia|apple --questions=N --segments=N --k=N
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/lcs.h"
+
+namespace prism {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const DeviceProfile device = DeviceByName(flags.GetString("device", "nvidia"));
+  const ModelConfig model = Qwen3Reranker0_6B();
+  const size_t questions = static_cast<size_t>(flags.GetInt("questions", 2));
+
+  LcsOptions options;
+  options.n_segments = static_cast<size_t>(flags.GetInt("segments", 60));
+  options.k = static_cast<size_t>(flags.GetInt("k", 8));
+  LcsApp app(options, model, 0x1C5);
+
+  PrintHeader("Figures 14–15 — long-context selection (" + device.name + ", " + model.name +
+              ", " + std::to_string(options.n_segments) + " segments → top-" +
+              std::to_string(options.k) + ")");
+
+  std::printf("%-12s %12s %12s %12s %10s %10s\n", "system", "total", "rerank", "inference",
+              "precision", "peak MiB");
+  auto report = [&](const char* name, Runner* runner) {
+    double total = 0.0;
+    double rerank = 0.0;
+    double inference = 0.0;
+    double precision = 0.0;
+    for (size_t q = 0; q < questions; ++q) {
+      const LcsResult result = app.Answer(q, runner);
+      total += result.total_ms;
+      rerank += result.rerank_ms;
+      inference += result.inference_ms;
+      precision += result.precision;
+    }
+    const auto n = static_cast<double>(questions);
+    std::printf("%-12s %9.0f ms %9.0f ms %9.0f ms %10.3f %10.2f\n", name, total / n, rerank / n,
+                inference / n, precision / n, MiB(MemoryTracker::Global().PeakTotal()));
+  };
+  {
+    auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, false); });
+    report("Ours", engine.get());
+  }
+  {
+    auto runner = FreshRunner([&] { return MakeHf(model, device, false); });
+    report("HF Rerank", runner.get());
+  }
+  MemoryTracker::Global().Reset();
+  report("Baseline", nullptr);  // No reranker.
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

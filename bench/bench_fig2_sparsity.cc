@@ -1,0 +1,88 @@
+// Figure 2: sequence-level sparsity.
+//  (a) Per-layer score evolution of 20 candidates on the BGE-MiniCPM proxy —
+//      scores diverge into clusters as layers deepen.
+//  (b) Goodman–Kruskal γ and cluster-γ across layers for BGE-M3 and
+//      BGE-MiniCPM, averaged over datasets: γ rises toward 1, cluster-γ stays
+//      close to 1 at every layer.
+//
+// Flags: --datasets=N (default 6; 18 = paper's full set) --candidates=N
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace prism {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const size_t n_datasets =
+      std::min<size_t>(static_cast<size_t>(flags.GetInt("datasets", 6)), 18);
+  const size_t candidates = static_cast<size_t>(flags.GetInt("candidates", 20));
+  DeviceProfile device = NvidiaProfile();
+  device.ssd.throttle = false;  // Trace runs measure scores, not latency.
+
+  // --- (a) score evolution on BGE-MiniCPM ---
+  {
+    const ModelConfig model = BgeRerankerV2MiniCpm();
+    PrintHeader("Figure 2(a) — score evolution across layers (" + model.name + ", " +
+                std::to_string(candidates) + " candidates)");
+    PrismOptions options;
+    options.device = device;
+    options.trace = true;
+    auto engine = MakePrismWith(model, options);
+    const auto cases = MakeCases(model, "wikipedia", 1, candidates, 5);
+    engine->Rerank(cases[0].request);
+    const auto& trace = engine->last_trace();
+    std::printf("%5s", "layer");
+    for (size_t c = 0; c < candidates; ++c) {
+      std::printf(" c%02zu  ", c);
+    }
+    std::printf("\n");
+    for (size_t layer = 0; layer < trace.size(); layer += 2) {
+      std::printf("%5zu", layer);
+      for (float s : trace[layer].scores) {
+        std::printf(" %.3f", s);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // --- (b) γ and cluster-γ across layers, both architectures ---
+  PrintHeader("Figure 2(b) — γ and cluster-γ across layers (" + std::to_string(n_datasets) +
+              " datasets)");
+  const auto profiles = AllDatasetProfiles();
+  for (const ModelConfig& model : {BgeRerankerV2M3(), BgeRerankerV2MiniCpm()}) {
+    PrismOptions options;
+    options.device = device;
+    options.trace = true;
+    auto engine = MakePrismWith(model, options);
+
+    std::vector<double> gamma_sum(model.n_layers, 0.0);
+    std::vector<double> cgamma_sum(model.n_layers, 0.0);
+    size_t runs = 0;
+    for (size_t d = 0; d < n_datasets; ++d) {
+      const auto cases = MakeCases(model, profiles[d].name, 1, candidates, 5);
+      engine->Rerank(cases[0].request);
+      const auto& trace = engine->last_trace();
+      const auto& final_scores = trace.back().scores;
+      for (size_t layer = 0; layer < trace.size(); ++layer) {
+        gamma_sum[layer] += GoodmanKruskalGamma(trace[layer].scores, final_scores);
+        cgamma_sum[layer] += ClusterGamma(trace[layer].scores, final_scores,
+                                          trace[layer].clusters);
+      }
+      ++runs;
+    }
+    std::printf("\n%s:\n", model.name.c_str());
+    std::printf("  %5s %8s %10s\n", "layer", "gamma", "cluster_g");
+    for (size_t layer = 0; layer < model.n_layers; ++layer) {
+      std::printf("  %5zu %8.3f %10.3f\n", layer, gamma_sum[layer] / runs,
+                  cgamma_sum[layer] / runs);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

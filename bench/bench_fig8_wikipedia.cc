@@ -1,0 +1,91 @@
+// Figure 8: Wikipedia zoom-in — latency bars (with speedup vs. HF Offload)
+// and Precision@K for all 5 models and 7 systems: HF, HF Offload, HF Quant,
+// PRISM Low/High threshold, PRISM Quant Low/High.
+//
+// Flags: --device=nvidia|apple (run twice for both platforms) --queries=N
+//        --candidates=N --ks=1,5,10
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+
+namespace prism {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const DeviceProfile device = DeviceByName(flags.GetString("device", "nvidia"));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 1));
+  const size_t candidates = static_cast<size_t>(flags.GetInt("candidates", 20));
+  std::vector<size_t> ks;
+  {
+    std::stringstream ss(flags.GetString("ks", "1,5,10"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      ks.push_back(static_cast<size_t>(std::stoul(item)));
+    }
+  }
+
+  PrintHeader("Figure 8 — Wikipedia dataset detail (" + device.name + ", " +
+              std::to_string(candidates) + " candidates)");
+
+  for (const ModelConfig& model : ModelZoo()) {
+    const bool hf_oom =
+        EstimateHfPeakBytes(model, device, candidates, model.max_seq, false) >
+        VramBudgetBytes(device);
+
+    for (size_t k : ks) {
+      const auto cases = MakeCases(model, "wikipedia", queries, candidates, k);
+
+      struct Row {
+        const char* name;
+        double latency_ms = 0.0;
+        double precision = 0.0;
+        bool oom = false;
+      };
+      std::vector<Row> rows;
+
+      auto run = [&](const char* name, auto factory) {
+        auto runner = FreshRunner(factory);
+        const BenchRun r = RunCases(runner.get(), cases);
+        rows.push_back({name, r.mean_latency_ms, r.mean_precision, false});
+      };
+
+      if (hf_oom) {
+        rows.push_back({"HF", 0.0, 0.0, true});
+      } else {
+        run("HF", [&] { return MakeHf(model, device, false); });
+      }
+      run("HF Offload", [&] { return MakeOffload(model, device, false); });
+      run("HF Quant", [&] { return MakeHf(model, device, true); });
+      run("Prism Low", [&] { return MakePrism(model, device, kThresholdLow, false); });
+      run("Prism High", [&] { return MakePrism(model, device, kThresholdHigh, false); });
+      run("PrismQ Low", [&] { return MakePrism(model, device, kThresholdLow, true); });
+      run("PrismQ High", [&] { return MakePrism(model, device, kThresholdHigh, true); });
+
+      // Speedups are relative to HF Offload, as in the paper's bar labels.
+      double offload_ms = 0.0;
+      for (const Row& row : rows) {
+        if (std::string(row.name) == "HF Offload") {
+          offload_ms = row.latency_ms;
+        }
+      }
+      std::printf("\n%s — Precision@%zu\n", model.name.c_str(), k);
+      std::printf("  %-12s %12s %10s %12s\n", "system", "latency", "vs offload", "precision");
+      for (const Row& row : rows) {
+        if (row.oom) {
+          std::printf("  %-12s %12s %10s %12s\n", row.name, "OOM", "-", "-");
+        } else {
+          std::printf("  %-12s %9.1f ms %9.2fx %12.3f\n", row.name, row.latency_ms,
+                      row.latency_ms / offload_ms, row.precision);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

@@ -1,0 +1,118 @@
+// Supporting kernel microbenchmarks (google-benchmark): GEMM, dequantising
+// GEMM, softmax, RMSNorm, 1-D k-means, BM25 — the primitives whose costs set
+// the compute side of the overlap window.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/core/cluster.h"
+#include "src/retrieval/bm25.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/quant.h"
+
+namespace prism {
+namespace {
+
+Tensor RandomTensor(size_t rows, size_t cols, uint64_t seed, MemoryTracker* tracker) {
+  Tensor t(rows, cols, MemCategory::kScratch, tracker);
+  Rng rng(seed);
+  for (float& v : t.flat()) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+void BM_MatMulTransB(benchmark::State& state) {
+  MemoryTracker tracker;
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t d = 96;
+  const Tensor a = RandomTensor(m, d, 1, &tracker);
+  const Tensor w = RandomTensor(d, d, 2, &tracker);
+  Tensor c(m, d, MemCategory::kScratch, &tracker);
+  for (auto _ : state) {
+    MatMulTransB(a, w, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * m * d * d));
+}
+BENCHMARK(BM_MatMulTransB)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QuantMatMulTransB(benchmark::State& state) {
+  MemoryTracker tracker;
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t d = 96;
+  const Tensor a = RandomTensor(m, d, 3, &tracker);
+  const Tensor w = RandomTensor(d, d, 4, &tracker);
+  const QuantizedMatrix qw =
+      QuantizedMatrix::Quantize(w.data(), d, d, 32, MemCategory::kScratch, &tracker);
+  std::vector<float> c(m * d);
+  for (auto _ : state) {
+    qw.MatMulTransB(a.data(), m, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * m * d * d));
+}
+BENCHMARK(BM_QuantMatMulTransB)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SoftmaxRow(benchmark::State& state) {
+  std::vector<float> row(static_cast<size_t>(state.range(0)));
+  Rng rng(5);
+  for (float& v : row) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    SoftmaxRowInPlace(row);
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRow)->Arg(64)->Arg(512);
+
+void BM_RmsNorm(benchmark::State& state) {
+  MemoryTracker tracker;
+  Tensor t = RandomTensor(static_cast<size_t>(state.range(0)), 96, 6, &tracker);
+  const std::vector<float> gain(96, 1.0f);
+  for (auto _ : state) {
+    RmsNormInPlace(&t, gain);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_RmsNorm)->Arg(64)->Arg(1024);
+
+void BM_ClusterScores(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<float> scores(static_cast<size_t>(state.range(0)));
+  for (float& s : scores) {
+    s = static_cast<float>(rng.NextDouble());
+  }
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    const Clustering c = ClusterScores(scores, 4, seed++);
+    benchmark::DoNotOptimize(c.assignment.data());
+  }
+}
+BENCHMARK(BM_ClusterScores)->Arg(20)->Arg(60);
+
+void BM_Bm25Search(benchmark::State& state) {
+  Bm25Index index;
+  Rng rng(8);
+  for (int d = 0; d < 1000; ++d) {
+    std::vector<uint32_t> doc;
+    for (int t = 0; t < 30; ++t) {
+      doc.push_back(static_cast<uint32_t>(rng.NextBelow(5000)));
+    }
+    index.Add(doc);
+  }
+  std::vector<uint32_t> query;
+  for (int t = 0; t < 8; ++t) {
+    query.push_back(static_cast<uint32_t>(rng.NextBelow(5000)));
+  }
+  for (auto _ : state) {
+    const auto hits = index.Search(query, 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+}
+BENCHMARK(BM_Bm25Search);
+
+}  // namespace
+}  // namespace prism
+
+BENCHMARK_MAIN();

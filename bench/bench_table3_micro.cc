@@ -1,0 +1,153 @@
+// Table 3: latency & precision summary — 5 models × datasets × P@{1,5,10},
+// PRISM vs. HF / HF Offload and PRISM Quant vs. HF Quant.
+//
+// For each model we report the latency-reduction range (and mean) across
+// datasets plus the mean/max precision loss, exactly the paper's columns.
+// HF rows print OOM when the model's resident footprint exceeds the device's
+// scaled VRAM budget (the paper's 4B/8B behaviour).
+//
+// Flags: --datasets=N (default 3, 18 = full) --queries=N --candidates=N
+//        --device=nvidia|apple --models=csv-of-zoo-names
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "src/model/pair_encoder.h"
+
+namespace prism {
+namespace {
+
+struct Cell {
+  double latency_ms = 0.0;
+  double precision[3] = {0.0, 0.0, 0.0};  // P@1, P@5, P@10
+  bool oom = false;
+};
+
+constexpr size_t kKs[3] = {1, 5, 10};
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const size_t n_datasets =
+      std::min<size_t>(static_cast<size_t>(flags.GetInt("datasets", 3)), 18);
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 1));
+  const size_t candidates = static_cast<size_t>(flags.GetInt("candidates", 20));
+  const DeviceProfile device = DeviceByName(flags.GetString("device", "nvidia"));
+
+  std::vector<ModelConfig> models;
+  if (flags.Has("models")) {
+    std::stringstream ss(flags.GetString("models", ""));
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      models.push_back(ModelByName(name));
+    }
+  } else {
+    models = ModelZoo();
+  }
+
+  PrintHeader("Table 3 — latency & precision summary (" + device.name + ", " +
+              std::to_string(n_datasets) + " datasets × " + std::to_string(queries) +
+              " queries, " + std::to_string(candidates) + " candidates)");
+
+  const auto profiles = AllDatasetProfiles();
+  for (const ModelConfig& model : models) {
+    // Per dataset: HF, Offload, Quant cells (K-independent) + PRISM per K.
+    std::vector<Cell> hf(n_datasets), off(n_datasets), quant(n_datasets);
+    std::vector<std::array<Cell, 3>> prism(n_datasets), prism_q(n_datasets);
+
+    const bool hf_oom =
+        EstimateHfPeakBytes(model, device, candidates, model.max_seq, false) >
+        VramBudgetBytes(device);
+
+    for (size_t d = 0; d < n_datasets; ++d) {
+      const auto base_cases = MakeCases(model, profiles[d].name, queries, candidates, 10);
+      auto run_all_k = [&](auto factory, Cell* cell) {
+        auto runner = FreshRunner(factory);
+        const BenchRun run = RunCases(runner.get(), base_cases);
+        cell->latency_ms = run.mean_latency_ms;
+        for (int ki = 0; ki < 3; ++ki) {
+          double p = 0.0;
+          for (size_t q = 0; q < base_cases.size(); ++q) {
+            p += PrecisionAtK(run.topks[q], base_cases[q].relevant, kKs[ki]);
+          }
+          cell->precision[ki] = p / static_cast<double>(base_cases.size());
+        }
+      };
+
+      if (hf_oom) {
+        hf[d].oom = true;
+      } else {
+        run_all_k([&] { return MakeHf(model, device, false); }, &hf[d]);
+      }
+      run_all_k([&] { return MakeOffload(model, device, false); }, &off[d]);
+      run_all_k([&] { return MakeHf(model, device, true); }, &quant[d]);
+      // PRISM prunes toward a specific K, so each K is its own run.
+      for (int ki = 0; ki < 3; ++ki) {
+        auto cases = MakeCases(model, profiles[d].name, queries, candidates, kKs[ki]);
+        {
+          auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, false); });
+          const BenchRun run = RunCases(engine.get(), cases);
+          prism[d][ki].latency_ms = run.mean_latency_ms;
+          prism[d][ki].precision[ki] = run.mean_precision;
+        }
+        {
+          auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, true); });
+          const BenchRun run = RunCases(engine.get(), cases);
+          prism_q[d][ki].latency_ms = run.mean_latency_ms;
+          prism_q[d][ki].precision[ki] = run.mean_precision;
+        }
+      }
+    }
+
+    // Aggregate the paper's columns.
+    std::printf("\n--- %s ---\n", model.name.c_str());
+    std::printf("%-22s %-12s | %-28s | %-22s\n", "system", "baseline", "lat. reduction (range/mean)",
+                "prec. loss (mean/max)");
+    auto report = [&](const char* sys, const char* base, int ki,
+                      const std::vector<Cell>& baseline,
+                      const std::vector<std::array<Cell, 3>>& ours) {
+      double lo = 1e9;
+      double hi = -1e9;
+      double mean = 0.0;
+      double loss_sum = 0.0;
+      double loss_max = 0.0;
+      size_t counted = 0;
+      for (size_t d = 0; d < n_datasets; ++d) {
+        if (baseline[d].oom) {
+          continue;
+        }
+        const double reduction =
+            100.0 * (1.0 - ours[d][ki].latency_ms / baseline[d].latency_ms);
+        lo = std::min(lo, reduction);
+        hi = std::max(hi, reduction);
+        mean += reduction;
+        const double loss = baseline[d].precision[ki] - ours[d][ki].precision[ki];
+        loss_sum += loss;
+        loss_max = std::max(loss_max, loss);
+        ++counted;
+      }
+      if (counted == 0) {
+        std::printf("%-22s %-12s | %-28s | %-22s\n", sys, base, "OOM", "-");
+        return;
+      }
+      mean /= static_cast<double>(counted);
+      char lat[64];
+      std::snprintf(lat, sizeof(lat), "%.1f%% – %.1f%% (%.1f%%)", lo, hi, mean);
+      char prec[64];
+      std::snprintf(prec, sizeof(prec), "%+.3f / %+.3f", loss_sum / counted, loss_max);
+      std::printf("%-22s %-12s | %-28s | %-22s\n", sys, base, lat, prec);
+    };
+    for (int ki = 0; ki < 3; ++ki) {
+      std::printf("[Precision@%zu]\n", kKs[ki]);
+      report("PRISM", "HF", ki, hf, prism);
+      report("PRISM", "HF Offload", ki, off, prism);
+      report("PRISM Quant", "HF Quant", ki, quant, prism_q);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

@@ -1,0 +1,49 @@
+// Agent memory (paper §6.3): a GUI agent caches successful trajectories and
+// uses the reranker to pick which one to replay instead of asking the VLM.
+// Compares memory-disabled, HF-reranked, and PRISM-reranked agents on the
+// "video" workload.
+#include <cstdio>
+
+#include "src/apps/agent_memory.h"
+#include "src/core/engine.h"
+#include "src/model/synthetic.h"
+#include "src/runtime/hf_runner.h"
+
+int main() {
+  using namespace prism;
+
+  const ModelConfig model = Qwen3Reranker0_6B();
+  const DeviceProfile device = NvidiaProfile();
+  const std::string checkpoint = EnsureCheckpoint(model, 42);
+
+  AgentWorkloadProfile profile = VideoWorkload();
+  profile.n_tasks = 3;  // Keep the example quick.
+  AgentMemoryApp app(profile, model, 0xA2);
+
+  std::printf("Agent memory, %s workload (%zu tasks x %zu steps)\n\n", profile.name.c_str(),
+              profile.n_tasks, profile.steps_per_task);
+
+  {
+    const AgentRunResult result = app.Run(nullptr);
+    std::printf("[Disabled] task latency %7.0f ms  success %.3f  (every step hits the VLM)\n",
+                result.avg_task_latency_ms, result.success_rate);
+  }
+  {
+    HfRunnerOptions options;
+    options.device = device;
+    HfRunner hf(model, checkpoint, options);
+    const AgentRunResult result = app.Run(&hf);
+    std::printf("[HF]       task latency %7.0f ms  success %.3f  (rerank %0.f ms/task)\n",
+                result.avg_task_latency_ms, result.success_rate, result.rerank_ms);
+  }
+  {
+    PrismOptions options;
+    options.device = device;
+    options.dispersion_threshold = 0.15f;
+    PrismEngine prism(model, checkpoint, options);
+    const AgentRunResult result = app.Run(&prism);
+    std::printf("[PRISM]    task latency %7.0f ms  success %.3f  (rerank %0.f ms/task)\n",
+                result.avg_task_latency_ms, result.success_rate, result.rerank_ms);
+  }
+  return 0;
+}

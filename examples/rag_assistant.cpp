@@ -1,0 +1,36 @@
+// RAG personal assistant (paper §6.3): hybrid sparse+dense retrieval over a
+// personal corpus, PRISM reranking, and simulated LLM generation — printing
+// the stage breakdown the paper's Fig 11 reports.
+#include <cstdio>
+
+#include "src/apps/corpus.h"
+#include "src/apps/rag.h"
+#include "src/core/engine.h"
+#include "src/model/synthetic.h"
+
+int main() {
+  using namespace prism;
+
+  const ModelConfig model = BgeRerankerV2MiniCpm();  // The paper's NVIDIA pairing.
+  const DeviceProfile device = NvidiaProfile();
+  const std::string checkpoint = EnsureCheckpoint(model, 42);
+
+  const SearchCorpus corpus(DatasetByName("wikipedia"), model, /*n_queries=*/2,
+                            /*relevant_per_query=*/5, /*background_docs=*/250, 0x4A9);
+  RagOptions options;  // Dense = IVF index (Milvus stand-in), top-10+10 → rerank top-10.
+  RagPipeline rag(&corpus, options);
+
+  PrismOptions prism_options;
+  prism_options.device = device;
+  prism_options.dispersion_threshold = 0.15f;
+  PrismEngine prism(model, checkpoint, prism_options);
+
+  for (size_t q = 0; q < corpus.queries().size(); ++q) {
+    const RagResult result = rag.Query(q, &prism);
+    std::printf("query %zu: sparse %5.1f ms | dense %5.1f ms | rerank %8.1f ms | "
+                "first token %7.1f ms | total %8.1f ms | accuracy %.2f\n",
+                q, result.sparse_ms, result.dense_ms, result.rerank_ms, result.first_token_ms,
+                result.total_ms, result.accuracy);
+  }
+  return 0;
+}

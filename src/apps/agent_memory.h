@@ -1,0 +1,69 @@
+// Agent-memory application (paper §6.3, Figs 12–13; MobiAgent-style).
+//
+// A GUI agent caches past successful action trajectories keyed by task
+// description. For each step of a task, the agent either (a) asks the VLM to
+// decide the next action — expensive — or (b) retrieves candidate
+// trajectories from memory and lets the reranker pick the most semantically
+// relevant one to replay — cheap when the pick is right. Task success fails
+// only when a wrong trajectory is replayed (the VLM path is assumed correct).
+#ifndef PRISM_SRC_APPS_AGENT_MEMORY_H_
+#define PRISM_SRC_APPS_AGENT_MEMORY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/sim_llm.h"
+#include "src/data/dataset.h"
+#include "src/runtime/runner.h"
+
+namespace prism {
+
+struct AgentWorkloadProfile {
+  std::string name;          // "video" | "community"
+  size_t n_tasks = 6;
+  size_t steps_per_task = 4;
+  size_t memory_entries = 48;   // Cached trajectories.
+  size_t candidates = 20;       // Retrieved per step for reranking.
+  double env_step_ms = 280.0;   // UI action execution time.
+  // A VLM decision ingests a screenshot + instruction (~3.5k tokens here) and
+  // decodes an action plan — substantially costlier than one rerank, which is
+  // the premise of caching trajectories at all.
+  size_t vlm_prompt_tokens = 3500;
+  size_t vlm_new_tokens = 30;
+  DatasetProfile text;          // Token statistics of task descriptions.
+};
+
+AgentWorkloadProfile VideoWorkload();
+AgentWorkloadProfile CommunityWorkload();
+
+struct AgentRunResult {
+  double avg_task_latency_ms = 0.0;
+  double success_rate = 0.0;
+  double rerank_ms = 0.0;     // Mean per task.
+  double inference_ms = 0.0;  // Mean per task (VLM).
+  double env_ms = 0.0;        // Mean per task.
+};
+
+class AgentMemoryApp {
+ public:
+  AgentMemoryApp(AgentWorkloadProfile profile, const ModelConfig& model, uint64_t seed);
+
+  // `runner` == nullptr disables agent memory (every step goes to the VLM).
+  AgentRunResult Run(Runner* runner);
+
+ private:
+  struct Trajectory {
+    std::vector<uint32_t> description;
+    size_t task_type = 0;
+  };
+
+  AgentWorkloadProfile profile_;
+  uint64_t seed_;
+  std::vector<Trajectory> memory_;
+  std::vector<Trajectory> tasks_;  // task_type is the ground truth.
+  SimulatedLlm vlm_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_APPS_AGENT_MEMORY_H_

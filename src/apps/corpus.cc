@@ -1,0 +1,96 @@
+#include "src/apps/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/zipf.h"
+#include "src/model/pair_encoder.h"
+
+namespace prism {
+
+namespace {
+uint64_t PairKey(size_t query_idx, size_t doc_id) {
+  return (static_cast<uint64_t>(query_idx) << 32) | static_cast<uint64_t>(doc_id);
+}
+}  // namespace
+
+SearchCorpus::SearchCorpus(DatasetProfile profile, const ModelConfig& model, size_t n_queries,
+                           size_t relevant_per_query, size_t background_docs, uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {
+  const ZipfSampler zipf(model.vocab_size - kFirstWordToken, profile_.vocab_skew);
+  Rng rng(MixSeed(seed, 0xC0));
+  auto draw = [&](Rng& r, size_t n) {
+    std::vector<uint32_t> tokens;
+    tokens.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      tokens.push_back(kFirstWordToken + static_cast<uint32_t>(zipf.Sample(r)));
+    }
+    return tokens;
+  };
+
+  // Background documents.
+  for (size_t i = 0; i < background_docs; ++i) {
+    docs_.push_back(draw(rng, profile_.doc_terms));
+  }
+
+  // Queries with planted relevant documents appended to the corpus.
+  for (size_t q = 0; q < n_queries; ++q) {
+    CorpusQuery query;
+    query.tokens = draw(rng, profile_.query_terms);
+    for (size_t r = 0; r < relevant_per_query; ++r) {
+      std::vector<uint32_t> doc = draw(rng, profile_.doc_terms);
+      const float grade = static_cast<float>(
+          std::clamp(0.5 + profile_.grade_gap / 2 + 0.1 * rng.NextGaussian(), 0.5, 1.0));
+      // Copy query terms in, proportional to the grade.
+      const size_t overlap = static_cast<size_t>(
+          std::lround(static_cast<double>(grade) * 0.5 * static_cast<double>(doc.size())));
+      for (size_t i = 0; i < overlap; ++i) {
+        doc[rng.NextBelow(doc.size())] = query.tokens[rng.NextBelow(query.tokens.size())];
+      }
+      const size_t doc_id = docs_.size();
+      docs_.push_back(std::move(doc));
+      grades_[PairKey(q, doc_id)] = grade;
+      query.relevant.push_back(doc_id);
+    }
+    queries_.push_back(std::move(query));
+  }
+}
+
+float SearchCorpus::Grade(size_t query_idx, size_t doc_id) const {
+  const auto it = grades_.find(PairKey(query_idx, doc_id));
+  return it == grades_.end() ? 0.0f : it->second;
+}
+
+float SearchCorpus::PlantedRelevance(size_t query_idx, size_t doc_id) const {
+  PRISM_CHECK_LT(query_idx, queries_.size());
+  PRISM_CHECK_LT(doc_id, docs_.size());
+  const float grade = Grade(query_idx, doc_id);
+  const std::vector<uint32_t>& query = queries_[query_idx].tokens;
+  const std::vector<uint32_t>& doc = docs_[doc_id];
+  size_t shared = 0;
+  for (uint32_t qt : query) {
+    if (std::find(doc.begin(), doc.end(), qt) != doc.end()) {
+      ++shared;
+    }
+  }
+  const double overlap = static_cast<double>(shared) / static_cast<double>(query.size());
+  Rng noise_rng(MixSeed(seed_, PairKey(query_idx, doc_id)));
+  const double r = 0.7 * grade + 0.2 * overlap + profile_.grade_noise * noise_rng.NextGaussian() +
+                   0.05;
+  return static_cast<float>(std::clamp(r, 0.0, 1.0));
+}
+
+RerankRequest SearchCorpus::MakeRequest(size_t query_idx, const std::vector<size_t>& candidates,
+                                        size_t k) const {
+  RerankRequest request;
+  request.query = queries_[query_idx].tokens;
+  for (size_t doc_id : candidates) {
+    request.docs.push_back(docs_[doc_id]);
+    request.planted_r.push_back(PlantedRelevance(query_idx, doc_id));
+  }
+  request.k = k;
+  return request;
+}
+
+}  // namespace prism

@@ -1,0 +1,50 @@
+// Simulated downstream generator (LLM / VLM).
+//
+// The real-world pipelines (Figs 11–15) include a generation stage served by
+// Qwen3-32B or a 7B VLM on A800 servers. Its internals are out of scope —
+// only its latency and memory contribution to the end-to-end pipeline matter
+// — so this cost model sleeps for prefill (∝ prompt tokens) plus decode
+// (∝ generated tokens) and claims a context-dependent activation footprint
+// while "generating".
+#ifndef PRISM_SRC_APPS_SIM_LLM_H_
+#define PRISM_SRC_APPS_SIM_LLM_H_
+
+#include <cstdint>
+
+#include "src/common/memory_tracker.h"
+
+namespace prism {
+
+struct SimLlmConfig {
+  double prefill_tokens_per_sec = 6000.0;
+  double decode_tokens_per_sec = 280.0;
+  // Per-prompt-token activation footprint while the request is in flight
+  // (stands in for KV-cache growth).
+  int64_t bytes_per_context_token = 2048;
+  int64_t base_bytes = 8 * 1024 * 1024;
+};
+
+struct SimLlmResult {
+  double latency_ms = 0.0;
+  double first_token_ms = 0.0;
+  size_t generated_tokens = 0;
+};
+
+class SimulatedLlm {
+ public:
+  explicit SimulatedLlm(SimLlmConfig config, MemoryTracker* tracker = &MemoryTracker::Global())
+      : config_(config), tracker_(tracker) {}
+
+  // Blocks for the modelled generation time.
+  SimLlmResult Generate(size_t prompt_tokens, size_t max_new_tokens);
+
+  const SimLlmConfig& config() const { return config_; }
+
+ private:
+  SimLlmConfig config_;
+  MemoryTracker* tracker_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_APPS_SIM_LLM_H_

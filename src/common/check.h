@@ -1,0 +1,46 @@
+// Lightweight assertion macros used throughout the PRISM codebase.
+//
+// These are *always on* (not compiled out in release builds): the library is a
+// research system where a silent invariant violation costs far more than the
+// nanoseconds of a predictable branch. On failure the process aborts with the
+// failing expression and location.
+#ifndef PRISM_SRC_COMMON_CHECK_H_
+#define PRISM_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prism {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "PRISM_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace prism
+
+#define PRISM_CHECK(expr)                                     \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::prism::CheckFailed(#expr, __FILE__, __LINE__, "");    \
+    }                                                         \
+  } while (false)
+
+#define PRISM_CHECK_MSG(expr, msg)                            \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::prism::CheckFailed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                         \
+  } while (false)
+
+#define PRISM_CHECK_EQ(a, b) PRISM_CHECK((a) == (b))
+#define PRISM_CHECK_NE(a, b) PRISM_CHECK((a) != (b))
+#define PRISM_CHECK_LT(a, b) PRISM_CHECK((a) < (b))
+#define PRISM_CHECK_LE(a, b) PRISM_CHECK((a) <= (b))
+#define PRISM_CHECK_GT(a, b) PRISM_CHECK((a) > (b))
+#define PRISM_CHECK_GE(a, b) PRISM_CHECK((a) >= (b))
+
+#endif  // PRISM_SRC_COMMON_CHECK_H_

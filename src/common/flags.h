@@ -1,0 +1,27 @@
+// Minimal --key=value command-line parsing for bench/example binaries.
+#ifndef PRISM_SRC_COMMON_FLAGS_H_
+#define PRISM_SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace prism {
+
+class Flags {
+ public:
+  // Accepts "--key=value" and bare "--key" (value "true"); ignores others.
+  Flags(int argc, char** argv);
+
+  std::string GetString(const std::string& key, const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+  bool Has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_FLAGS_H_

@@ -1,0 +1,25 @@
+// Tiny leveled logger. Thread-safe at the line level (single fprintf per line).
+#ifndef PRISM_SRC_COMMON_LOGGING_H_
+#define PRISM_SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace prism {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; lines below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging. Prepends "[LEVEL] " and appends a newline.
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace prism
+
+#define PRISM_LOG_DEBUG(...) ::prism::Logf(::prism::LogLevel::kDebug, __VA_ARGS__)
+#define PRISM_LOG_INFO(...) ::prism::Logf(::prism::LogLevel::kInfo, __VA_ARGS__)
+#define PRISM_LOG_WARN(...) ::prism::Logf(::prism::LogLevel::kWarn, __VA_ARGS__)
+#define PRISM_LOG_ERROR(...) ::prism::Logf(::prism::LogLevel::kError, __VA_ARGS__)
+
+#endif  // PRISM_SRC_COMMON_LOGGING_H_

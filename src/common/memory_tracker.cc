@@ -1,0 +1,153 @@
+#include "src/common/memory_tracker.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/timer.h"
+
+namespace prism {
+
+const char* MemCategoryName(MemCategory category) {
+  switch (category) {
+    case MemCategory::kWeights:
+      return "weights";
+    case MemCategory::kEmbedding:
+      return "embedding";
+    case MemCategory::kActivations:
+      return "activations";
+    case MemCategory::kHiddenStates:
+      return "hidden_states";
+    case MemCategory::kScratch:
+      return "scratch";
+    case MemCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+void MemoryTracker::Allocate(MemCategory category, int64_t bytes) {
+  PRISM_CHECK_GE(bytes, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto idx = static_cast<size_t>(category);
+  current_[idx] += bytes;
+  peak_[idx] = std::max(peak_[idx], current_[idx]);
+  int64_t total = 0;
+  for (int64_t b : current_) {
+    total += b;
+  }
+  peak_total_ = std::max(peak_total_, total);
+  RecordLocked(NowMicros());
+}
+
+void MemoryTracker::Release(MemCategory category, int64_t bytes) {
+  PRISM_CHECK_GE(bytes, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto idx = static_cast<size_t>(category);
+  current_[idx] -= bytes;
+  PRISM_CHECK_GE(current_[idx], 0);
+  RecordLocked(NowMicros());
+}
+
+int64_t MemoryTracker::CurrentBytes(MemCategory category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_[static_cast<size_t>(category)];
+}
+
+int64_t MemoryTracker::CurrentTotal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (int64_t b : current_) {
+    total += b;
+  }
+  return total;
+}
+
+int64_t MemoryTracker::PeakTotal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_total_;
+}
+
+int64_t MemoryTracker::PeakBytes(MemCategory category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_[static_cast<size_t>(category)];
+}
+
+double MemoryTracker::AverageTotal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (timeline_start_ == 0) {
+    return 0.0;
+  }
+  // While running, extend to now; once stopped, the last recorded event (the
+  // StopTimeline snapshot) closes the window.
+  const int64_t end = timeline_on_ ? NowMicros() : last_event_micros_;
+  const int64_t span = end - timeline_start_;
+  if (span <= 0) {
+    return 0.0;
+  }
+  const double weighted =
+      weighted_bytes_micros_ +
+      static_cast<double>(last_total_) * static_cast<double>(end - last_event_micros_);
+  return weighted / static_cast<double>(span);
+}
+
+void MemoryTracker::StartTimeline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeline_on_ = true;
+  timeline_start_ = NowMicros();
+  timeline_.clear();
+  weighted_bytes_micros_ = 0.0;
+  last_event_micros_ = timeline_start_;
+  int64_t total = 0;
+  for (int64_t b : current_) {
+    total += b;
+  }
+  last_total_ = total;
+  RecordLocked(timeline_start_);
+}
+
+void MemoryTracker::StopTimeline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(NowMicros());
+  timeline_on_ = false;
+}
+
+std::vector<MemSnapshot> MemoryTracker::Timeline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timeline_;
+}
+
+void MemoryTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.fill(0);
+  peak_.fill(0);
+  peak_total_ = 0;
+  timeline_on_ = false;
+  timeline_.clear();
+  weighted_bytes_micros_ = 0.0;
+  last_total_ = 0;
+}
+
+void MemoryTracker::RecordLocked(int64_t now) {
+  int64_t total = 0;
+  for (int64_t b : current_) {
+    total += b;
+  }
+  if (!timeline_on_) {
+    return;
+  }
+  weighted_bytes_micros_ +=
+      static_cast<double>(last_total_) * static_cast<double>(now - last_event_micros_);
+  last_event_micros_ = now;
+  last_total_ = total;
+  MemSnapshot snap;
+  snap.t_micros = now - timeline_start_;
+  snap.bytes = current_;
+  timeline_.push_back(snap);
+}
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+}  // namespace prism

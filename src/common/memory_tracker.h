@@ -1,0 +1,134 @@
+// Category-level memory accounting.
+//
+// The paper's evaluation plots *model memory* over time (weights, activations,
+// hidden states, embedding table / cache) — Figures 9, 11, 13, 15, 16. Rather
+// than sampling process RSS (noisy, allocator-dependent), every tensor, weight
+// buffer, and cache in this codebase registers its bytes with a MemoryTracker
+// under a category. The tracker keeps current/peak per category plus an
+// optional timestamped timeline for plotting footprint-over-time curves.
+#ifndef PRISM_SRC_COMMON_MEMORY_TRACKER_H_
+#define PRISM_SRC_COMMON_MEMORY_TRACKER_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prism {
+
+enum class MemCategory : int {
+  kWeights = 0,      // Transformer layer weights resident in memory.
+  kEmbedding,        // Embedding table or embedding cache.
+  kActivations,      // Transient per-layer intermediate tensors.
+  kHiddenStates,     // Residual-stream hidden states held across layers.
+  kScratch,          // Misc scratch buffers (scores, token ids, ...).
+  kCount,
+};
+
+const char* MemCategoryName(MemCategory category);
+
+struct MemSnapshot {
+  int64_t t_micros = 0;  // Relative to tracker timeline start.
+  std::array<int64_t, static_cast<size_t>(MemCategory::kCount)> bytes{};
+
+  int64_t total() const {
+    int64_t sum = 0;
+    for (int64_t b : bytes) {
+      sum += b;
+    }
+    return sum;
+  }
+};
+
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  void Allocate(MemCategory category, int64_t bytes);
+  void Release(MemCategory category, int64_t bytes);
+
+  int64_t CurrentBytes(MemCategory category) const;
+  int64_t CurrentTotal() const;
+  int64_t PeakTotal() const;
+  int64_t PeakBytes(MemCategory category) const;
+
+  // Time-weighted mean of total footprint since timeline start (0 if the
+  // timeline was never started).
+  double AverageTotal() const;
+
+  // Starts (or restarts) the footprint-over-time recording; every subsequent
+  // Allocate/Release appends a snapshot.
+  void StartTimeline();
+  void StopTimeline();
+  std::vector<MemSnapshot> Timeline() const;
+
+  // Resets counters, peaks and timeline. Outstanding allocations become
+  // untracked, so only call between experiments.
+  void Reset();
+
+  // The process-wide tracker used by default-constructed tensors.
+  static MemoryTracker& Global();
+
+ private:
+  void RecordLocked(int64_t now);
+
+  mutable std::mutex mu_;
+  std::array<int64_t, static_cast<size_t>(MemCategory::kCount)> current_{};
+  std::array<int64_t, static_cast<size_t>(MemCategory::kCount)> peak_{};
+  int64_t peak_total_ = 0;
+  bool timeline_on_ = false;
+  int64_t timeline_start_ = 0;
+  std::vector<MemSnapshot> timeline_;
+  // Time-weighted average accumulators.
+  double weighted_bytes_micros_ = 0.0;
+  int64_t last_event_micros_ = 0;
+  int64_t last_total_ = 0;
+};
+
+// RAII claim: registers `bytes` on construction, releases on destruction.
+class MemClaim {
+ public:
+  MemClaim() = default;
+  MemClaim(MemoryTracker* tracker, MemCategory category, int64_t bytes)
+      : tracker_(tracker), category_(category), bytes_(bytes) {
+    if (tracker_ != nullptr && bytes_ > 0) {
+      tracker_->Allocate(category_, bytes_);
+    }
+  }
+  ~MemClaim() { ReleaseNow(); }
+
+  MemClaim(MemClaim&& other) noexcept { *this = std::move(other); }
+  MemClaim& operator=(MemClaim&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      tracker_ = other.tracker_;
+      category_ = other.category_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemClaim(const MemClaim&) = delete;
+  MemClaim& operator=(const MemClaim&) = delete;
+
+  void ReleaseNow() {
+    if (tracker_ != nullptr && bytes_ > 0) {
+      tracker_->Release(category_, bytes_);
+    }
+    tracker_ = nullptr;
+    bytes_ = 0;
+  }
+
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_ = nullptr;
+  MemCategory category_ = MemCategory::kScratch;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_MEMORY_TRACKER_H_

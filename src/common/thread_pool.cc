@@ -1,0 +1,95 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PRISM_CHECK_MSG(!shutting_down_, "Submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  const size_t n = end - begin;
+  const size_t workers = threads_.size();
+  if (workers <= 1 || n == 1) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{begin};
+  auto drain = [&] {
+    size_t i;
+    while ((i = next.fetch_add(1)) < end) {
+      fn(i);
+    }
+  };
+  std::vector<std::future<void>> futures;
+  const size_t helpers = std::min(workers, n - 1);
+  futures.reserve(helpers);
+  for (size_t w = 0; w < helpers; ++w) {
+    futures.push_back(Submit(drain));
+  }
+  drain();
+  for (auto& f : futures) {
+    f.get();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutting down and drained.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& GlobalIoPool() {
+  static ThreadPool* pool = new ThreadPool(2);
+  return *pool;
+}
+
+}  // namespace prism

@@ -1,0 +1,53 @@
+// Fixed-size worker pool.
+//
+// PRISM separates compute from I/O: the compute path runs on the caller's
+// thread while weight prefetch / hidden-state spill run on pool workers (the
+// C++ analogue of the paper's dedicated I/O process, §5). The pool is also
+// used by ParallelFor to split large GEMMs when more than one core exists.
+#ifndef PRISM_SRC_COMMON_THREAD_POOL_H_
+#define PRISM_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prism {
+
+class ThreadPool {
+ public:
+  // `num_threads` == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn`; the returned future resolves when it has run.
+  std::future<void> Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Runs fn(i) for i in [begin, end), splitting the range across workers and
+  // the calling thread. Blocks until all iterations complete.
+  void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutting_down_ = false;
+};
+
+// Process-wide pool for I/O offload (lazily constructed, 2 workers).
+ThreadPool& GlobalIoPool();
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,47 @@
+// Wall-clock timing helpers used by the latency benchmarks.
+#ifndef PRISM_SRC_COMMON_TIMER_H_
+#define PRISM_SRC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace prism {
+
+// Monotonic wall clock, microsecond resolution.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(NowMicros()) {}
+
+  void Reset() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedMicros()) / 1000.0; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedMicros()) / 1e6; }
+
+ private:
+  int64_t start_;
+};
+
+// Accumulates elapsed time into a counter on destruction; for attributing
+// latency to pipeline stages.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(int64_t* accum_micros) : accum_(accum_micros) {}
+  ~ScopedAccumulator() { *accum_ += timer_.ElapsedMicros(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  int64_t* accum_;
+  WallTimer timer_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_TIMER_H_

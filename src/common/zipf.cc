@@ -1,0 +1,31 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+ZipfSampler::ZipfSampler(size_t n, double skew) : skew_(skew) {
+  PRISM_CHECK_GT(n, 0u);
+  PRISM_CHECK_GE(skew, 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = sum;
+  }
+  for (double& v : cdf_) {
+    v /= sum;
+  }
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace prism

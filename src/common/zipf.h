@@ -1,0 +1,35 @@
+// Zipfian sampler.
+//
+// Natural-language token frequencies are Zipf-distributed [Zipf 1949]; the
+// paper's embedding-table cache (§4.4) relies on this skew for its hit rate.
+// The synthetic tokenizer draws token ids from this sampler so that cache
+// behaviour matches the real workload's shape.
+#ifndef PRISM_SRC_COMMON_ZIPF_H_
+#define PRISM_SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace prism {
+
+// Samples ranks in [0, n) with P(rank = k) ∝ 1 / (k + 1)^s. Uses an inverse-CDF
+// table (O(n) memory, O(log n) per sample) — fine for vocabulary-sized n.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+ private:
+  std::vector<double> cdf_;
+  double skew_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_ZIPF_H_

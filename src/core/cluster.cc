@@ -1,0 +1,194 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace prism {
+
+namespace {
+
+// Mean silhouette coefficient for a 1-D clustering (O(n²), n ≤ a few dozen).
+double Silhouette(const std::vector<float>& values, const std::vector<int>& assignment, int k) {
+  const size_t n = values.size();
+  if (k < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> dist_sum(static_cast<size_t>(k), 0.0);
+    std::vector<size_t> count(static_cast<size_t>(k), 0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      dist_sum[static_cast<size_t>(assignment[j])] += std::fabs(values[i] - values[j]);
+      ++count[static_cast<size_t>(assignment[j])];
+    }
+    const auto own = static_cast<size_t>(assignment[i]);
+    if (count[own] == 0) {
+      continue;  // Singleton cluster: silhouette undefined for this point.
+    }
+    const double a = dist_sum[own] / static_cast<double>(count[own]);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+      if (c == own || count[c] == 0) {
+        continue;
+      }
+      b = std::min(b, dist_sum[c] / static_cast<double>(count[c]));
+    }
+    if (!std::isfinite(b)) {
+      continue;
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace
+
+Clustering KMeans1D(const std::vector<float>& values, int k, uint64_t seed) {
+  const size_t n = values.size();
+  PRISM_CHECK_GE(k, 1);
+  PRISM_CHECK_GE(n, static_cast<size_t>(k));
+  Rng rng(seed);
+
+  // kmeans++ seeding.
+  std::vector<double> centers;
+  centers.push_back(values[rng.NextBelow(n)]);
+  while (centers.size() < static_cast<size_t>(k)) {
+    std::vector<double> d2(n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : centers) {
+        best = std::min(best, (values[i] - c) * (values[i] - c));
+      }
+      d2[i] = best;
+      sum += best;
+    }
+    if (sum <= 0.0) {
+      // All remaining points coincide with existing centers; duplicate one.
+      centers.push_back(centers.back());
+      continue;
+    }
+    double pick = rng.NextDouble() * sum;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(values[chosen]);
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assignment(n, 0);
+  for (int iter = 0; iter < 32; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = std::fabs(values[i] - centers[static_cast<size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<double> sums(static_cast<size_t>(k), 0.0);
+    std::vector<size_t> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      sums[static_cast<size_t>(assignment[i])] += values[i];
+      ++counts[static_cast<size_t>(assignment[i])];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] > 0) {
+        centers[static_cast<size_t>(c)] =
+            sums[static_cast<size_t>(c)] / static_cast<double>(counts[static_cast<size_t>(c)]);
+      }
+    }
+    if (!changed && iter > 0) {
+      break;
+    }
+  }
+
+  // Relabel clusters so id 0 has the highest center (drop empty clusters).
+  std::vector<int> order(static_cast<size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> counts(static_cast<size_t>(k), 0);
+  for (int a : assignment) {
+    ++counts[static_cast<size_t>(a)];
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    // Empty clusters sink to the end; otherwise sort by center descending.
+    const bool ea = counts[static_cast<size_t>(a)] == 0;
+    const bool eb = counts[static_cast<size_t>(b)] == 0;
+    if (ea != eb) {
+      return eb;
+    }
+    return centers[static_cast<size_t>(a)] > centers[static_cast<size_t>(b)];
+  });
+  std::vector<int> relabel(static_cast<size_t>(k));
+  int next_id = 0;
+  Clustering out;
+  for (int old_id : order) {
+    if (counts[static_cast<size_t>(old_id)] == 0) {
+      relabel[static_cast<size_t>(old_id)] = -1;
+      continue;
+    }
+    relabel[static_cast<size_t>(old_id)] = next_id++;
+    out.centers.push_back(centers[static_cast<size_t>(old_id)]);
+    out.sizes.push_back(counts[static_cast<size_t>(old_id)]);
+  }
+  out.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.assignment[i] = relabel[static_cast<size_t>(assignment[i])];
+    PRISM_CHECK_GE(out.assignment[i], 0);
+  }
+  out.silhouette = Silhouette(values, out.assignment, static_cast<int>(out.centers.size()));
+  return out;
+}
+
+Clustering ClusterScores(const std::vector<float>& values, int max_k, uint64_t seed) {
+  const std::set<float> distinct(values.begin(), values.end());
+  const int limit = std::min<int>(max_k, static_cast<int>(distinct.size()));
+  if (limit < 2) {
+    Clustering single;
+    single.assignment.assign(values.size(), 0);
+    double mean = 0.0;
+    for (float v : values) {
+      mean += v;
+    }
+    single.centers = {values.empty() ? 0.0 : mean / static_cast<double>(values.size())};
+    single.sizes = {values.size()};
+    return single;
+  }
+  Clustering best;
+  double best_sil = -2.0;
+  for (int k = 2; k <= limit; ++k) {
+    Clustering c = KMeans1D(values, k, MixSeed(seed, static_cast<uint64_t>(k)));
+    if (c.silhouette > best_sil) {
+      best_sil = c.silhouette;
+      best = std::move(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace prism

@@ -1,0 +1,40 @@
+// 1-D k-means over candidate scores (paper §4.1).
+//
+// Scores are scalar, so k-means produces contiguous intervals of the sorted
+// score axis — which is what makes cluster-granular pruning safe: every
+// member of a higher cluster outscores every member of the boundary cluster.
+// k is chosen by silhouette over k ∈ [2, max_k]; kmeans++ seeding and Lloyd
+// iterations are fully deterministic for a given seed.
+#ifndef PRISM_SRC_CORE_CLUSTER_H_
+#define PRISM_SRC_CORE_CLUSTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prism {
+
+struct Clustering {
+  // Cluster id per input value; ids are ordered by center descending
+  // (cluster 0 = highest-scoring cluster).
+  std::vector<int> assignment;
+  // Cluster centers, descending.
+  std::vector<double> centers;
+  // Member count per cluster.
+  std::vector<size_t> sizes;
+  double silhouette = 0.0;
+
+  int k() const { return static_cast<int>(centers.size()); }
+};
+
+// Lloyd's k-means on scalar values with kmeans++ init (deterministic).
+Clustering KMeans1D(const std::vector<float>& values, int k, uint64_t seed);
+
+// Runs KMeans1D for k in [2, max_k] and returns the clustering with the best
+// silhouette. Falls back to k=1 (single cluster) when fewer than 3 distinct
+// values exist.
+Clustering ClusterScores(const std::vector<float>& values, int max_k, uint64_t seed);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_CORE_CLUSTER_H_

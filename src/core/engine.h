@@ -1,0 +1,120 @@
+// The PRISM engine: monolithic forwarding (paper §3.3–§4).
+//
+// All candidates advance through the transformer together as one monolithic
+// batch, giving the engine a global view for progressive cluster pruning
+// (§4.1) while overlapped layer streaming (§4.2) keeps at most two layers'
+// weights in memory, chunked execution (§4.3) bounds intermediate-tensor
+// memory (optionally spilling hidden states to disk), and the embedding-table
+// LRU cache (§4.4) replaces the resident embedding table. Every technique is
+// individually switchable for the ablation study (Fig 16).
+#ifndef PRISM_SRC_CORE_ENGINE_H_
+#define PRISM_SRC_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/memory_tracker.h"
+#include "src/core/pruner.h"
+#include "src/model/embedding.h"
+#include "src/model/weights.h"
+#include "src/runtime/device.h"
+#include "src/runtime/runner.h"
+#include "src/storage/blob_file.h"
+#include "src/storage/hidden_spill.h"
+#include "src/storage/layer_streamer.h"
+
+namespace prism {
+
+struct PrismOptions {
+  DeviceProfile device = NvidiaProfile();
+
+  // §4.1 progressive cluster pruning.
+  bool pruning = true;
+  float dispersion_threshold = 0.35f;
+  bool prune_winners = true;  // false → exact-rank mode (Discussion §7).
+  int kmeans_max_k = 4;
+
+  // §4.2 overlapped layer streaming (false → all layers resident, HF-style).
+  bool streaming = true;
+
+  // §4.3 chunked execution.
+  bool chunked = true;
+  size_t chunk_candidates = 0;  // 0 = plan from device.activation_budget.
+  bool offload_hidden = false;  // Dynamic hidden-state offloading.
+
+  // §4.4 embedding table caching (false → full table resident).
+  bool embed_cache = true;
+  double embed_cache_fraction = 0.10;
+
+  bool quantized = false;  // W4 checkpoint ("PRISM Quant").
+
+  // Trace mode: records per-layer scores/clusters for every candidate and
+  // disables pruning (used by the Fig-2 sparsity analysis).
+  bool trace = false;
+
+  uint64_t seed = 42;
+};
+
+// Per-layer record captured in trace mode (and, lightly, during pruning).
+struct LayerTraceEntry {
+  size_t layer = 0;
+  size_t active = 0;
+  double cv = 0.0;
+  bool prune_triggered = false;
+  size_t selected = 0;
+  size_t dropped = 0;
+  // Indexed by original candidate id; NaN when the candidate was inactive.
+  std::vector<float> scores;
+  // Cluster id per original candidate (-1 when unclustered/inactive).
+  std::vector<int> clusters;
+};
+
+class PrismEngine : public Runner {
+ public:
+  PrismEngine(const ModelConfig& config, const std::string& checkpoint_path, PrismOptions options,
+              MemoryTracker* tracker = &MemoryTracker::Global());
+
+  RerankResult Rerank(const RerankRequest& request) override;
+  std::string name() const override { return options_.quantized ? "PRISM Quant" : "PRISM"; }
+
+  const std::vector<LayerTraceEntry>& last_trace() const { return trace_; }
+  const PrismOptions& options() const { return options_; }
+  void set_dispersion_threshold(float threshold) { options_.dispersion_threshold = threshold; }
+
+  // Stats of the persistent embedding cache (null when embed_cache is off).
+  const EmbeddingCacheStats* embed_cache_stats() const;
+
+  // Chunk size the planner would pick for `n` candidates at `seq_len` (§4.3):
+  // the largest count whose scratch fits the activation budget, floored at 2
+  // to keep the compute window wide enough for I/O overlap.
+  size_t PlanChunkCandidates(size_t n, size_t seq_len) const;
+
+ private:
+  struct ChunkState {
+    std::vector<size_t> ids;        // Original candidate indices.
+    std::optional<Tensor> hidden;   // Resident hidden states (unless spilled).
+    bool spilled = false;
+  };
+
+  Tensor TakeChunk(ChunkState* chunk, int64_t key);
+  void StowChunk(ChunkState* chunk, int64_t key, Tensor hidden, bool more_layers);
+
+  ModelConfig config_;
+  PrismOptions options_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<BlobFileReader> reader_;
+  std::unique_ptr<EmbeddingSource> embedding_;
+  EmbeddingCache* cache_ = nullptr;  // Non-owning alias when embed_cache on.
+  HeadWeights head_;
+  // Resident layers when streaming is off.
+  std::vector<std::vector<uint8_t>> resident_layers_;
+  MemClaim resident_claim_;
+  std::unique_ptr<SpillPool> spill_;
+  std::vector<LayerTraceEntry> trace_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_CORE_ENGINE_H_

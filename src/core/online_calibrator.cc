@@ -1,0 +1,56 @@
+#include "src/core/online_calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/data/metrics.h"
+
+namespace prism {
+
+OnlineCalibrator::OnlineCalibrator(PrismEngine* engine, Runner* reference,
+                                   OnlineCalibratorOptions options)
+    : engine_(engine), reference_(reference), options_(options) {
+  PRISM_CHECK_GT(options_.sample_every, 0u);
+  PRISM_CHECK_GT(options_.max_samples, 0u);
+}
+
+RerankResult OnlineCalibrator::Rerank(const RerankRequest& request) {
+  const RerankResult result = engine_->Rerank(request);
+  if (served_++ % options_.sample_every == 0) {
+    if (log_.size() == options_.max_samples) {
+      log_.pop_front();
+    }
+    log_.push_back(Sample{request, result.topk});
+  }
+  return result;
+}
+
+double OnlineCalibrator::RunIdleCycle(size_t budget) {
+  if (log_.empty()) {
+    return std::nan("");
+  }
+  double agreement = 0.0;
+  size_t processed = 0;
+  while (!log_.empty() && processed < budget) {
+    const Sample sample = std::move(log_.front());
+    log_.pop_front();
+    // Full inference without pruning → ground truth.
+    const RerankResult truth = reference_->Rerank(sample.request);
+    agreement += TopKOverlap(sample.topk, truth.topk, sample.request.k);
+    ++processed;
+  }
+  agreement /= static_cast<double>(processed);
+
+  float threshold = engine_->options().dispersion_threshold;
+  if (agreement < options_.target_precision) {
+    threshold *= options_.raise_factor;  // Precision first.
+  } else {
+    threshold *= options_.lower_factor;  // Room to prune harder.
+  }
+  threshold = std::clamp(threshold, options_.min_threshold, options_.max_threshold);
+  engine_->set_dispersion_threshold(threshold);
+  return agreement;
+}
+
+}  // namespace prism

@@ -1,0 +1,80 @@
+#include "src/core/pruner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/data/metrics.h"
+
+namespace prism {
+
+PruneDecision DecidePrune(const std::vector<float>& scores, size_t remaining_k,
+                          const PrunerOptions& options) {
+  PruneDecision decision;
+  const size_t m = scores.size();
+  PRISM_CHECK_GT(remaining_k, 0u);
+
+  // Fewer (or exactly as many) candidates than slots: everyone wins; stop.
+  if (m <= remaining_k) {
+    decision.terminate = true;
+    decision.selected.resize(m);
+    std::iota(decision.selected.begin(), decision.selected.end(), 0);
+    return decision;
+  }
+
+  decision.cv = CoefficientOfVariation(scores);
+  if (decision.cv < options.dispersion_threshold) {
+    // No stable relative ranking yet — everyone defers.
+    decision.deferred.resize(m);
+    std::iota(decision.deferred.begin(), decision.deferred.end(), 0);
+    return decision;
+  }
+
+  decision.triggered = true;
+  decision.clustering = ClusterScores(scores, options.kmeans_max_k, options.seed);
+
+  // Identify the boundary cluster: the one containing the remaining_k-th
+  // ranked candidate (cluster ids are ordered best-first, and 1-D k-means
+  // clusters are contiguous score intervals).
+  const std::vector<size_t> order = TopKIndices(scores, m);
+  const int boundary = decision.clustering.assignment[order[remaining_k - 1]];
+
+  for (size_t i = 0; i < m; ++i) {
+    const int cluster = decision.clustering.assignment[i];
+    if (cluster < boundary) {
+      if (options.prune_winners) {
+        decision.selected.push_back(i);
+      } else {
+        decision.deferred.push_back(i);  // Exact-rank mode: winners continue.
+      }
+    } else if (cluster > boundary) {
+      decision.dropped.push_back(i);
+    } else {
+      decision.deferred.push_back(i);
+    }
+  }
+
+  // Postcondition checks (the safety invariants of §4.1).
+  PRISM_CHECK_EQ(decision.selected.size() + decision.dropped.size() + decision.deferred.size(),
+                 m);
+  PRISM_CHECK_LE(decision.selected.size(), remaining_k);
+  // The K-th ranked candidate lives in the boundary cluster → deferred.
+  if (options.prune_winners) {
+    const size_t kth = order[remaining_k - 1];
+    PRISM_CHECK(std::find(decision.dropped.begin(), decision.dropped.end(), kth) ==
+                decision.dropped.end());
+  }
+
+  // Termination: deferred exactly fills the remaining slots.
+  const size_t slots_left = remaining_k - decision.selected.size();
+  if (options.prune_winners && decision.deferred.size() == slots_left) {
+    decision.terminate = true;
+    for (size_t idx : decision.deferred) {
+      decision.selected.push_back(idx);
+    }
+    decision.deferred.clear();
+  }
+  return decision;
+}
+
+}  // namespace prism

@@ -1,0 +1,47 @@
+#include "src/core/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prism {
+
+RerankService::RerankService(const ModelConfig& config, const std::string& checkpoint_path,
+                             ServiceOptions options, MemoryTracker* tracker)
+    : config_(config) {
+  engine_ = std::make_unique<PrismEngine>(config, checkpoint_path, options.engine, tracker);
+  if (options.online_calibration) {
+    PrismOptions reference_options = options.engine;
+    reference_options.pruning = false;
+    // Ground-truth runs happen at idle time; they should not distort the
+    // serving path's memory accounting or wait on the simulated device.
+    reference_options.streaming = false;
+    reference_options.embed_cache = false;
+    reference_options.device.ssd.throttle = false;
+    reference_ = std::make_unique<PrismEngine>(config, checkpoint_path, reference_options,
+                                               tracker);
+    calibrator_ = std::make_unique<OnlineCalibrator>(engine_.get(), reference_.get(),
+                                                     options.calibration);
+  }
+}
+
+RerankResult RerankService::Rerank(const RerankRequest& request) {
+  Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
+                                          : static_cast<Runner*>(engine_.get());
+  const RerankResult result = runner->Rerank(request);
+  ++stats_.requests;
+  stats_.total_latency_ms += result.stats.latency_ms;
+  stats_.max_latency_ms = std::max(stats_.max_latency_ms, result.stats.latency_ms);
+  stats_.total_candidate_layers += result.stats.candidate_layers;
+  stats_.total_candidates += static_cast<int64_t>(request.docs.size());
+  stats_.bytes_streamed += result.stats.bytes_streamed;
+  return result;
+}
+
+double RerankService::OnIdle() {
+  if (calibrator_ == nullptr) {
+    return std::nan("");
+  }
+  return calibrator_->RunIdleCycle();
+}
+
+}  // namespace prism

@@ -1,0 +1,70 @@
+// RerankService: the deployment-facing facade.
+//
+// Owns a model's checkpoint, a PRISM engine, an optional full-inference
+// reference for online calibration, and rolling service statistics — the
+// piece an application (file search, RAG, agent) embeds. Single-threaded by
+// design: on-device rerank requests are serial, and the engine's internal
+// I/O threads provide the only concurrency the workload needs.
+#ifndef PRISM_SRC_CORE_SERVICE_H_
+#define PRISM_SRC_CORE_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/core/online_calibrator.h"
+
+namespace prism {
+
+struct ServiceOptions {
+  PrismOptions engine;
+  // When set, a pruning-disabled twin engine is created and every Nth request
+  // is sampled for idle-time calibration toward `target_precision`.
+  bool online_calibration = false;
+  OnlineCalibratorOptions calibration;
+};
+
+struct ServiceStats {
+  size_t requests = 0;
+  double total_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  int64_t total_candidate_layers = 0;
+  int64_t total_candidates = 0;
+  int64_t bytes_streamed = 0;
+
+  double MeanLatencyMs() const {
+    return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);
+  }
+  // Fraction of full-inference work actually executed (1.0 = no pruning win).
+  double WorkFraction(size_t n_layers) const {
+    const auto full = static_cast<double>(total_candidates) * static_cast<double>(n_layers);
+    return full == 0.0 ? 0.0 : static_cast<double>(total_candidate_layers) / full;
+  }
+};
+
+class RerankService {
+ public:
+  RerankService(const ModelConfig& config, const std::string& checkpoint_path,
+                ServiceOptions options, MemoryTracker* tracker = &MemoryTracker::Global());
+
+  RerankResult Rerank(const RerankRequest& request);
+
+  // Idle hook: runs one online-calibration cycle if enabled (no-op
+  // otherwise). Returns the measured agreement or NaN.
+  double OnIdle();
+
+  const ServiceStats& stats() const { return stats_; }
+  const ModelConfig& config() const { return config_; }
+  float current_threshold() const { return engine_->options().dispersion_threshold; }
+
+ private:
+  ModelConfig config_;
+  std::unique_ptr<PrismEngine> engine_;
+  std::unique_ptr<PrismEngine> reference_;  // Pruning-off twin (calibration).
+  std::unique_ptr<OnlineCalibrator> calibrator_;
+  ServiceStats stats_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_CORE_SERVICE_H_

@@ -1,0 +1,124 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/model/pair_encoder.h"
+
+namespace prism {
+
+std::vector<DatasetProfile> AllDatasetProfiles() {
+  // name, query_terms, doc_terms, vocab_skew, grade_gap, grade_noise, rel_frac
+  return {
+      {"beir-trec-covid", 7, 30, 1.00, 0.40, 0.12, 0.35},
+      {"beir-nfcorpus", 6, 26, 1.05, 0.35, 0.14, 0.30},
+      {"beir-nq", 9, 28, 1.00, 0.50, 0.08, 0.25},
+      {"beir-hotpotqa", 11, 30, 1.00, 0.55, 0.07, 0.25},
+      {"beir-fiqa", 8, 26, 1.05, 0.35, 0.15, 0.30},
+      {"beir-arguana", 14, 34, 1.05, 0.30, 0.16, 0.25},
+      {"beir-webis-touche", 8, 34, 1.00, 0.30, 0.17, 0.30},
+      {"beir-cqadupstack", 8, 24, 1.10, 0.40, 0.12, 0.30},
+      {"beir-quora", 7, 12, 1.10, 0.55, 0.07, 0.25},
+      {"beir-dbpedia", 6, 26, 1.00, 0.40, 0.12, 0.35},
+      {"beir-scidocs", 9, 30, 1.10, 0.30, 0.16, 0.30},
+      {"beir-fever", 8, 28, 1.00, 0.55, 0.07, 0.25},
+      {"beir-climate-fever", 9, 28, 1.00, 0.40, 0.13, 0.30},
+      {"beir-scifact", 10, 32, 1.10, 0.50, 0.09, 0.25},
+      {"beir-msmarco", 7, 24, 1.00, 0.50, 0.09, 0.25},
+      {"lotte", 9, 28, 1.05, 0.40, 0.12, 0.30},
+      {"wikipedia", 8, 30, 1.00, 0.50, 0.08, 0.30},
+      {"coderag", 10, 36, 1.25, 0.45, 0.11, 0.25},
+  };
+}
+
+DatasetProfile DatasetByName(const std::string& name) {
+  for (const DatasetProfile& p : AllDatasetProfiles()) {
+    if (p.name == name) {
+      return p;
+    }
+  }
+  PRISM_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  return {};
+}
+
+SyntheticDataset::SyntheticDataset(DatasetProfile profile, const ModelConfig& model,
+                                   uint64_t seed)
+    : profile_(std::move(profile)),
+      vocab_size_(model.vocab_size),
+      seed_(seed),
+      zipf_(model.vocab_size - kFirstWordToken, profile_.vocab_skew) {}
+
+std::vector<uint32_t> SyntheticDataset::DrawTokens(Rng& rng, size_t n) const {
+  std::vector<uint32_t> tokens;
+  tokens.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tokens.push_back(kFirstWordToken + static_cast<uint32_t>(zipf_.Sample(rng)));
+  }
+  return tokens;
+}
+
+RerankQuery SyntheticDataset::MakeQuery(size_t index, size_t n_candidates) const {
+  uint64_t name_hash = 0;
+  for (char ch : profile_.name) {
+    name_hash = name_hash * 131 + static_cast<uint8_t>(ch);
+  }
+  Rng rng(MixSeed(MixSeed(seed_, name_hash), index));
+
+  RerankQuery query;
+  query.tokens = DrawTokens(rng, profile_.query_terms);
+
+  const size_t n_relevant = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(profile_.relevant_fraction *
+                                         static_cast<double>(n_candidates))));
+  for (size_t c = 0; c < n_candidates; ++c) {
+    CandidateDoc doc;
+    const bool is_relevant = c < n_relevant;  // Shuffled below.
+    // Grade: relevant docs sit at 0.5 + gap/2 ± spread, irrelevant at
+    // 0.5 − gap/2 ± spread, clamped to [0, 1].
+    const double center = is_relevant ? 0.5 + profile_.grade_gap / 2 : 0.5 - profile_.grade_gap / 2;
+    const double spread = profile_.grade_gap / 4 + 0.05;
+    doc.grade = static_cast<float>(
+        std::clamp(center + spread * rng.NextGaussian(), is_relevant ? 0.5 : 0.0,
+                   is_relevant ? 1.0 : 0.4999));
+
+    // Document text: a fraction of tokens copied from the query proportional
+    // to the grade (lexical overlap), rest drawn from the Zipf vocabulary.
+    const size_t len = std::max<size_t>(
+        4, profile_.doc_terms + static_cast<size_t>(rng.NextBelow(profile_.doc_terms / 2 + 1)) -
+               profile_.doc_terms / 4);
+    const size_t overlap_tokens = static_cast<size_t>(
+        std::lround(static_cast<double>(doc.grade) * 0.5 * static_cast<double>(len)));
+    doc.tokens = DrawTokens(rng, len);
+    for (size_t i = 0; i < std::min(overlap_tokens, len); ++i) {
+      doc.tokens[rng.NextBelow(len)] = query.tokens[rng.NextBelow(query.tokens.size())];
+    }
+
+    // Planted relevance: grade + measured lexical overlap + noise.
+    size_t shared = 0;
+    for (uint32_t qt : query.tokens) {
+      if (std::find(doc.tokens.begin(), doc.tokens.end(), qt) != doc.tokens.end()) {
+        ++shared;
+      }
+    }
+    const double overlap = static_cast<double>(shared) / static_cast<double>(query.tokens.size());
+    const double r =
+        0.7 * doc.grade + 0.2 * overlap + profile_.grade_noise * rng.NextGaussian() + 0.05;
+    doc.planted_r = static_cast<float>(std::clamp(r, 0.0, 1.0));
+    query.candidates.push_back(std::move(doc));
+  }
+
+  // Shuffle candidate order so relevant ones are not all at the front.
+  for (size_t i = query.candidates.size(); i > 1; --i) {
+    const size_t j = rng.NextBelow(i);
+    std::swap(query.candidates[i - 1], query.candidates[j]);
+  }
+  for (size_t c = 0; c < query.candidates.size(); ++c) {
+    if (query.candidates[c].grade >= 0.5f) {
+      query.relevant.push_back(c);
+    }
+  }
+  return query;
+}
+
+}  // namespace prism

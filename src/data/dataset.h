@@ -1,0 +1,76 @@
+// Synthetic reranking datasets.
+//
+// The paper evaluates on 18 datasets (15 BEIR tasks, LoTTE, Wikipedia,
+// CodeRAG). Dataset identity matters to PRISM through four axes: input
+// lengths (compute per candidate), vocabulary skew (embedding-cache hit
+// rate), the gap structure of relevance grades (how early clusters separate
+// → pruning aggressiveness), and label noise (how imperfect the model's
+// ranking is vs. ground truth). Each profile below fixes those axes; queries
+// and candidate pools are generated deterministically from (profile, seed,
+// query index).
+//
+// A candidate's ground-truth grade g ∈ [0,1] drives both its lexical overlap
+// with the query (relevant docs share query terms) and the planted relevance
+// r = w_g·g + w_o·overlap + noise fed to the model's pair encoder, so the
+// model's final ranking correlates with — but does not equal — the ground
+// truth, exactly like a real reranker.
+#ifndef PRISM_SRC_DATA_DATASET_H_
+#define PRISM_SRC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/model/config.h"
+
+namespace prism {
+
+struct DatasetProfile {
+  std::string name;
+  size_t query_terms = 8;       // Tokens per query.
+  size_t doc_terms = 28;        // Mean tokens per candidate document.
+  double vocab_skew = 1.05;     // Zipf exponent of the token distribution.
+  double grade_gap = 0.45;      // Mean grade separation relevant vs. not.
+  double grade_noise = 0.10;    // Std of noise on the planted relevance.
+  double relevant_fraction = 0.3;  // Fraction of a pool that is relevant.
+};
+
+// The 18 dataset profiles, named after the paper's benchmarks.
+std::vector<DatasetProfile> AllDatasetProfiles();
+DatasetProfile DatasetByName(const std::string& name);
+
+struct CandidateDoc {
+  std::vector<uint32_t> tokens;
+  float grade = 0.0f;      // Ground-truth relevance grade in [0, 1].
+  float planted_r = 0.5f;  // Relevance scalar fed to the model.
+};
+
+struct RerankQuery {
+  std::vector<uint32_t> tokens;
+  std::vector<CandidateDoc> candidates;
+  std::vector<size_t> relevant;  // Indices with grade >= 0.5 (ground truth).
+};
+
+class SyntheticDataset {
+ public:
+  SyntheticDataset(DatasetProfile profile, const ModelConfig& model, uint64_t seed);
+
+  // Deterministic query #index with `n_candidates` candidates.
+  RerankQuery MakeQuery(size_t index, size_t n_candidates) const;
+
+  const DatasetProfile& profile() const { return profile_; }
+
+ private:
+  std::vector<uint32_t> DrawTokens(Rng& rng, size_t n) const;
+
+  DatasetProfile profile_;
+  size_t vocab_size_;
+  uint64_t seed_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_DATA_DATASET_H_

@@ -1,0 +1,175 @@
+#include "src/data/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+double PrecisionAtK(const std::vector<size_t>& topk, const std::vector<size_t>& relevant,
+                    size_t k) {
+  if (relevant.empty() || k == 0) {
+    return 0.0;
+  }
+  size_t hits = 0;
+  const size_t limit = std::min(k, topk.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (std::find(relevant.begin(), relevant.end(), topk[i]) != relevant.end()) {
+      ++hits;
+    }
+  }
+  const size_t denom = std::min(k, relevant.size());
+  return static_cast<double>(hits) / static_cast<double>(denom);
+}
+
+double TopKOverlap(const std::vector<size_t>& a, const std::vector<size_t>& b, size_t k) {
+  if (k == 0) {
+    return 1.0;
+  }
+  const size_t ka = std::min(k, a.size());
+  const size_t kb = std::min(k, b.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < ka; ++i) {
+    for (size_t j = 0; j < kb; ++j) {
+      if (a[i] == b[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+namespace {
+
+// Shared concordant/discordant counter; `filter(i, j)` selects pairs.
+template <typename Filter>
+double GammaImpl(const std::vector<float>& scores, const std::vector<float>& final_scores,
+                 Filter filter) {
+  PRISM_CHECK_EQ(scores.size(), final_scores.size());
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  const size_t n = scores.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!filter(i, j)) {
+        continue;
+      }
+      const float da = scores[i] - scores[j];
+      const float db = final_scores[i] - final_scores[j];
+      if (da == 0.0f || db == 0.0f) {
+        continue;  // Ties are skipped in Goodman–Kruskal γ.
+      }
+      if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const int64_t total = concordant + discordant;
+  return total == 0 ? 1.0 : static_cast<double>(concordant - discordant) /
+                                static_cast<double>(total);
+}
+
+}  // namespace
+
+double GoodmanKruskalGamma(const std::vector<float>& scores,
+                           const std::vector<float>& final_scores) {
+  return GammaImpl(scores, final_scores, [](size_t, size_t) { return true; });
+}
+
+double ClusterGamma(const std::vector<float>& scores, const std::vector<float>& final_scores,
+                    const std::vector<int>& clusters) {
+  PRISM_CHECK_EQ(scores.size(), clusters.size());
+  return GammaImpl(scores, final_scores,
+                   [&clusters](size_t i, size_t j) { return clusters[i] != clusters[j]; });
+}
+
+double KendallTau(const std::vector<float>& a, const std::vector<float>& b) {
+  PRISM_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) {
+    return 1.0;
+  }
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const float da = a[i] - a[j];
+      const float db = b[i] - b[j];
+      if (da == 0.0f || db == 0.0f) {
+        continue;
+      }
+      if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double NdcgAtK(const std::vector<size_t>& ranking, const std::vector<float>& grades, size_t k) {
+  const size_t kk = std::min(k, grades.size());
+  if (kk == 0) {
+    return 0.0;
+  }
+  auto discounted = [](float gain, size_t rank) {
+    return static_cast<double>(gain) / std::log2(static_cast<double>(rank) + 2.0);
+  };
+  double dcg = 0.0;
+  for (size_t rank = 0; rank < std::min(kk, ranking.size()); ++rank) {
+    PRISM_CHECK_LT(ranking[rank], grades.size());
+    dcg += discounted(grades[ranking[rank]], rank);
+  }
+  std::vector<float> ideal(grades);
+  std::sort(ideal.rbegin(), ideal.rend());
+  double idcg = 0.0;
+  for (size_t rank = 0; rank < kk; ++rank) {
+    idcg += discounted(ideal[rank], rank);
+  }
+  return idcg == 0.0 ? 0.0 : dcg / idcg;
+}
+
+double CoefficientOfVariation(const std::vector<float>& scores) {
+  if (scores.empty()) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (float s : scores) {
+    mean += s;
+  }
+  mean /= static_cast<double>(scores.size());
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  double var = 0.0;
+  for (float s : scores) {
+    const double d = s - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(scores.size());
+  return std::fabs(std::sqrt(var) / mean);
+}
+
+std::vector<size_t> TopKIndices(const std::vector<float>& scores, size_t k) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t kk = std::min(k, scores.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(kk), order.end(),
+                    [&scores](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(kk);
+  return order;
+}
+
+}  // namespace prism

@@ -1,0 +1,45 @@
+// Ranking-quality metrics used across the evaluation.
+#ifndef PRISM_SRC_DATA_METRICS_H_
+#define PRISM_SRC_DATA_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace prism {
+
+// Precision@K as the paper defines it (§6.1): |topk ∩ relevant| / K, except
+// when |relevant| < K, where the denominator becomes |relevant|.
+double PrecisionAtK(const std::vector<size_t>& topk, const std::vector<size_t>& relevant,
+                    size_t k);
+
+// Fraction of `a`'s first k entries also present in `b`'s first k entries
+// (order-insensitive top-K agreement; used to compare PRISM vs full inference).
+double TopKOverlap(const std::vector<size_t>& a, const std::vector<size_t>& b, size_t k);
+
+// Goodman and Kruskal's γ between two score vectors over the same items:
+// γ = (Nc − Nd) / (Nc + Nd) over all item pairs, ties skipped (§3.1).
+double GoodmanKruskalGamma(const std::vector<float>& scores, const std::vector<float>& final_scores);
+
+// γ restricted to item pairs whose cluster ids differ (the paper's
+// "cluster γ", Fig 2(b)).
+double ClusterGamma(const std::vector<float>& scores, const std::vector<float>& final_scores,
+                    const std::vector<int>& clusters);
+
+// Kendall's τ-a between two score vectors (pairs with ties count as
+// discordant-neutral, i.e. excluded from numerator only).
+double KendallTau(const std::vector<float>& a, const std::vector<float>& b);
+
+// NDCG@K with graded relevance (`grades[i]` is item i's gain). Standard
+// log2-discounted cumulative gain normalised by the ideal ordering.
+double NdcgAtK(const std::vector<size_t>& ranking, const std::vector<float>& grades, size_t k);
+
+// Coefficient of variation |std/mean| of a score vector (§4.1).
+double CoefficientOfVariation(const std::vector<float>& scores);
+
+// Indices of the k largest scores, best first (deterministic: ties broken by
+// lower index).
+std::vector<size_t> TopKIndices(const std::vector<float>& scores, size_t k);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_DATA_METRICS_H_

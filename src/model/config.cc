@@ -1,0 +1,116 @@
+#include "src/model/config.h"
+
+#include "src/common/check.h"
+
+namespace prism {
+
+size_t ModelConfig::LayerParams() const {
+  // Attention: wq, wk, wv, wo — each [hidden, hidden].
+  size_t params = 4 * hidden * hidden;
+  // FFN: decoder SwiGLU has gate+up+down; encoder has up+down only.
+  if (arch == ModelArch::kDecoderOnly) {
+    params += 3 * hidden * ffn;
+  } else {
+    params += 2 * hidden * ffn;
+  }
+  // Two norms, gain + bias each.
+  params += 4 * hidden;
+  return params;
+}
+
+ModelConfig Qwen3Reranker0_6B() {
+  ModelConfig c;
+  c.name = "Qwen3-Reranker-0.6B";
+  c.arch = ModelArch::kDecoderOnly;
+  c.n_layers = 28;
+  c.hidden = 96;
+  c.ffn = 288;
+  c.n_heads = 4;
+  c.vocab_size = 16384;
+  c.max_seq = 64;
+  return c;
+}
+
+ModelConfig Qwen3Reranker4B() {
+  ModelConfig c;
+  c.name = "Qwen3-Reranker-4B";
+  c.arch = ModelArch::kDecoderOnly;
+  c.n_layers = 36;
+  c.hidden = 128;
+  c.ffn = 384;
+  c.n_heads = 8;
+  c.vocab_size = 16384;
+  c.max_seq = 64;
+  return c;
+}
+
+ModelConfig Qwen3Reranker8B() {
+  ModelConfig c;
+  c.name = "Qwen3-Reranker-8B";
+  c.arch = ModelArch::kDecoderOnly;
+  c.n_layers = 36;
+  c.hidden = 160;
+  c.ffn = 480;
+  c.n_heads = 8;
+  c.vocab_size = 16384;
+  c.max_seq = 64;
+  return c;
+}
+
+ModelConfig BgeRerankerV2MiniCpm() {
+  ModelConfig c;
+  c.name = "Bge-Reranker-v2-MiniCPM";
+  c.arch = ModelArch::kDecoderOnly;
+  c.n_layers = 40;
+  c.hidden = 104;
+  c.ffn = 312;
+  c.quant_group = 8;  // Must divide hidden (104) and ffn (312).
+  c.n_heads = 4;
+  c.vocab_size = 16384;
+  c.max_seq = 64;
+  return c;
+}
+
+ModelConfig BgeRerankerV2M3() {
+  ModelConfig c;
+  c.name = "Bge-Reranker-v2-M3";
+  c.arch = ModelArch::kEncoderOnly;
+  c.n_layers = 24;
+  c.hidden = 96;
+  c.ffn = 384;
+  c.n_heads = 4;
+  c.vocab_size = 16384;
+  c.max_seq = 64;
+  return c;
+}
+
+std::vector<ModelConfig> ModelZoo() {
+  return {Qwen3Reranker0_6B(), Qwen3Reranker4B(), Qwen3Reranker8B(), BgeRerankerV2MiniCpm(),
+          BgeRerankerV2M3()};
+}
+
+ModelConfig ModelByName(const std::string& name) {
+  for (const ModelConfig& c : ModelZoo()) {
+    if (c.name == name) {
+      return c;
+    }
+  }
+  PRISM_CHECK_MSG(false, ("unknown model: " + name).c_str());
+  return {};
+}
+
+ModelConfig TestModel(ModelArch arch) {
+  ModelConfig c;
+  c.name = arch == ModelArch::kDecoderOnly ? "test-decoder" : "test-encoder";
+  c.arch = arch;
+  c.n_layers = 4;
+  c.hidden = 32;
+  c.ffn = 64;
+  c.n_heads = 2;
+  c.vocab_size = 512;
+  c.max_seq = 32;
+  c.quant_group = 16;
+  return c;
+}
+
+}  // namespace prism

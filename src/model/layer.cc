@@ -1,0 +1,215 @@
+#include "src/model/layer.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/tensor/ops.h"
+
+namespace prism {
+
+LayerScratch LayerScratch::Make(const ModelConfig& config, size_t max_rows, size_t seq_len,
+                                MemoryTracker* tracker) {
+  LayerScratch s;
+  const auto cat = MemCategory::kActivations;
+  s.normed = Tensor(max_rows, config.hidden, cat, tracker);
+  s.q = Tensor(max_rows, config.hidden, cat, tracker);
+  s.k = Tensor(max_rows, config.hidden, cat, tracker);
+  s.v = Tensor(max_rows, config.hidden, cat, tracker);
+  s.attn_ctx = Tensor(max_rows, config.hidden, cat, tracker);
+  s.attn_out = Tensor(max_rows, config.hidden, cat, tracker);
+  s.ffn_up = Tensor(max_rows, config.ffn, cat, tracker);
+  if (config.arch == ModelArch::kDecoderOnly) {
+    s.ffn_gate = Tensor(max_rows, config.ffn, cat, tracker);
+  }
+  s.ffn_down = Tensor(max_rows, config.hidden, cat, tracker);
+  s.scores = Tensor(seq_len, seq_len, cat, tracker);
+  return s;
+}
+
+int64_t LayerScratch::BytesFor(const ModelConfig& config, size_t rows, size_t seq_len) {
+  int64_t floats = 0;
+  floats += static_cast<int64_t>(rows) * static_cast<int64_t>(config.hidden) * 7;
+  floats += static_cast<int64_t>(rows) * static_cast<int64_t>(config.ffn) *
+            (config.arch == ModelArch::kDecoderOnly ? 2 : 1);
+  floats += static_cast<int64_t>(seq_len) * static_cast<int64_t>(seq_len);
+  return floats * static_cast<int64_t>(sizeof(float));
+}
+
+namespace {
+
+// Projects rows of `x` through one of the layer's weight matrices.
+void Project(const Tensor& x, size_t rows, const AnyLayerView& w, const float* f32,
+             const QuantMatrixView& q4, size_t out_dim, Tensor* out) {
+  PRISM_CHECK_GE(out->rows(), rows);
+  PRISM_CHECK_EQ(out->cols(), out_dim);
+  if (w.quantized) {
+    q4.MatMulTransB(x.data(), rows, out->data());
+  } else {
+    MatMulTransBRaw(x.data(), rows, x.cols(), f32, out_dim, out->data());
+  }
+}
+
+void ApplyNorm(const ModelConfig& config, Tensor* t, size_t rows, std::span<const float> gain,
+               std::span<const float> bias) {
+  // Norm only the first `rows` rows: build a temporary span-view via row loop.
+  for (size_t r = 0; r < rows; ++r) {
+    auto row = t->row(r);
+    if (config.arch == ModelArch::kDecoderOnly) {
+      // RMSNorm.
+      double sum_sq = 0.0;
+      for (float v : row) {
+        sum_sq += static_cast<double>(v) * v;
+      }
+      const float inv_rms =
+          1.0f / std::sqrt(static_cast<float>(sum_sq / static_cast<double>(row.size())) + 1e-5f);
+      for (size_t c = 0; c < row.size(); ++c) {
+        row[c] = row[c] * inv_rms * gain[c];
+      }
+    } else {
+      // LayerNorm.
+      double mean = 0.0;
+      for (float v : row) {
+        mean += v;
+      }
+      mean /= static_cast<double>(row.size());
+      double var = 0.0;
+      for (float v : row) {
+        const double d = v - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(row.size());
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + 1e-5f);
+      for (size_t c = 0; c < row.size(); ++c) {
+        row[c] = (row[c] - static_cast<float>(mean)) * inv_std * gain[c] + bias[c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void LayerForward(const ModelConfig& config, const AnyLayerView& w, size_t seq_len,
+                  Tensor* hidden, LayerScratch* scratch) {
+  const size_t rows = hidden->rows();
+  PRISM_CHECK_EQ(rows % seq_len, 0u);
+  PRISM_CHECK_LE(rows, scratch->normed.rows());
+  const size_t candidates = rows / seq_len;
+  const size_t d = config.hidden;
+  const size_t heads = config.n_heads;
+  const size_t dh = config.head_dim();
+  const bool causal = config.arch == ModelArch::kDecoderOnly;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  const auto norm1_gain = w.quantized ? w.q4.norm1_gain : w.f32.norm1_gain;
+  const auto norm1_bias = w.quantized ? w.q4.norm1_bias : w.f32.norm1_bias;
+  const auto norm2_gain = w.quantized ? w.q4.norm2_gain : w.f32.norm2_gain;
+  const auto norm2_bias = w.quantized ? w.q4.norm2_bias : w.f32.norm2_bias;
+
+  // --- Attention sublayer (pre-norm residual) ---
+  std::copy(hidden->data(), hidden->data() + rows * d, scratch->normed.data());
+  ApplyNorm(config, &scratch->normed, rows, norm1_gain, norm1_bias);
+  Project(scratch->normed, rows, w, w.f32.wq, w.q4.wq, d, &scratch->q);
+  Project(scratch->normed, rows, w, w.f32.wk, w.q4.wk, d, &scratch->k);
+  Project(scratch->normed, rows, w, w.f32.wv, w.q4.wv, d, &scratch->v);
+
+  for (size_t c = 0; c < candidates; ++c) {
+    const size_t base = c * seq_len;
+    for (size_t h = 0; h < heads; ++h) {
+      const size_t col0 = h * dh;
+      // scores[i][j] = q_i · k_j / sqrt(dh), within this candidate and head.
+      for (size_t i = 0; i < seq_len; ++i) {
+        const float* qi = scratch->q.data() + (base + i) * d + col0;
+        float* srow = scratch->scores.data() + i * seq_len;
+        for (size_t j = 0; j < seq_len; ++j) {
+          const float* kj = scratch->k.data() + (base + j) * d + col0;
+          float acc = 0.0f;
+          for (size_t x = 0; x < dh; ++x) {
+            acc += qi[x] * kj[x];
+          }
+          srow[j] = acc * inv_sqrt_dh;
+        }
+        SoftmaxRowInPlace({srow, seq_len}, causal ? static_cast<ptrdiff_t>(i) : -1);
+      }
+      // ctx_i = Σ_j scores[i][j] · v_j.
+      for (size_t i = 0; i < seq_len; ++i) {
+        float* ctx = scratch->attn_ctx.data() + (base + i) * d + col0;
+        for (size_t x = 0; x < dh; ++x) {
+          ctx[x] = 0.0f;
+        }
+        const float* srow = scratch->scores.data() + i * seq_len;
+        const size_t jmax = causal ? i + 1 : seq_len;
+        for (size_t j = 0; j < jmax; ++j) {
+          const float sv = srow[j];
+          if (sv == 0.0f) {
+            continue;
+          }
+          const float* vj = scratch->v.data() + (base + j) * d + col0;
+          for (size_t x = 0; x < dh; ++x) {
+            ctx[x] += sv * vj[x];
+          }
+        }
+      }
+    }
+  }
+
+  Project(scratch->attn_ctx, rows, w, w.f32.wo, w.q4.wo, d, &scratch->attn_out);
+  // Residual add (only the active rows).
+  {
+    float* ph = hidden->data();
+    const float* pa = scratch->attn_out.data();
+    for (size_t i = 0; i < rows * d; ++i) {
+      ph[i] += pa[i];
+    }
+  }
+
+  // --- FFN sublayer (pre-norm residual) ---
+  std::copy(hidden->data(), hidden->data() + rows * d, scratch->normed.data());
+  ApplyNorm(config, &scratch->normed, rows, norm2_gain, norm2_bias);
+  const size_t f = config.ffn;
+  if (config.arch == ModelArch::kDecoderOnly) {
+    // SwiGLU: down( silu(gate(x)) ⊙ up(x) ).
+    Project(scratch->normed, rows, w, w.f32.w_gate, w.q4.w_gate, f, &scratch->ffn_gate);
+    Project(scratch->normed, rows, w, w.f32.w_up, w.q4.w_up, f, &scratch->ffn_up);
+    float* pg = scratch->ffn_gate.data();
+    const float* pu = scratch->ffn_up.data();
+    for (size_t i = 0; i < rows * f; ++i) {
+      pg[i] = pg[i] * Sigmoid(pg[i]) * pu[i];
+    }
+    Project(scratch->ffn_gate, rows, w, w.f32.w_down, w.q4.w_down, d, &scratch->ffn_down);
+  } else {
+    // GELU MLP: down( gelu(up(x)) ).
+    Project(scratch->normed, rows, w, w.f32.w_up, w.q4.w_up, f, &scratch->ffn_up);
+    float* pu = scratch->ffn_up.data();
+    constexpr float kSqrt2OverPi = 0.7978845608028654f;
+    for (size_t i = 0; i < rows * f; ++i) {
+      const float x = pu[i];
+      pu[i] = 0.5f * x * (1.0f + std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x)));
+    }
+    Project(scratch->ffn_up, rows, w, w.f32.w_down, w.q4.w_down, d, &scratch->ffn_down);
+  }
+  {
+    float* ph = hidden->data();
+    const float* pf = scratch->ffn_down.data();
+    for (size_t i = 0; i < rows * d; ++i) {
+      ph[i] += pf[i];
+    }
+  }
+}
+
+size_t PoolRow(const ModelConfig& config, size_t candidate, size_t seq_len) {
+  return config.arch == ModelArch::kDecoderOnly ? candidate * seq_len + (seq_len - 1)
+                                                : candidate * seq_len;
+}
+
+void ScoreChunk(const ModelConfig& config, const HeadWeights& head, const Tensor& hidden,
+                size_t seq_len, std::vector<float>* scores_out) {
+  PRISM_CHECK_EQ(hidden.rows() % seq_len, 0u);
+  const size_t candidates = hidden.rows() / seq_len;
+  for (size_t c = 0; c < candidates; ++c) {
+    const auto row = hidden.row(PoolRow(config, c, seq_len));
+    const float logit = Dot(row, {head.w.data(), head.w.size()}) + head.bias;
+    scores_out->push_back(Sigmoid(logit));
+  }
+}
+
+}  // namespace prism

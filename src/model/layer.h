@@ -1,0 +1,54 @@
+// Transformer layer forward pass over a chunk of candidate sequences.
+//
+// A chunk holds C candidate sequences of identical length T as one tensor
+// [C·T, hidden]. Projections and FFN run as one GEMM over all C·T rows (this
+// is where the monolithic batch earns its compute efficiency); attention
+// mixes tokens only *within* each candidate — the cross-encoder processes
+// each (query, doc) pair jointly but candidates independently.
+#ifndef PRISM_SRC_MODEL_LAYER_H_
+#define PRISM_SRC_MODEL_LAYER_H_
+
+#include "src/model/config.h"
+#include "src/model/weights.h"
+#include "src/tensor/tensor.h"
+
+namespace prism {
+
+// Workspace sized for up to `max_rows` (= chunk_candidates · seq_len) rows.
+// These tensors are the "intermediate tensors" whose footprint chunked
+// execution bounds (§4.3); they register under MemCategory::kActivations.
+struct LayerScratch {
+  Tensor normed;    // [rows, hidden]
+  Tensor q, k, v;   // [rows, hidden]
+  Tensor attn_ctx;  // [rows, hidden]
+  Tensor attn_out;  // [rows, hidden]
+  Tensor ffn_up;    // [rows, ffn]
+  Tensor ffn_gate;  // [rows, ffn] (decoder only; empty otherwise)
+  Tensor ffn_down;  // [rows, hidden]
+  Tensor scores;    // [seq, seq] attention score scratch (one head at a time)
+
+  static LayerScratch Make(const ModelConfig& config, size_t max_rows, size_t seq_len,
+                           MemoryTracker* tracker = &MemoryTracker::Global());
+
+  // Total tracked bytes (for chunk-size planning).
+  static int64_t BytesFor(const ModelConfig& config, size_t rows, size_t seq_len);
+};
+
+// Applies one transformer layer in place to `hidden` ([C·T, hidden], C whole
+// candidates of length `seq_len`). The scratch must have been created with
+// max_rows >= hidden->rows() and the same seq_len.
+void LayerForward(const ModelConfig& config, const AnyLayerView& weights, size_t seq_len,
+                  Tensor* hidden, LayerScratch* scratch);
+
+// Pooled-position row index of candidate `c` within a chunk tensor: last
+// token for decoder-only models, first token (CLS) for encoder-only.
+size_t PoolRow(const ModelConfig& config, size_t candidate, size_t seq_len);
+
+// Classifier head: sigmoid(w · h_pool + bias) for each of the C candidates in
+// `hidden`. Appends C scores to `scores_out`.
+void ScoreChunk(const ModelConfig& config, const HeadWeights& head, const Tensor& hidden,
+                size_t seq_len, std::vector<float>* scores_out);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_MODEL_LAYER_H_

@@ -1,0 +1,231 @@
+#include "src/model/synthetic.h"
+
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/model/weights.h"
+#include "src/storage/blob_file.h"
+#include "src/tensor/quant.h"
+
+namespace prism {
+
+namespace {
+
+// Fills `n` floats with N(0, std²).
+void FillGaussian(Rng& rng, float* dst, size_t n, float std) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<float>(rng.NextGaussian()) * std;
+  }
+}
+
+std::span<const uint8_t> AsBytes(const std::vector<float>& v) {
+  return {reinterpret_cast<const uint8_t*>(v.data()), v.size() * sizeof(float)};
+}
+
+// Builds one fp32 layer blob. Init scales follow the residual-perturbation
+// calibration in DESIGN.md: with RMSNorm'd inputs (per-component ≈ 1), a
+// projection with entries N(0, s²) produces outputs with per-component RMS
+// ≈ s·√D, so chaining two projections (attention value→output, FFN up→down)
+// yields ≈ s²·D. Solving s²·D = layer_noise gives s = √(layer_noise / D).
+//
+// On top of the random base, Wv and Wo receive a rank-1 v·vᵀ component
+// (`config.amplify`): the value of every token carries its hidden state's
+// v-component, and the output projection writes it back along v. Attention
+// therefore aggregates the doc-tokens' planted relevance into the pooled
+// position a little more each layer — the mechanism behind the progressive
+// score divergence of Fig 2(a).
+std::vector<float> MakeLayerBlob(const ModelConfig& config, Rng& rng,
+                                 const std::vector<float>& v) {
+  const size_t d = config.hidden;
+  const size_t f = config.ffn;
+  const float s_attn = std::sqrt(config.layer_noise / static_cast<float>(d));
+  const float s_ffn = std::sqrt(config.layer_noise / std::sqrt(static_cast<float>(d * f)));
+  std::vector<float> blob(LayerBlobBytes(config, /*quantized=*/false) / sizeof(float));
+  float* p = blob.data();
+  FillGaussian(rng, p, d * d, s_attn);  // wq
+  p += d * d;
+  FillGaussian(rng, p, d * d, s_attn);  // wk
+  p += d * d;
+  FillGaussian(rng, p, d * d, s_attn);  // wv
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      p[i * d + j] += config.amplify * v[i] * v[j];
+    }
+  }
+  p += d * d;
+  FillGaussian(rng, p, d * d, s_attn);  // wo
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      p[i * d + j] += config.amplify * v[i] * v[j];
+    }
+  }
+  p += d * d;
+  if (config.arch == ModelArch::kDecoderOnly) {
+    FillGaussian(rng, p, f * d, s_ffn);  // w_gate
+    p += f * d;
+  }
+  FillGaussian(rng, p, f * d, s_ffn);  // w_up
+  p += f * d;
+  FillGaussian(rng, p, d * f, s_ffn);  // w_down
+  p += d * f;
+  // Norm gains near 1 with small jitter; biases near 0.
+  for (size_t i = 0; i < d; ++i) {
+    p[i] = 1.0f + 0.02f * static_cast<float>(rng.NextGaussian());
+  }
+  p += d;
+  for (size_t i = 0; i < d; ++i) {
+    p[i] = 0.01f * static_cast<float>(rng.NextGaussian());
+  }
+  p += d;
+  for (size_t i = 0; i < d; ++i) {
+    p[i] = 1.0f + 0.02f * static_cast<float>(rng.NextGaussian());
+  }
+  p += d;
+  for (size_t i = 0; i < d; ++i) {
+    p[i] = 0.01f * static_cast<float>(rng.NextGaussian());
+  }
+  return blob;
+}
+
+// Quantises the big matrices of an fp32 layer blob; norms stay fp32.
+std::vector<uint8_t> QuantizeLayerBlob(const ModelConfig& config,
+                                       const std::vector<float>& f32_blob) {
+  const size_t d = config.hidden;
+  const size_t f = config.ffn;
+  std::vector<std::pair<size_t, size_t>> dims = {{d, d}, {d, d}, {d, d}, {d, d}};
+  if (config.arch == ModelArch::kDecoderOnly) {
+    dims.push_back({f, d});
+  }
+  dims.push_back({f, d});
+  dims.push_back({d, f});
+
+  std::vector<uint8_t> out(LayerBlobBytes(config, /*quantized=*/true));
+  const float* src = f32_blob.data();
+  uint8_t* dst = out.data();
+  MemoryTracker scratch_tracker;  // Quantisation scratch should not hit the global tracker.
+  for (const auto& [rows, cols] : dims) {
+    QuantizedMatrix qm = QuantizedMatrix::Quantize(src, rows, cols, config.quant_group,
+                                                   MemCategory::kScratch, &scratch_tracker);
+    qm.SerializeTo(dst);
+    dst += qm.SerializedSize();
+    src += rows * cols;
+  }
+  // Copy the trailing norm floats verbatim.
+  const size_t norm_bytes = 4 * d * sizeof(float);
+  std::memcpy(dst, src, norm_bytes);
+  return out;
+}
+
+}  // namespace
+
+Status GenerateCheckpoint(const ModelConfig& config, uint64_t seed, const std::string& path,
+                          const std::string& quantized_path) {
+  PRISM_CHECK_EQ(config.hidden % config.n_heads, 0u);
+  PRISM_CHECK_EQ(config.hidden % config.quant_group, 0u);
+  PRISM_CHECK_EQ(config.ffn % config.quant_group, 0u);
+
+  BlobFileWriter writer(path);
+  std::unique_ptr<BlobFileWriter> qwriter;
+  if (!quantized_path.empty()) {
+    qwriter = std::make_unique<BlobFileWriter>(quantized_path);
+  }
+
+  // Classifier / planted-signal direction v (unit norm), generated first so
+  // the layer weights' rank-1 amplification components can reference it.
+  const size_t d = config.hidden;
+  std::vector<float> v(d);
+  {
+    Rng head_rng(MixSeed(seed, 0x3000));
+    FillGaussian(head_rng, v.data(), d, 1.0f);
+    float norm = 0.0f;
+    for (size_t i = 0; i < d; ++i) {
+      norm += v[i] * v[i];
+    }
+    norm = std::sqrt(norm);
+    for (size_t i = 0; i < d; ++i) {
+      v[i] /= norm;
+    }
+  }
+
+  // Embedding table: unit-norm random rows. Rows are generated independently
+  // per token id (seeded by MixSeed) so row content does not depend on vocab
+  // iteration order.
+  {
+    std::vector<float> table(config.vocab_size * d);
+    for (size_t tok = 0; tok < config.vocab_size; ++tok) {
+      Rng row_rng(MixSeed(seed, 0x1000 + tok));
+      float* row = table.data() + tok * d;
+      FillGaussian(row_rng, row, d, 1.0f);
+      float norm = 0.0f;
+      for (size_t i = 0; i < d; ++i) {
+        norm += row[i] * row[i];
+      }
+      norm = std::sqrt(norm);
+      for (size_t i = 0; i < d; ++i) {
+        row[i] /= norm;
+      }
+    }
+    writer.AddBlob(AsBytes(table));
+    if (qwriter != nullptr) {
+      qwriter->AddBlob(AsBytes(table));  // Embedding stays fp32 in both checkpoints.
+    }
+  }
+
+  // Transformer layers.
+  for (size_t layer = 0; layer < config.n_layers; ++layer) {
+    Rng layer_rng(MixSeed(seed, 0x2000 + layer));
+    const std::vector<float> blob = MakeLayerBlob(config, layer_rng, v);
+    writer.AddBlob(AsBytes(blob));
+    if (qwriter != nullptr) {
+      const std::vector<uint8_t> qblob = QuantizeLayerBlob(config, blob);
+      qwriter->AddBlob(qblob);
+    }
+  }
+
+  // Head: classifier weight = head_scale · v, zero bias.
+  {
+    std::vector<float> head(d + 1);
+    for (size_t i = 0; i < d; ++i) {
+      head[i] = config.head_scale * v[i];
+    }
+    head[d] = 0.0f;  // bias
+    writer.AddBlob(AsBytes(head));
+    if (qwriter != nullptr) {
+      qwriter->AddBlob(AsBytes(head));
+    }
+  }
+
+  PRISM_RETURN_IF_ERROR(writer.Finish());
+  if (qwriter != nullptr) {
+    PRISM_RETURN_IF_ERROR(qwriter->Finish());
+  }
+  return Status::Ok();
+}
+
+std::string EnsureCheckpoint(const ModelConfig& config, uint64_t seed, bool quantized) {
+  std::string name = config.name;
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) {
+      ch = '_';
+    }
+  }
+  const std::string base = "/tmp/prism_ckpt_" + name + "_" + std::to_string(seed);
+  const std::string f32_path = base + ".f32.bin";
+  const std::string q4_path = base + ".q4.bin";
+  struct stat st{};
+  const bool have_f32 = ::stat(f32_path.c_str(), &st) == 0 && st.st_size > 0;
+  const bool have_q4 = ::stat(q4_path.c_str(), &st) == 0 && st.st_size > 0;
+  if (!have_f32 || !have_q4) {
+    const Status status = GenerateCheckpoint(config, seed, f32_path, q4_path);
+    PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+  return quantized ? q4_path : f32_path;
+}
+
+}  // namespace prism

@@ -1,0 +1,30 @@
+// Synthetic checkpoint generation.
+//
+// Generates deterministic, seeded weights implementing the planted-relevance
+// residual-stream model described in DESIGN.md §4: random layer weights whose
+// init scale is chosen so each layer adds a bounded perturbation to the
+// residual stream, an embedding table of unit-norm random rows, and a
+// unit-norm classifier direction. The same seed always produces bit-identical
+// checkpoints.
+#ifndef PRISM_SRC_MODEL_SYNTHETIC_H_
+#define PRISM_SRC_MODEL_SYNTHETIC_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/model/config.h"
+
+namespace prism {
+
+// Writes an fp32 checkpoint for `config` to `path`. When `quantized_path` is
+// non-empty, also writes a W4 checkpoint quantised from the same weights.
+Status GenerateCheckpoint(const ModelConfig& config, uint64_t seed, const std::string& path,
+                          const std::string& quantized_path = "");
+
+// Convenience: generates (once) under /tmp and returns the path; subsequent
+// calls with the same config+seed reuse the existing file.
+std::string EnsureCheckpoint(const ModelConfig& config, uint64_t seed, bool quantized = false);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_MODEL_SYNTHETIC_H_

@@ -1,0 +1,46 @@
+#include "src/model/tokenizer.h"
+
+#include <cctype>
+
+#include "src/common/rng.h"
+#include "src/model/pair_encoder.h"
+
+namespace prism {
+
+std::vector<uint32_t> SyntheticTokenizer::Encode(std::string_view text) const {
+  std::vector<uint32_t> out;
+  std::string word;
+  auto flush = [&] {
+    if (!word.empty()) {
+      out.push_back(TokenOf(word));
+      word.clear();
+    }
+  };
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      word.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+uint32_t SyntheticTokenizer::TokenOf(std::string_view word) const {
+  // FNV-1a over the word, then squared-uniform remap: squaring a uniform
+  // variate concentrates mass near 0, approximating a Zipf-like skew toward
+  // low token ids without a per-word frequency table.
+  uint64_t hash = 1469598103934665603ULL;
+  for (char ch : word) {
+    hash ^= static_cast<uint8_t>(ch);
+    hash *= 1099511628211ULL;
+  }
+  uint64_t state = hash;
+  const double u = static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+  const size_t range = vocab_ - kFirstWordToken;
+  const auto id = static_cast<uint32_t>(u * u * static_cast<double>(range));
+  return kFirstWordToken + (id % static_cast<uint32_t>(range));
+}
+
+}  // namespace prism

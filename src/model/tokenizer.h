@@ -1,0 +1,37 @@
+// Synthetic tokenizer for string-based example programs.
+//
+// Maps whitespace-separated words to stable token ids in
+// [kFirstWordToken, vocab). The id of a word is a hash of its text remapped
+// through a Zipf-rank permutation so that common *hash buckets* land on
+// low-rank (frequently shared) token ids — giving string workloads the same
+// skewed id distribution the embedding cache expects. Benchmarks bypass this
+// class and draw token ids directly from dataset generators.
+#ifndef PRISM_SRC_MODEL_TOKENIZER_H_
+#define PRISM_SRC_MODEL_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/model/config.h"
+
+namespace prism {
+
+class SyntheticTokenizer {
+ public:
+  explicit SyntheticTokenizer(const ModelConfig& config) : vocab_(config.vocab_size) {}
+
+  // Tokenises on whitespace and punctuation, lower-casing words.
+  std::vector<uint32_t> Encode(std::string_view text) const;
+
+  // Token id of a single word.
+  uint32_t TokenOf(std::string_view word) const;
+
+ private:
+  size_t vocab_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_MODEL_TOKENIZER_H_

@@ -1,0 +1,132 @@
+#include "src/model/weights.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+namespace {
+
+// Sizes of the big matrices of one layer, in order of appearance.
+struct MatrixDims {
+  size_t rows;
+  size_t cols;
+};
+
+std::vector<MatrixDims> LayerMatrices(const ModelConfig& config) {
+  const size_t d = config.hidden;
+  const size_t f = config.ffn;
+  std::vector<MatrixDims> dims = {{d, d}, {d, d}, {d, d}, {d, d}};  // wq wk wv wo
+  if (config.arch == ModelArch::kDecoderOnly) {
+    dims.push_back({f, d});  // w_gate
+  }
+  dims.push_back({f, d});  // w_up
+  dims.push_back({d, f});  // w_down
+  return dims;
+}
+
+size_t NormBytes(const ModelConfig& config) { return 4 * config.hidden * sizeof(float); }
+
+}  // namespace
+
+size_t LayerBlobBytes(const ModelConfig& config, bool quantized) {
+  size_t bytes = 0;
+  for (const MatrixDims& m : LayerMatrices(config)) {
+    bytes += quantized ? QuantMatrixView::SpanBytes(m.rows, m.cols, config.quant_group)
+                       : m.rows * m.cols * sizeof(float);
+  }
+  return bytes + NormBytes(config);
+}
+
+LayerView ParseLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob) {
+  PRISM_CHECK_EQ(blob.size(), LayerBlobBytes(config, /*quantized=*/false));
+  const float* p = reinterpret_cast<const float*>(blob.data());
+  const size_t d = config.hidden;
+  const size_t f = config.ffn;
+  LayerView view;
+  view.wq = p;
+  p += d * d;
+  view.wk = p;
+  p += d * d;
+  view.wv = p;
+  p += d * d;
+  view.wo = p;
+  p += d * d;
+  if (config.arch == ModelArch::kDecoderOnly) {
+    view.w_gate = p;
+    p += f * d;
+  }
+  view.w_up = p;
+  p += f * d;
+  view.w_down = p;
+  p += d * f;
+  view.norm1_gain = {p, d};
+  p += d;
+  view.norm1_bias = {p, d};
+  p += d;
+  view.norm2_gain = {p, d};
+  p += d;
+  view.norm2_bias = {p, d};
+  return view;
+}
+
+QuantLayerView ParseQuantLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob) {
+  PRISM_CHECK_EQ(blob.size(), LayerBlobBytes(config, /*quantized=*/true));
+  const uint8_t* p = blob.data();
+  const size_t group = config.quant_group;
+  auto take = [&](size_t rows, size_t cols) {
+    QuantMatrixView view;
+    view.rows = rows;
+    view.cols = cols;
+    view.group_size = group;
+    view.packed = p;
+    view.scales = reinterpret_cast<const float*>(p + rows * cols / 2);
+    p += QuantMatrixView::SpanBytes(rows, cols, group);
+    return view;
+  };
+  const size_t d = config.hidden;
+  const size_t f = config.ffn;
+  QuantLayerView view;
+  view.wq = take(d, d);
+  view.wk = take(d, d);
+  view.wv = take(d, d);
+  view.wo = take(d, d);
+  if (config.arch == ModelArch::kDecoderOnly) {
+    view.w_gate = take(f, d);
+  }
+  view.w_up = take(f, d);
+  view.w_down = take(d, f);
+  const float* fp = reinterpret_cast<const float*>(p);
+  view.norm1_gain = {fp, d};
+  fp += d;
+  view.norm1_bias = {fp, d};
+  fp += d;
+  view.norm2_gain = {fp, d};
+  fp += d;
+  view.norm2_bias = {fp, d};
+  return view;
+}
+
+AnyLayerView ParseAnyLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob,
+                               bool quantized) {
+  AnyLayerView any;
+  any.quantized = quantized;
+  if (quantized) {
+    any.q4 = ParseQuantLayerBlob(config, blob);
+  } else {
+    any.f32 = ParseLayerBlob(config, blob);
+  }
+  return any;
+}
+
+HeadWeights ParseHeadBlob(const ModelConfig& config, std::span<const uint8_t> blob) {
+  PRISM_CHECK_EQ(blob.size(), config.HeadBlobBytes());
+  HeadWeights head;
+  head.w.resize(config.hidden);
+  std::memcpy(head.w.data(), blob.data(), config.hidden * sizeof(float));
+  std::memcpy(&head.bias, blob.data() + config.hidden * sizeof(float), sizeof(float));
+  return head;
+}
+
+}  // namespace prism

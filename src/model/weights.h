@@ -1,0 +1,85 @@
+// On-disk weight layout and in-memory weight views.
+//
+// A model checkpoint is a blob file with the layout:
+//   blob 0               embedding table, fp32 [vocab, hidden]
+//   blob 1 .. n_layers   one transformer layer each
+//   blob n_layers + 1    head: classifier weight [hidden] + bias [1], fp32
+//
+// A layer blob is either fp32 or 4-bit quantised (whole checkpoint is one or
+// the other). The fp32 layout, in floats:
+//   wq[D·D] wk[D·D] wv[D·D] wo[D·D]
+//   w_gate[F·D]   (decoder-only; absent for encoder models)
+//   w_up[F·D] w_down[D·F]
+//   norm1_gain[D] norm1_bias[D] norm2_gain[D] norm2_bias[D]
+// The quantised layout replaces each big matrix with its packed-nibble +
+// scales serialisation (QuantMatrixView::SpanBytes) and keeps norms fp32.
+#ifndef PRISM_SRC_MODEL_WEIGHTS_H_
+#define PRISM_SRC_MODEL_WEIGHTS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/tensor/quant.h"
+
+namespace prism {
+
+// Blob indices within a checkpoint.
+inline size_t EmbeddingBlobIndex() { return 0; }
+inline size_t LayerBlobIndex(size_t layer) { return 1 + layer; }
+inline size_t HeadBlobIndex(const ModelConfig& config) { return 1 + config.n_layers; }
+
+// Byte size of a single (possibly quantised) layer blob.
+size_t LayerBlobBytes(const ModelConfig& config, bool quantized);
+
+// Non-owning fp32 view into a layer blob.
+struct LayerView {
+  const float* wq = nullptr;
+  const float* wk = nullptr;
+  const float* wv = nullptr;
+  const float* wo = nullptr;
+  const float* w_gate = nullptr;  // null for encoder models
+  const float* w_up = nullptr;
+  const float* w_down = nullptr;
+  std::span<const float> norm1_gain;
+  std::span<const float> norm1_bias;
+  std::span<const float> norm2_gain;
+  std::span<const float> norm2_bias;
+};
+
+// Non-owning quantised view into a layer blob.
+struct QuantLayerView {
+  QuantMatrixView wq, wk, wv, wo;
+  QuantMatrixView w_gate;  // rows == 0 for encoder models
+  QuantMatrixView w_up, w_down;
+  std::span<const float> norm1_gain;
+  std::span<const float> norm1_bias;
+  std::span<const float> norm2_gain;
+  std::span<const float> norm2_bias;
+};
+
+// Either-or wrapper passed to the layer forward.
+struct AnyLayerView {
+  bool quantized = false;
+  LayerView f32;
+  QuantLayerView q4;
+};
+
+// Parses views out of a raw layer blob (no copy; blob must outlive the view).
+LayerView ParseLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob);
+QuantLayerView ParseQuantLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob);
+AnyLayerView ParseAnyLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob,
+                               bool quantized);
+
+// Classifier head (copied out of its blob; it is a handful of floats).
+struct HeadWeights {
+  std::vector<float> w;  // [hidden] — also the planted relevance direction.
+  float bias = 0.0f;
+};
+
+HeadWeights ParseHeadBlob(const ModelConfig& config, std::span<const uint8_t> blob);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_MODEL_WEIGHTS_H_

@@ -1,0 +1,43 @@
+#include "src/retrieval/bi_encoder.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace prism {
+
+std::vector<float> BiEncoder::Embed(const std::vector<uint32_t>& tokens) const {
+  std::vector<float> out(dim_, 0.0f);
+  if (tokens.empty()) {
+    return out;
+  }
+  for (uint32_t token : tokens) {
+    Rng rng(MixSeed(seed_, token));
+    for (size_t i = 0; i < dim_; ++i) {
+      out[i] += static_cast<float>(rng.NextGaussian());
+    }
+  }
+  float norm = 0.0f;
+  for (float x : out) {
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0f) {
+    for (float& x : out) {
+      x /= norm;
+    }
+  }
+  return out;
+}
+
+float CosineSim(const std::vector<float>& a, const std::vector<float>& b) {
+  PRISM_CHECK_EQ(a.size(), b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace prism

@@ -1,0 +1,36 @@
+// Bi-encoder embedding model (the dense half of hybrid retrieval, §2.1).
+//
+// Stand-in for Qwen3-Embedding-0.6B: bag-of-tokens mean over deterministic
+// per-token random vectors, L2-normalised. Shared tokens between query and
+// document yield higher cosine similarity — the precision ceiling of
+// bi-encoders (no token-level interaction) is inherent to this construction,
+// which is exactly the gap the cross-encoder reranker closes.
+#ifndef PRISM_SRC_RETRIEVAL_BI_ENCODER_H_
+#define PRISM_SRC_RETRIEVAL_BI_ENCODER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prism {
+
+class BiEncoder {
+ public:
+  BiEncoder(size_t dim, uint64_t seed) : dim_(dim), seed_(seed) {}
+
+  // Mean of per-token vectors, L2-normalised. Deterministic in (seed, tokens).
+  std::vector<float> Embed(const std::vector<uint32_t>& tokens) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  uint64_t seed_;
+};
+
+// Cosine similarity of two L2-normalised vectors (plain dot product).
+float CosineSim(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_RETRIEVAL_BI_ENCODER_H_

@@ -1,0 +1,71 @@
+#include "src/retrieval/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace prism {
+
+size_t Bm25Index::Add(const std::vector<uint32_t>& tokens) {
+  const size_t doc_id = doc_len_.size();
+  std::map<uint32_t, uint32_t> tf;
+  for (uint32_t t : tokens) {
+    ++tf[t];
+  }
+  for (const auto& [term, freq] : tf) {
+    postings_[term].emplace_back(doc_id, freq);
+  }
+  doc_len_.push_back(tokens.size());
+  total_len_ += tokens.size();
+  return doc_id;
+}
+
+double Bm25Index::Idf(uint32_t term) const {
+  const auto it = postings_.find(term);
+  const double df = it == postings_.end() ? 0.0 : static_cast<double>(it->second.size());
+  const double n = static_cast<double>(doc_len_.size());
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<RetrievalHit> Bm25Index::Search(const std::vector<uint32_t>& query, size_t n) const {
+  std::vector<double> scores(doc_len_.size(), 0.0);
+  const double avg_len =
+      doc_len_.empty() ? 1.0 : static_cast<double>(total_len_) / static_cast<double>(doc_len_.size());
+  // Deduplicate query terms (standard BM25 treats the query as a set; repeat
+  // query terms would otherwise double-count).
+  std::vector<uint32_t> terms(query);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (uint32_t term : terms) {
+    const auto it = postings_.find(term);
+    if (it == postings_.end()) {
+      continue;
+    }
+    const double idf = Idf(term);
+    for (const auto& [doc_id, tf] : it->second) {
+      const double len_norm =
+          k1_ * (1.0 - b_ + b_ * static_cast<double>(doc_len_[doc_id]) / avg_len);
+      scores[doc_id] += idf * (static_cast<double>(tf) * (k1_ + 1.0)) /
+                        (static_cast<double>(tf) + len_norm);
+    }
+  }
+  std::vector<RetrievalHit> hits;
+  hits.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > 0.0) {
+      hits.push_back({i, scores[i]});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const RetrievalHit& a, const RetrievalHit& b) {
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > n) {
+    hits.resize(n);
+  }
+  return hits;
+}
+
+}  // namespace prism

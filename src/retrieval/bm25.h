@@ -1,0 +1,45 @@
+// BM25 keyword retrieval over an inverted index.
+//
+// The sparse half of the hybrid first-stage retrieval in Fig 1 / the RAG
+// pipeline (§6.3). Standard Okapi BM25 with k1/b defaults.
+#ifndef PRISM_SRC_RETRIEVAL_BM25_H_
+#define PRISM_SRC_RETRIEVAL_BM25_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace prism {
+
+struct RetrievalHit {
+  size_t doc_id = 0;
+  double score = 0.0;
+};
+
+class Bm25Index {
+ public:
+  explicit Bm25Index(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+
+  // Adds a document; ids are assigned sequentially from 0.
+  size_t Add(const std::vector<uint32_t>& tokens);
+
+  // Top-n documents by BM25 score (ties broken by lower doc id).
+  std::vector<RetrievalHit> Search(const std::vector<uint32_t>& query, size_t n) const;
+
+  size_t size() const { return doc_len_.size(); }
+
+ private:
+  double Idf(uint32_t term) const;
+
+  double k1_;
+  double b_;
+  // term → [(doc_id, term_frequency)] with doc ids ascending.
+  std::unordered_map<uint32_t, std::vector<std::pair<size_t, uint32_t>>> postings_;
+  std::vector<size_t> doc_len_;
+  size_t total_len_ = 0;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_RETRIEVAL_BM25_H_

@@ -1,0 +1,33 @@
+#include "src/retrieval/hybrid.h"
+
+#include <unordered_set>
+
+namespace prism {
+
+std::vector<size_t> FuseHits(const std::vector<RetrievalHit>& sparse,
+                             const std::vector<RetrievalHit>& dense, size_t total) {
+  std::vector<size_t> out;
+  std::unordered_set<size_t> seen;
+  size_t i = 0;
+  size_t j = 0;
+  while (out.size() < total && (i < sparse.size() || j < dense.size())) {
+    if (i < sparse.size()) {
+      if (seen.insert(sparse[i].doc_id).second) {
+        out.push_back(sparse[i].doc_id);
+      }
+      ++i;
+    }
+    if (out.size() >= total) {
+      break;
+    }
+    if (j < dense.size()) {
+      if (seen.insert(dense[j].doc_id).second) {
+        out.push_back(dense[j].doc_id);
+      }
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace prism

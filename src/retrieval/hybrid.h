@@ -1,0 +1,21 @@
+// Hybrid first-stage retrieval (Fig 1): keyword (BM25) top-n plus dense
+// (bi-encoder + vector index) top-n, deduplicated and backfilled to exactly
+// the requested candidate count, preserving each source's rank order.
+#ifndef PRISM_SRC_RETRIEVAL_HYBRID_H_
+#define PRISM_SRC_RETRIEVAL_HYBRID_H_
+
+#include <vector>
+
+#include "src/retrieval/bm25.h"
+
+namespace prism {
+
+// Interleaves `sparse` and `dense` hit lists (sparse first at each rank),
+// dropping duplicate doc ids, until `total` unique docs are collected or both
+// lists are exhausted.
+std::vector<size_t> FuseHits(const std::vector<RetrievalHit>& sparse,
+                             const std::vector<RetrievalHit>& dense, size_t total);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_RETRIEVAL_HYBRID_H_

@@ -1,0 +1,143 @@
+#include "src/retrieval/vector_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/retrieval/bi_encoder.h"
+
+namespace prism {
+
+namespace {
+
+void TopNHits(std::vector<RetrievalHit>* hits, size_t n) {
+  std::sort(hits->begin(), hits->end(), [](const RetrievalHit& a, const RetrievalHit& b) {
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.doc_id < b.doc_id;
+  });
+  if (hits->size() > n) {
+    hits->resize(n);
+  }
+}
+
+}  // namespace
+
+size_t FlatIndex::Add(std::vector<float> embedding) {
+  PRISM_CHECK_EQ(embedding.size(), dim_);
+  vectors_.push_back(std::move(embedding));
+  return vectors_.size() - 1;
+}
+
+std::vector<RetrievalHit> FlatIndex::Search(const std::vector<float>& query, size_t n) const {
+  std::vector<RetrievalHit> hits;
+  hits.reserve(vectors_.size());
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    hits.push_back({i, CosineSim(query, vectors_[i])});
+  }
+  TopNHits(&hits, n);
+  return hits;
+}
+
+IvfIndex::IvfIndex(size_t dim, size_t nlist, size_t nprobe, uint64_t seed)
+    : dim_(dim), nlist_(nlist), nprobe_(std::min(nprobe, nlist)), seed_(seed) {
+  PRISM_CHECK_GT(nlist, 0u);
+  PRISM_CHECK_GT(nprobe, 0u);
+}
+
+size_t IvfIndex::Add(std::vector<float> embedding) {
+  PRISM_CHECK_EQ(embedding.size(), dim_);
+  PRISM_CHECK_MSG(!trained_, "IvfIndex::Add after Train");
+  vectors_.push_back(std::move(embedding));
+  return vectors_.size() - 1;
+}
+
+void IvfIndex::Train() {
+  PRISM_CHECK(!trained_);
+  PRISM_CHECK(!vectors_.empty());
+  const size_t k = std::min(nlist_, vectors_.size());
+  Rng rng(seed_);
+  // Init centroids from random distinct vectors.
+  centroids_.clear();
+  for (size_t c = 0; c < k; ++c) {
+    centroids_.push_back(vectors_[rng.NextBelow(vectors_.size())]);
+  }
+  std::vector<size_t> assignment(vectors_.size(), 0);
+  for (int iter = 0; iter < 12; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      size_t best = 0;
+      float best_sim = -std::numeric_limits<float>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        const float sim = CosineSim(vectors_[i], centroids_[c]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids (mean, re-normalised).
+    for (size_t c = 0; c < k; ++c) {
+      std::vector<float> mean(dim_, 0.0f);
+      size_t count = 0;
+      for (size_t i = 0; i < vectors_.size(); ++i) {
+        if (assignment[i] != c) {
+          continue;
+        }
+        for (size_t x = 0; x < dim_; ++x) {
+          mean[x] += vectors_[i][x];
+        }
+        ++count;
+      }
+      if (count == 0) {
+        continue;
+      }
+      float norm = 0.0f;
+      for (float v : mean) {
+        norm += v * v;
+      }
+      norm = std::sqrt(norm);
+      if (norm > 0) {
+        for (float& v : mean) {
+          v /= norm;
+        }
+      }
+      centroids_[c] = std::move(mean);
+    }
+    if (!changed && iter > 0) {
+      break;
+    }
+  }
+  lists_.assign(k, {});
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    lists_[assignment[i]].push_back(i);
+  }
+  trained_ = true;
+}
+
+std::vector<RetrievalHit> IvfIndex::Search(const std::vector<float>& query, size_t n) const {
+  PRISM_CHECK_MSG(trained_, "IvfIndex::Search before Train");
+  // Rank centroids, scan the nprobe nearest lists.
+  std::vector<RetrievalHit> centroid_hits;
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    centroid_hits.push_back({c, CosineSim(query, centroids_[c])});
+  }
+  TopNHits(&centroid_hits, nprobe_);
+  std::vector<RetrievalHit> hits;
+  for (const RetrievalHit& ch : centroid_hits) {
+    for (size_t doc_id : lists_[ch.doc_id]) {
+      hits.push_back({doc_id, CosineSim(query, vectors_[doc_id])});
+    }
+  }
+  TopNHits(&hits, n);
+  return hits;
+}
+
+}  // namespace prism

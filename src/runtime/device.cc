@@ -1,0 +1,56 @@
+#include "src/runtime/device.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+DeviceProfile NvidiaProfile() {
+  DeviceProfile d;
+  d.name = "nvidia";
+  // Scaled PCIe-4.0 SSD: chosen so a 0.6B-proxy layer (~0.5 MiB) loads in
+  // roughly 0.6–0.9× the time a monolithic 20-candidate batch computes it.
+  d.ssd.bandwidth_bytes_per_sec = 40.0 * 1024 * 1024;
+  d.ssd.latency_micros = 120;
+  d.compute_slowdown = 1.0;
+  d.activation_budget_bytes = 4 * 1024 * 1024;
+  d.hf_batch_size = 4;
+  return d;
+}
+
+DeviceProfile AppleProfile() {
+  DeviceProfile d;
+  d.name = "apple";
+  d.ssd.bandwidth_bytes_per_sec = 28.0 * 1024 * 1024;
+  d.ssd.latency_micros = 150;
+  d.compute_slowdown = 2.0;
+  d.activation_budget_bytes = 2 * 1024 * 1024;
+  d.hf_batch_size = 4;
+  return d;
+}
+
+DeviceProfile DeviceByName(const std::string& name) {
+  if (name == "nvidia") {
+    return NvidiaProfile();
+  }
+  if (name == "apple") {
+    return AppleProfile();
+  }
+  PRISM_CHECK_MSG(false, ("unknown device: " + name).c_str());
+  return {};
+}
+
+void ApplyComputeSlowdown(const DeviceProfile& device, int64_t elapsed_micros) {
+  if (device.compute_slowdown <= 1.0) {
+    return;
+  }
+  const auto extra =
+      static_cast<int64_t>(static_cast<double>(elapsed_micros) * (device.compute_slowdown - 1.0));
+  if (extra > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(extra));
+  }
+}
+
+}  // namespace prism

@@ -1,0 +1,44 @@
+// Device profiles for the two evaluation platforms (§6.1).
+//
+// Absolute speed of this CPU build differs from the paper's GPUs, so the
+// profiles are defined by the *ratios* PRISM's techniques interact with:
+//   - SSD bandwidth vs. layer compute time (the overlap window, §3.2);
+//   - relative compute speed between the platforms (compute_slowdown models
+//     the Apple M2's lower throughput by stretching each layer's wall time);
+//   - memory budgets that drive chunk-size planning.
+#ifndef PRISM_SRC_RUNTIME_DEVICE_H_
+#define PRISM_SRC_RUNTIME_DEVICE_H_
+
+#include <string>
+
+#include "src/storage/ssd.h"
+
+namespace prism {
+
+struct DeviceProfile {
+  std::string name;
+  SsdConfig ssd;
+  // Wall-time multiplier applied to compute phases (1.0 = this machine's
+  // native speed; > 1 models a slower accelerator at the same IO speed).
+  double compute_slowdown = 1.0;
+  // Activation-memory budget used by the chunk planner (§4.3).
+  int64_t activation_budget_bytes = 4 * 1024 * 1024;
+  // Baseline (HuggingFace-style) fixed batch size.
+  size_t hf_batch_size = 4;
+};
+
+// RTX 5070 laptop profile: fast compute, PCIe-4.0-class (scaled) SSD.
+DeviceProfile NvidiaProfile();
+
+// Apple M2 Mac Mini profile: ~2× slower compute, slightly slower SSD,
+// tighter unified-memory budget.
+DeviceProfile AppleProfile();
+
+DeviceProfile DeviceByName(const std::string& name);
+
+// Sleeps (slowdown − 1) × elapsed to stretch a compute phase.
+void ApplyComputeSlowdown(const DeviceProfile& device, int64_t elapsed_micros);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_RUNTIME_DEVICE_H_

@@ -1,0 +1,50 @@
+// The "HF" and "HF Quant" baselines (§6.1): HuggingFace-Transformers-style
+// in-memory inference. All weights (embedding table + every layer + head)
+// are resident for the runner's lifetime; candidates are processed in fixed
+// small batches (vanilla systems split inputs to balance compute and memory),
+// each batch forwarded through all layers, scores taken from the final layer.
+#ifndef PRISM_SRC_RUNTIME_HF_RUNNER_H_
+#define PRISM_SRC_RUNTIME_HF_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/memory_tracker.h"
+#include "src/model/embedding.h"
+#include "src/model/weights.h"
+#include "src/runtime/device.h"
+#include "src/runtime/runner.h"
+#include "src/storage/blob_file.h"
+
+namespace prism {
+
+struct HfRunnerOptions {
+  DeviceProfile device = NvidiaProfile();
+  bool quantized = false;  // W4 weights in memory ("HF Quant").
+  size_t batch_size = 0;   // 0 = device.hf_batch_size.
+};
+
+class HfRunner : public Runner {
+ public:
+  // `checkpoint_path` must match `options.quantized` (fp32 vs. q4 file).
+  HfRunner(const ModelConfig& config, const std::string& checkpoint_path,
+           HfRunnerOptions options, MemoryTracker* tracker = &MemoryTracker::Global());
+
+  RerankResult Rerank(const RerankRequest& request) override;
+  std::string name() const override { return options_.quantized ? "HF Quant" : "HF"; }
+
+ private:
+  ModelConfig config_;
+  HfRunnerOptions options_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<BlobFileReader> reader_;
+  std::unique_ptr<FullEmbeddingTable> embedding_;
+  std::vector<std::vector<uint8_t>> layer_blobs_;  // All layers resident.
+  MemClaim layers_claim_;
+  HeadWeights head_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_RUNTIME_HF_RUNNER_H_

@@ -1,0 +1,50 @@
+// The "HF Offload" baseline (§6.1): HuggingFace Accelerate's disk offloading.
+// All transformer layers live on disk and are loaded synchronously right
+// before execution — no prefetch, no overlap. Each batch forwards through
+// all layers, so an N-candidate request with batch size B pays
+// ceil(N/B) × n_layers synchronous layer loads. Only one layer's weights are
+// resident at a time (that is the baseline's entire point), plus the
+// embedding table.
+#ifndef PRISM_SRC_RUNTIME_OFFLOAD_RUNNER_H_
+#define PRISM_SRC_RUNTIME_OFFLOAD_RUNNER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/memory_tracker.h"
+#include "src/model/embedding.h"
+#include "src/model/weights.h"
+#include "src/runtime/device.h"
+#include "src/runtime/runner.h"
+#include "src/storage/blob_file.h"
+
+namespace prism {
+
+struct OffloadRunnerOptions {
+  DeviceProfile device = NvidiaProfile();
+  bool quantized = false;
+  size_t batch_size = 0;  // 0 = device.hf_batch_size.
+};
+
+class OffloadRunner : public Runner {
+ public:
+  OffloadRunner(const ModelConfig& config, const std::string& checkpoint_path,
+                OffloadRunnerOptions options, MemoryTracker* tracker = &MemoryTracker::Global());
+
+  RerankResult Rerank(const RerankRequest& request) override;
+  std::string name() const override {
+    return options_.quantized ? "HF Offload Quant" : "HF Offload";
+  }
+
+ private:
+  ModelConfig config_;
+  OffloadRunnerOptions options_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<BlobFileReader> reader_;
+  std::unique_ptr<FullEmbeddingTable> embedding_;
+  HeadWeights head_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_RUNTIME_OFFLOAD_RUNNER_H_

@@ -1,0 +1,49 @@
+// Common reranker-runner interface shared by the baselines and PRISM.
+#ifndef PRISM_SRC_RUNTIME_RUNNER_H_
+#define PRISM_SRC_RUNTIME_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/model/config.h"
+
+namespace prism {
+
+struct RerankRequest {
+  std::vector<uint32_t> query;
+  std::vector<std::vector<uint32_t>> docs;
+  std::vector<float> planted_r;  // One per doc (see pair_encoder.h).
+  size_t k = 5;
+
+  static RerankRequest FromQuery(const RerankQuery& q, size_t k);
+};
+
+struct RerankStats {
+  double latency_ms = 0.0;
+  double embed_ms = 0.0;
+  double compute_ms = 0.0;
+  double io_stall_ms = 0.0;   // Compute-visible I/O waits.
+  int64_t candidate_layers = 0;  // Σ over layers of active candidates (work).
+  int64_t bytes_streamed = 0;
+  double embed_cache_hit_rate = -1.0;  // <0 when no cache in use.
+  size_t layers_until_done = 0;        // Last layer index executed + 1.
+};
+
+struct RerankResult {
+  std::vector<size_t> topk;    // Candidate indices, best first.
+  std::vector<float> scores;   // Score per candidate; NaN if pruned early.
+  RerankStats stats;
+};
+
+class Runner {
+ public:
+  virtual ~Runner() = default;
+  virtual RerankResult Rerank(const RerankRequest& request) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_RUNTIME_RUNNER_H_

@@ -1,0 +1,135 @@
+#include "src/storage/blob_file.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+namespace {
+
+size_t HeaderBytes(size_t count) { return 16 + count * 16; }
+
+void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
+  const size_t at = buf.size();
+  buf.resize(at + 4);
+  std::memcpy(buf.data() + at, &v, 4);
+}
+
+void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
+  const size_t at = buf.size();
+  buf.resize(at + 8);
+  std::memcpy(buf.data() + at, &v, 8);
+}
+
+}  // namespace
+
+BlobFileWriter::BlobFileWriter(const std::string& path) : path_(path) {
+  SsdConfig config;
+  config.throttle = false;
+  ::unlink(path.c_str());
+  ssd_ = std::make_unique<SimulatedSsd>(path, config);
+}
+
+size_t BlobFileWriter::AddBlob(std::span<const uint8_t> bytes) {
+  PRISM_CHECK(!finished_);
+  // Blob bytes are staged in memory and flushed after the header in Finish,
+  // once the table size (and thus the data-region start) is known.
+  table_.emplace_back(data_cursor_, static_cast<int64_t>(bytes.size()));
+  data_cursor_ += static_cast<int64_t>(bytes.size());
+  scratch_.insert(scratch_.end(), bytes.begin(), bytes.end());
+  return table_.size() - 1;
+}
+
+Status BlobFileWriter::Finish() {
+  PRISM_CHECK(!finished_);
+  finished_ = true;
+  const size_t header = HeaderBytes(table_.size());
+  std::vector<uint8_t> buf;
+  buf.reserve(header + scratch_.size());
+  PutU32(buf, kBlobFileMagic);
+  PutU32(buf, kBlobFileVersion);
+  PutU64(buf, table_.size());
+  for (const auto& [offset, size] : table_) {
+    PutU64(buf, static_cast<uint64_t>(offset + static_cast<int64_t>(header)));
+    PutU64(buf, static_cast<uint64_t>(size));
+  }
+  buf.insert(buf.end(), scratch_.begin(), scratch_.end());
+  PRISM_RETURN_IF_ERROR(ssd_->Write(0, buf));
+  scratch_.clear();
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<BlobFileReader>> BlobFileReader::Open(const std::string& path,
+                                                             SsdConfig config) {
+  auto reader = std::unique_ptr<BlobFileReader>(new BlobFileReader());
+  reader->ssd_ = std::make_unique<SimulatedSsd>(path, config);
+  uint8_t header[16];
+  {
+    // Header reads bypass the device model (they happen once at open).
+    SsdConfig raw = config;
+    raw.throttle = false;
+    SimulatedSsd probe(path, raw);
+    PRISM_RETURN_IF_ERROR(probe.Read(0, header));
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    uint64_t count = 0;
+    std::memcpy(&magic, header, 4);
+    std::memcpy(&version, header + 4, 4);
+    std::memcpy(&count, header + 8, 8);
+    if (magic != kBlobFileMagic) {
+      return Status::InvalidArgument("bad blob file magic in " + path);
+    }
+    if (version != kBlobFileVersion) {
+      return Status::InvalidArgument("unsupported blob file version");
+    }
+    std::vector<uint8_t> table(count * 16);
+    PRISM_RETURN_IF_ERROR(probe.Read(16, table));
+    reader->table_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t offset = 0;
+      uint64_t size = 0;
+      std::memcpy(&offset, table.data() + i * 16, 8);
+      std::memcpy(&size, table.data() + i * 16 + 8, 8);
+      reader->table_.emplace_back(static_cast<int64_t>(offset), static_cast<int64_t>(size));
+    }
+  }
+  return reader;
+}
+
+int64_t BlobFileReader::BlobSize(size_t index) const {
+  PRISM_CHECK_LT(index, table_.size());
+  return table_[index].second;
+}
+
+Status BlobFileReader::ReadBlob(size_t index, std::span<uint8_t> dest) {
+  PRISM_CHECK_LT(index, table_.size());
+  const auto& [offset, size] = table_[index];
+  PRISM_CHECK_EQ(static_cast<int64_t>(dest.size()), size);
+  return ssd_->Read(offset, dest);
+}
+
+Status BlobFileReader::ReadBlobRange(size_t index, int64_t offset_in_blob,
+                                     std::span<uint8_t> dest) {
+  PRISM_CHECK_LT(index, table_.size());
+  const auto& [offset, size] = table_[index];
+  PRISM_CHECK_LE(offset_in_blob + static_cast<int64_t>(dest.size()), size);
+  return ssd_->Read(offset + offset_in_blob, dest);
+}
+
+Status BlobFileReader::ReadBlobRanges(
+    size_t index, std::span<const std::pair<int64_t, std::span<uint8_t>>> ranges) {
+  PRISM_CHECK_LT(index, table_.size());
+  const auto& [offset, size] = table_[index];
+  std::vector<std::pair<int64_t, std::span<uint8_t>>> absolute;
+  absolute.reserve(ranges.size());
+  for (const auto& [range_offset, dest] : ranges) {
+    PRISM_CHECK_LE(range_offset + static_cast<int64_t>(dest.size()), size);
+    absolute.emplace_back(offset + range_offset, dest);
+  }
+  return ssd_->ReadScattered(absolute);
+}
+
+}  // namespace prism

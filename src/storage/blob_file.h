@@ -1,0 +1,79 @@
+// Indexed-blob container on top of SimulatedSsd.
+//
+// Model checkpoints are laid out as a sequence of blobs (embedding table,
+// one blob per transformer layer, classifier head) so that the layer streamer
+// can fetch exactly one layer's bytes per request. The format is:
+//
+//   [magic u32][version u32][count u64]            header
+//   count × { offset u64, size u64 }               table
+//   blob bytes ...                                 data
+#ifndef PRISM_SRC_STORAGE_BLOB_FILE_H_
+#define PRISM_SRC_STORAGE_BLOB_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/ssd.h"
+
+namespace prism {
+
+inline constexpr uint32_t kBlobFileMagic = 0x50524C42;  // "PRLB"
+inline constexpr uint32_t kBlobFileVersion = 1;
+
+class BlobFileWriter {
+ public:
+  // Writes blobs sequentially through an *unthrottled* SSD handle (checkpoint
+  // creation is setup work, not part of any measured experiment).
+  explicit BlobFileWriter(const std::string& path);
+
+  // Appends a blob; returns its index.
+  size_t AddBlob(std::span<const uint8_t> bytes);
+
+  // Writes the header + table. Must be called exactly once, after all blobs.
+  Status Finish();
+
+ private:
+  std::string path_;
+  std::unique_ptr<SimulatedSsd> ssd_;
+  std::vector<std::pair<int64_t, int64_t>> table_;  // offset, size
+  std::vector<uint8_t> scratch_;                    // Staged blob bytes until Finish.
+  int64_t data_cursor_ = 0;
+  bool finished_ = false;
+};
+
+class BlobFileReader {
+ public:
+  // Opens an existing blob file through a throttled simulated device.
+  static Result<std::unique_ptr<BlobFileReader>> Open(const std::string& path, SsdConfig config);
+
+  size_t blob_count() const { return table_.size(); }
+  int64_t BlobSize(size_t index) const;
+
+  // Reads blob `index` fully into `dest` (must be exactly BlobSize bytes).
+  Status ReadBlob(size_t index, std::span<uint8_t> dest);
+
+  // Reads a byte range within blob `index` (for row-granular embedding-table
+  // fetches on cache miss, §4.4).
+  Status ReadBlobRange(size_t index, int64_t offset_in_blob, std::span<uint8_t> dest);
+
+  // Scattered ranges within one blob as a single device request (§4.5's
+  // batched unique-token load).
+  Status ReadBlobRanges(size_t index,
+                        std::span<const std::pair<int64_t, std::span<uint8_t>>> ranges);
+
+  SimulatedSsd& ssd() { return *ssd_; }
+
+ private:
+  BlobFileReader() = default;
+
+  std::unique_ptr<SimulatedSsd> ssd_;
+  std::vector<std::pair<int64_t, int64_t>> table_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_STORAGE_BLOB_FILE_H_

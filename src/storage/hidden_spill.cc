@@ -1,0 +1,114 @@
+#include "src/storage/hidden_spill.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+
+namespace prism {
+
+SpillPool::SpillPool(SsdConfig config, MemoryTracker* tracker) : tracker_(tracker) {
+  path_ = MakeTempDevicePath("spill");
+  ssd_ = std::make_unique<SimulatedSsd>(path_, config);
+}
+
+SpillPool::~SpillPool() {
+  // Drain all in-flight I/O before tearing down the device.
+  for (auto& [key, entry] : entries_) {
+    if (entry.spill_done.valid()) {
+      entry.spill_done.wait();
+    }
+    if (entry.prefetch_done.valid()) {
+      entry.prefetch_done.wait();
+    }
+  }
+  ssd_.reset();
+  ::unlink(path_.c_str());
+}
+
+void SpillPool::SpillAsync(int64_t key, Tensor t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[key];
+  WaitSpill(entry);
+  entry.rows = t.rows();
+  entry.cols = t.cols();
+  entry.prefetched.reset();
+  const int64_t bytes = static_cast<int64_t>(t.ByteSize());
+  entry.offset = cursor_;
+  cursor_ += bytes;
+  // The tensor moves into the I/O task; its tracked memory must be released
+  // *inside* the task body (before the future resolves) — the task object
+  // itself is destroyed by the worker thread some time after completion,
+  // which could outlive this pool's tracker.
+  auto shared = std::make_shared<Tensor>(std::move(t));
+  const int64_t offset = entry.offset;
+  SimulatedSsd* ssd = ssd_.get();
+  entry.spill_done = GlobalIoPool().Submit([shared, offset, ssd]() mutable {
+    const auto* data = reinterpret_cast<const uint8_t*>(shared->data());
+    const Status status = ssd->Write(offset, {data, shared->ByteSize()});
+    PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
+    shared.reset();  // Destroy the tensor (and its memory claim) now.
+  });
+}
+
+void SpillPool::PrefetchAsync(int64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  PRISM_CHECK_MSG(it != entries_.end(), "Prefetch of key never spilled");
+  Entry& entry = it->second;
+  if (entry.prefetched.has_value() || entry.prefetch_done.valid()) {
+    return;  // Already resident or in flight.
+  }
+  WaitSpill(entry);
+  entry.prefetched.emplace(entry.rows, entry.cols, MemCategory::kHiddenStates, tracker_);
+  Tensor* dest = &*entry.prefetched;
+  const int64_t offset = entry.offset;
+  SimulatedSsd* ssd = ssd_.get();
+  entry.prefetch_done = GlobalIoPool().Submit([dest, offset, ssd] {
+    auto* data = reinterpret_cast<uint8_t*>(dest->data());
+    const Status status = ssd->Read(offset, {data, dest->ByteSize()});
+    PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
+  });
+}
+
+Tensor SpillPool::Take(int64_t key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  PRISM_CHECK_MSG(it != entries_.end(), "Take of key never spilled");
+  Entry& entry = it->second;
+  if (!entry.prefetched.has_value() && !entry.prefetch_done.valid()) {
+    // No prefetch issued; read synchronously.
+    WaitSpill(entry);
+    Tensor t(entry.rows, entry.cols, MemCategory::kHiddenStates, tracker_);
+    auto* data = reinterpret_cast<uint8_t*>(t.data());
+    lock.unlock();
+    const Status status = ssd_->Read(entry.offset, {data, t.ByteSize()});
+    PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
+    return t;
+  }
+  std::future<void> done = std::move(entry.prefetch_done);
+  lock.unlock();
+  if (done.valid()) {
+    done.get();
+  }
+  lock.lock();
+  Tensor t = std::move(*entry.prefetched);
+  entry.prefetched.reset();
+  return t;
+}
+
+int64_t SpillPool::bytes_on_disk() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cursor_;
+}
+
+void SpillPool::WaitSpill(Entry& entry) {
+  if (entry.spill_done.valid()) {
+    entry.spill_done.get();
+  }
+}
+
+}  // namespace prism

@@ -1,0 +1,71 @@
+// Dynamic hidden-state offloading (paper §4.3, lower half of Fig. 6).
+//
+// When the candidate count scales, the aggregated hidden states of all chunks
+// become the memory bottleneck. SpillPool writes a chunk's hidden-state tensor
+// to the simulated SSD (releasing its memory), and prefetches it back before
+// the chunk is next computed, so that at most three chunks are resident: one
+// computing, one offloading, one prefetching.
+#ifndef PRISM_SRC_STORAGE_HIDDEN_SPILL_H_
+#define PRISM_SRC_STORAGE_HIDDEN_SPILL_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/storage/ssd.h"
+#include "src/tensor/tensor.h"
+
+namespace prism {
+
+class SpillPool {
+ public:
+  // Spilled data lives in a dedicated temp file behind its own device handle
+  // (sharing the weight device would let spill traffic and weight prefetch
+  // contend, which is realistic — pass the same SimulatedSsd for that).
+  explicit SpillPool(SsdConfig config, MemoryTracker* tracker = &MemoryTracker::Global());
+  ~SpillPool();
+
+  SpillPool(const SpillPool&) = delete;
+  SpillPool& operator=(const SpillPool&) = delete;
+
+  // Asynchronously writes `t` out and drops it from memory. Blocks only if a
+  // previous spill of the same key is still in flight.
+  void SpillAsync(int64_t key, Tensor t);
+
+  // Starts reading the tensor for `key` back into memory.
+  void PrefetchAsync(int64_t key);
+
+  // Returns the tensor for `key`, blocking on any in-flight I/O. The entry is
+  // consumed (a later Spill of the same key re-creates it).
+  Tensor Take(int64_t key);
+
+  int64_t bytes_on_disk() const;
+
+ private:
+  struct Entry {
+    int64_t offset = 0;
+    size_t rows = 0;
+    size_t cols = 0;
+    std::future<void> spill_done;
+    std::optional<Tensor> prefetched;
+    std::future<void> prefetch_done;
+  };
+
+  void WaitSpill(Entry& entry);
+
+  std::unique_ptr<SimulatedSsd> ssd_;
+  MemoryTracker* tracker_;
+  mutable std::mutex mu_;
+  std::map<int64_t, Entry> entries_;
+  int64_t cursor_ = 0;
+  std::string path_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_STORAGE_HIDDEN_SPILL_H_

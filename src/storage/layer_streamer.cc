@@ -1,0 +1,130 @@
+#include "src/storage/layer_streamer.h"
+
+#include "src/common/check.h"
+#include "src/common/timer.h"
+
+namespace prism {
+
+LayerStreamer::LayerStreamer(BlobFileReader* reader, std::vector<size_t> schedule,
+                             size_t buffer_count, MemoryTracker* tracker)
+    : reader_(reader), schedule_(std::move(schedule)), tracker_(tracker) {
+  PRISM_CHECK_GE(buffer_count, 2u);
+  buffers_.resize(buffer_count);
+  schedule_end_ = schedule_.size();
+  prefetcher_ = std::thread([this] { PrefetchLoop(); });
+}
+
+LayerStreamer::~LayerStreamer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  prefetcher_.join();
+}
+
+std::span<const uint8_t> LayerStreamer::Acquire(size_t seq) {
+  const int64_t start = NowMicros();
+  std::unique_lock<std::mutex> lock(mu_);
+  PRISM_CHECK_LT(seq, schedule_end_);
+  Buffer* hit = nullptr;
+  cv_.wait(lock, [&] {
+    for (auto& buf : buffers_) {
+      if (buf.seq == seq && buf.ready) {
+        hit = &buf;
+        return true;
+      }
+    }
+    return false;
+  });
+  stats_.stall_micros += NowMicros() - start;
+  return {hit->bytes.data(), hit->bytes.size()};
+}
+
+void LayerStreamer::Release(size_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    for (auto& buf : buffers_) {
+      if (buf.seq == seq) {
+        buf.seq = SIZE_MAX;
+        buf.ready = false;
+        buf.bytes.clear();
+        buf.bytes.shrink_to_fit();
+        buf.claim.ReleaseNow();
+        found = true;
+        break;
+      }
+    }
+    PRISM_CHECK_MSG(found, "Release of blob that is not resident");
+    release_floor_ = std::max(release_floor_, seq + 1);
+  }
+  cv_.notify_all();
+}
+
+void LayerStreamer::TruncateSchedule(size_t last_seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedule_end_ = std::min(schedule_end_, last_seq + 1);
+  }
+  cv_.notify_all();
+}
+
+StreamerStats LayerStreamer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LayerStreamer::PrefetchLoop() {
+  for (;;) {
+    size_t seq = 0;
+    Buffer* target = nullptr;
+    size_t blob_index = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        if (shutting_down_) {
+          return true;
+        }
+        if (next_to_load_ >= schedule_end_) {
+          return false;  // Nothing (currently) left to load.
+        }
+        // Only run `buffer_count` blobs ahead of the release floor so that at
+        // most that many blobs are ever resident.
+        if (next_to_load_ >= release_floor_ + buffers_.size()) {
+          return false;
+        }
+        for (auto& buf : buffers_) {
+          if (buf.seq == SIZE_MAX) {
+            target = &buf;
+            return true;
+          }
+        }
+        return false;
+      });
+      if (shutting_down_) {
+        return;
+      }
+      seq = next_to_load_++;
+      blob_index = schedule_[seq];
+      target->seq = seq;
+      target->ready = false;
+      const int64_t size = reader_->BlobSize(blob_index);
+      target->bytes.resize(static_cast<size_t>(size));
+      target->claim = MemClaim(tracker_, MemCategory::kWeights, size);
+    }
+    // I/O happens outside the lock; the device model inside SimulatedSsd
+    // provides the timing.
+    const Status status = reader_->ReadBlob(blob_index, target->bytes);
+    PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      target->ready = true;
+      stats_.bytes_loaded += static_cast<int64_t>(target->bytes.size());
+      ++stats_.blobs_loaded;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace prism

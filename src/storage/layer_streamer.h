@@ -1,0 +1,83 @@
+// Overlapped layer streaming (paper §4.2).
+//
+// Keeps at most `buffer_count` (default two) blobs resident: the one being
+// consumed and the one being prefetched. A background thread walks a fixed
+// blob schedule; Acquire(i) blocks only if the prefetch has not caught up —
+// the stall time is recorded so the ablation bench (Fig 16) can report the
+// latency overhead when pruning shrinks the compute window below the load
+// time. Releasing blob i immediately frees its buffer and lets the prefetcher
+// pull blob i+buffer_count.
+#ifndef PRISM_SRC_STORAGE_LAYER_STREAMER_H_
+#define PRISM_SRC_STORAGE_LAYER_STREAMER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/common/memory_tracker.h"
+#include "src/storage/blob_file.h"
+
+namespace prism {
+
+struct StreamerStats {
+  int64_t bytes_loaded = 0;
+  int64_t stall_micros = 0;    // Time Acquire spent waiting on I/O.
+  int64_t blobs_loaded = 0;
+};
+
+class LayerStreamer {
+ public:
+  // `schedule` lists blob indices in consumption order (e.g. layer blobs
+  // 1..L). The streamer starts prefetching immediately.
+  LayerStreamer(BlobFileReader* reader, std::vector<size_t> schedule, size_t buffer_count = 2,
+                MemoryTracker* tracker = &MemoryTracker::Global());
+  ~LayerStreamer();
+
+  LayerStreamer(const LayerStreamer&) = delete;
+  LayerStreamer& operator=(const LayerStreamer&) = delete;
+
+  // Blocks until the `seq`-th scheduled blob is resident; returns its bytes.
+  // The span stays valid until Release(seq).
+  std::span<const uint8_t> Acquire(size_t seq);
+
+  // Frees the buffer of the `seq`-th blob (must be acquired, in order).
+  void Release(size_t seq);
+
+  // Stops prefetching beyond the given sequence point (early termination by
+  // pruning). In-flight loads complete; subsequent Acquire calls must not
+  // exceed `last_seq`.
+  void TruncateSchedule(size_t last_seq);
+
+  StreamerStats stats() const;
+
+ private:
+  struct Buffer {
+    std::vector<uint8_t> bytes;
+    MemClaim claim;
+    size_t seq = SIZE_MAX;  // Which schedule position it holds.
+    bool ready = false;
+  };
+
+  void PrefetchLoop();
+
+  BlobFileReader* reader_;
+  std::vector<size_t> schedule_;
+  MemoryTracker* tracker_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Buffer> buffers_;
+  size_t next_to_load_ = 0;      // Next schedule position the prefetcher fills.
+  size_t release_floor_ = 0;     // All seq < floor have been released.
+  size_t schedule_end_ = 0;      // Exclusive end (may shrink via Truncate).
+  bool shutting_down_ = false;
+  StreamerStats stats_;
+  std::thread prefetcher_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_STORAGE_LAYER_STREAMER_H_

@@ -1,0 +1,199 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prism {
+
+namespace {
+// Blocked kernel tile sizes, sized for L1-resident accumulation on one core.
+constexpr size_t kTileM = 8;
+constexpr size_t kTileN = 64;
+}  // namespace
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
+  PRISM_CHECK_EQ(a.cols(), b.rows());
+  PRISM_CHECK_EQ(c->rows(), a.rows());
+  PRISM_CHECK_EQ(c->cols(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  std::fill(pc, pc + m * n, 0.0f);
+  // i-k-j loop order keeps B rows streaming and C rows hot.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransBRaw(const float* a, size_t m, size_t k, const float* b, size_t n, float* c) {
+  // C[i,j] = dot(A row i, B row j); tiled so each A tile is reused across a
+  // strip of B rows.
+  for (size_t i0 = 0; i0 < m; i0 += kTileM) {
+    const size_t i1 = std::min(i0 + kTileM, m);
+    for (size_t j0 = 0; j0 < n; j0 += kTileN) {
+      const size_t j1 = std::min(j0 + kTileN, n);
+      for (size_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (size_t j = j0; j < j1; ++j) {
+          const float* brow = b + j * k;
+          float acc = 0.0f;
+          for (size_t kk = 0; kk < k; ++kk) {
+            acc += arow[kk] * brow[kk];
+          }
+          crow[j] = acc;
+        }
+      }
+    }
+  }
+}
+
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* c) {
+  PRISM_CHECK_EQ(a.cols(), b.cols());
+  PRISM_CHECK_EQ(c->rows(), a.rows());
+  PRISM_CHECK_EQ(c->cols(), b.rows());
+  MatMulTransBRaw(a.data(), a.rows(), a.cols(), b.data(), b.rows(), c->data());
+}
+
+void AddInPlace(Tensor* y, const Tensor& x) {
+  PRISM_CHECK_EQ(y->size(), x.size());
+  float* py = y->data();
+  const float* px = x.data();
+  for (size_t i = 0, e = y->size(); i < e; ++i) {
+    py[i] += px[i];
+  }
+}
+
+void AddBiasInPlace(Tensor* t, std::span<const float> bias) {
+  PRISM_CHECK_EQ(t->cols(), bias.size());
+  for (size_t r = 0; r < t->rows(); ++r) {
+    auto row = t->row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      row[c] += bias[c];
+    }
+  }
+}
+
+void RmsNormInPlace(Tensor* t, std::span<const float> gain, float eps) {
+  PRISM_CHECK_EQ(t->cols(), gain.size());
+  for (size_t r = 0; r < t->rows(); ++r) {
+    auto row = t->row(r);
+    double sum_sq = 0.0;
+    for (float v : row) {
+      sum_sq += static_cast<double>(v) * v;
+    }
+    const float inv_rms =
+        1.0f / std::sqrt(static_cast<float>(sum_sq / static_cast<double>(row.size())) + eps);
+    for (size_t c = 0; c < row.size(); ++c) {
+      row[c] = row[c] * inv_rms * gain[c];
+    }
+  }
+}
+
+void LayerNormInPlace(Tensor* t, std::span<const float> gain, std::span<const float> bias,
+                      float eps) {
+  PRISM_CHECK_EQ(t->cols(), gain.size());
+  PRISM_CHECK_EQ(t->cols(), bias.size());
+  for (size_t r = 0; r < t->rows(); ++r) {
+    auto row = t->row(r);
+    double mean = 0.0;
+    for (float v : row) {
+      mean += v;
+    }
+    mean /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (float v : row) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(row.size());
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    for (size_t c = 0; c < row.size(); ++c) {
+      row[c] = (row[c] - static_cast<float>(mean)) * inv_std * gain[c] + bias[c];
+    }
+  }
+}
+
+void SoftmaxRowInPlace(std::span<float> row, ptrdiff_t causal_limit) {
+  const size_t limit =
+      causal_limit < 0 ? row.size() : std::min(row.size(), static_cast<size_t>(causal_limit) + 1);
+  if (limit == 0) {
+    return;
+  }
+  float max_v = -std::numeric_limits<float>::infinity();
+  for (size_t i = 0; i < limit; ++i) {
+    max_v = std::max(max_v, row[i]);
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < limit; ++i) {
+    row[i] = std::exp(row[i] - max_v);
+    sum += row[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (size_t i = 0; i < limit; ++i) {
+    row[i] *= inv;
+  }
+  for (size_t i = limit; i < row.size(); ++i) {
+    row[i] = 0.0f;
+  }
+}
+
+void SiluInPlace(Tensor* t) {
+  float* p = t->data();
+  for (size_t i = 0, e = t->size(); i < e; ++i) {
+    p[i] = p[i] * Sigmoid(p[i]);
+  }
+}
+
+void GeluInPlace(Tensor* t) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  float* p = t->data();
+  for (size_t i = 0, e = t->size(); i < e; ++i) {
+    const float x = p[i];
+    p[i] = 0.5f * x * (1.0f + std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x)));
+  }
+}
+
+void MulInPlace(Tensor* y, const Tensor& x) {
+  PRISM_CHECK_EQ(y->size(), x.size());
+  float* py = y->data();
+  const float* px = x.data();
+  for (size_t i = 0, e = y->size(); i < e; ++i) {
+    py[i] *= px[i];
+  }
+}
+
+float Sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  PRISM_CHECK_EQ(a.size(), b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace prism

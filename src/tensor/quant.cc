@@ -1,0 +1,134 @@
+#include "src/tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+namespace {
+// Signed 4-bit range: [-8, 7] stored biased by +8 into a nibble.
+int8_t QuantizeValue(float v, float inv_scale) {
+  const int q = static_cast<int>(std::lround(v * inv_scale));
+  return static_cast<int8_t>(std::clamp(q, -8, 7));
+}
+}  // namespace
+
+QuantizedMatrix QuantizedMatrix::Quantize(const float* w, size_t rows, size_t cols,
+                                          size_t group_size, MemCategory category,
+                                          MemoryTracker* tracker) {
+  PRISM_CHECK_GT(group_size, 0u);
+  PRISM_CHECK_EQ(cols % group_size, 0u);
+  PRISM_CHECK_EQ(group_size % 2, 0u);
+  QuantizedMatrix qm;
+  qm.rows_ = rows;
+  qm.cols_ = cols;
+  qm.group_size_ = group_size;
+  const size_t groups_per_row = cols / group_size;
+  qm.scales_.resize(rows * groups_per_row);
+  qm.packed_.resize(rows * cols / 2);
+
+  for (size_t r = 0; r < rows; ++r) {
+    const float* wr = w + r * cols;
+    for (size_t g = 0; g < groups_per_row; ++g) {
+      const float* group = wr + g * group_size;
+      float max_abs = 0.0f;
+      for (size_t i = 0; i < group_size; ++i) {
+        max_abs = std::max(max_abs, std::fabs(group[i]));
+      }
+      const float scale = max_abs > 0.0f ? max_abs / 7.0f : 1.0f;
+      const float inv_scale = 1.0f / scale;
+      qm.scales_[r * groups_per_row + g] = scale;
+      for (size_t i = 0; i < group_size; i += 2) {
+        const uint8_t lo = static_cast<uint8_t>(QuantizeValue(group[i], inv_scale) + 8);
+        const uint8_t hi = static_cast<uint8_t>(QuantizeValue(group[i + 1], inv_scale) + 8);
+        qm.packed_[(r * cols + g * group_size + i) / 2] =
+            static_cast<uint8_t>(lo | (hi << 4));
+      }
+    }
+  }
+  qm.claim_ = MemClaim(tracker, category, static_cast<int64_t>(qm.ByteSize()));
+  return qm;
+}
+
+void QuantizedMatrix::Dequantize(float* out) const {
+  const size_t groups_per_row = cols_ / group_size_;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t g = 0; g < groups_per_row; ++g) {
+      const float scale = scales_[r * groups_per_row + g];
+      for (size_t i = 0; i < group_size_; i += 2) {
+        const uint8_t byte = packed_[(r * cols_ + g * group_size_ + i) / 2];
+        out[r * cols_ + g * group_size_ + i] =
+            scale * static_cast<float>(static_cast<int>(byte & 0x0F) - 8);
+        out[r * cols_ + g * group_size_ + i + 1] =
+            scale * static_cast<float>(static_cast<int>(byte >> 4) - 8);
+      }
+    }
+  }
+}
+
+void QuantMatrixView::MatMulTransB(const float* a, size_t m, float* c) const {
+  const size_t groups_per_row = cols / group_size;
+  // Dequantise one weight row at a time into a strip, then dot against every
+  // input row. Row reuse across m amortises the unpack cost.
+  std::vector<float> wrow(cols);
+  for (size_t j = 0; j < rows; ++j) {
+    for (size_t g = 0; g < groups_per_row; ++g) {
+      const float scale = scales[j * groups_per_row + g];
+      for (size_t i = 0; i < group_size; i += 2) {
+        const uint8_t byte = packed[(j * cols + g * group_size + i) / 2];
+        wrow[g * group_size + i] = scale * static_cast<float>(static_cast<int>(byte & 0x0F) - 8);
+        wrow[g * group_size + i + 1] = scale * static_cast<float>(static_cast<int>(byte >> 4) - 8);
+      }
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * cols;
+      float acc = 0.0f;
+      for (size_t k = 0; k < cols; ++k) {
+        acc += arow[k] * wrow[k];
+      }
+      c[i * rows + j] = acc;
+    }
+  }
+}
+
+void QuantizedMatrix::MatMulTransB(const float* a, size_t m, float* c) const {
+  QuantMatrixView view{packed_.data(), scales_.data(), rows_, cols_, group_size_};
+  view.MatMulTransB(a, m, c);
+}
+
+size_t QuantizedMatrix::SerializedSize() const {
+  return packed_.size() + scales_.size() * sizeof(float);
+}
+
+void QuantizedMatrix::SerializeTo(uint8_t* out) const {
+  std::memcpy(out, packed_.data(), packed_.size());
+  std::memcpy(out + packed_.size(), scales_.data(), scales_.size() * sizeof(float));
+}
+
+QuantizedMatrix QuantizedMatrix::Deserialize(const uint8_t* in, size_t rows, size_t cols,
+                                             size_t group_size, MemCategory category,
+                                             MemoryTracker* tracker) {
+  QuantizedMatrix qm;
+  qm.rows_ = rows;
+  qm.cols_ = cols;
+  qm.group_size_ = group_size;
+  qm.packed_.resize(rows * cols / 2);
+  qm.scales_.resize(rows * (cols / group_size));
+  std::memcpy(qm.packed_.data(), in, qm.packed_.size());
+  std::memcpy(qm.scales_.data(), in + qm.packed_.size(), qm.scales_.size() * sizeof(float));
+  qm.claim_ = MemClaim(tracker, category, static_cast<int64_t>(qm.ByteSize()));
+  return qm;
+}
+
+float QuantizedMatrix::MaxScale() const {
+  float max_scale = 0.0f;
+  for (float s : scales_) {
+    max_scale = std::max(max_scale, s);
+  }
+  return max_scale;
+}
+
+}  // namespace prism

@@ -1,0 +1,84 @@
+// 4-bit group-wise symmetric weight quantisation (the W4A16 baseline, §6.1).
+//
+// Weights W[out, in] are quantised along the `in` dimension in groups of
+// `group_size`: each group stores a float scale and packs two signed 4-bit
+// values per byte. The dequantising GEMM reconstructs weights on the fly,
+// reproducing GPTQ-style W4A16 behaviour: 4× smaller weight bytes (and thus
+// 4× less streaming I/O) at the cost of a small dequantisation overhead and a
+// bounded precision perturbation.
+#ifndef PRISM_SRC_TENSOR_QUANT_H_
+#define PRISM_SRC_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/memory_tracker.h"
+#include "src/tensor/tensor.h"
+
+namespace prism {
+
+// Non-owning view of a quantised matrix laid out as [packed nibbles][scales]
+// inside a larger blob (e.g. a streamed layer). Provides the same
+// dequantising GEMM without copying.
+struct QuantMatrixView {
+  const uint8_t* packed = nullptr;
+  const float* scales = nullptr;
+  size_t rows = 0;
+  size_t cols = 0;
+  size_t group_size = 0;
+
+  // C[m, rows] = A[m, cols] · Wᵀ with on-the-fly dequantisation.
+  void MatMulTransB(const float* a, size_t m, float* c) const;
+
+  // Bytes this view spans inside its blob.
+  static size_t SpanBytes(size_t rows, size_t cols, size_t group_size) {
+    return rows * cols / 2 + rows * (cols / group_size) * sizeof(float);
+  }
+};
+
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  // Quantises `w` (row-major [rows, cols]); cols must be a multiple of
+  // group_size.
+  static QuantizedMatrix Quantize(const float* w, size_t rows, size_t cols, size_t group_size,
+                                  MemCategory category = MemCategory::kWeights,
+                                  MemoryTracker* tracker = &MemoryTracker::Global());
+
+  // Reconstructs the full matrix (for tests / error measurement).
+  void Dequantize(float* out) const;
+
+  // C[m, rows] = A[m, cols] · Wᵀ with on-the-fly dequantisation.
+  void MatMulTransB(const float* a, size_t m, float* c) const;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t group_size() const { return group_size_; }
+
+  // Bytes of the quantised representation (packed nibbles + scales).
+  size_t ByteSize() const { return packed_.size() + scales_.size() * sizeof(float); }
+
+  // Serialisation into/out of flat buffers (for the weight store).
+  size_t SerializedSize() const;
+  void SerializeTo(uint8_t* out) const;
+  static QuantizedMatrix Deserialize(const uint8_t* in, size_t rows, size_t cols,
+                                     size_t group_size, MemCategory category,
+                                     MemoryTracker* tracker);
+
+  // Worst-case absolute reconstruction error for a group with scale s is s/2
+  // (rounding half step) — checked by property tests.
+  float MaxScale() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t group_size_ = 0;
+  std::vector<uint8_t> packed_;  // Two 4-bit values per byte, row-major.
+  std::vector<float> scales_;    // rows * (cols / group_size) scales.
+  MemClaim claim_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_TENSOR_QUANT_H_

@@ -1,0 +1,90 @@
+// Dense row-major float tensor with memory-tracker accounting.
+//
+// All activation/weight/hidden-state buffers in the runtime are Tensors so
+// that the MemoryTracker sees every byte the paper's memory figures plot.
+#ifndef PRISM_SRC_TENSOR_TENSOR_H_
+#define PRISM_SRC_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/memory_tracker.h"
+
+namespace prism {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates rows*cols floats, zero-initialised, registered under `category`
+  // with `tracker` (defaults to the global tracker).
+  Tensor(size_t rows, size_t cols, MemCategory category = MemCategory::kActivations,
+         MemoryTracker* tracker = &MemoryTracker::Global())
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+    claim_ = MemClaim(tracker, category, static_cast<int64_t>(ByteSize()));
+  }
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  // Deep copy under the given category.
+  Tensor Clone(MemCategory category = MemCategory::kActivations,
+               MemoryTracker* tracker = &MemoryTracker::Global()) const {
+    Tensor out(rows_, cols_, category, tracker);
+    out.data_ = data_;
+    return out;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  size_t ByteSize() const { return data_.size() * sizeof(float); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(size_t r, size_t c) {
+    PRISM_CHECK_LT(r, rows_);
+    PRISM_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    PRISM_CHECK_LT(r, rows_);
+    PRISM_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(size_t r) {
+    PRISM_CHECK_LT(r, rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(size_t r) const {
+    PRISM_CHECK_LT(r, rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  void Fill(float value) {
+    for (float& v : data_) {
+      v = value;
+    }
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+  MemClaim claim_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_TENSOR_TENSOR_H_

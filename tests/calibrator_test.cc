@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/core/calibrator.h"
+#include "src/data/metrics.h"
+#include "src/runtime/hf_runner.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+class CalibratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TestModel();
+    ckpt_ = TestCheckpoint(config_);
+    const SyntheticDataset data(DatasetByName("wikipedia"), config_, 321);
+    for (size_t i = 0; i < 4; ++i) {
+      sample_.push_back(RerankRequest::FromQuery(data.MakeQuery(i, 12), 3));
+    }
+  }
+
+  ModelConfig config_;
+  std::string ckpt_;
+  std::vector<RerankRequest> sample_;
+};
+
+TEST_F(CalibratorTest, MeetsPrecisionTarget) {
+  MemoryTracker t1;
+  MemoryTracker t2;
+  HfRunnerOptions hopts;
+  hopts.device = FastDevice();
+  HfRunner reference(config_, ckpt_, hopts, &t1);
+  PrismOptions popts;
+  popts.device = FastDevice();
+  PrismEngine engine(config_, ckpt_, popts, &t2);
+
+  CalibrationOptions options;
+  options.target_precision = 0.9;
+  const CalibrationResult result = CalibrateThreshold(&engine, &reference, sample_, options);
+  EXPECT_GE(result.achieved_precision, options.target_precision);
+  EXPECT_GT(result.evaluations, 0);
+  // The engine is left configured with the calibrated threshold.
+  EXPECT_FLOAT_EQ(engine.options().dispersion_threshold, result.threshold);
+
+  // Re-measure independently: the calibrated engine meets the target.
+  double precision = 0.0;
+  for (const RerankRequest& request : sample_) {
+    const RerankResult ref = reference.Rerank(request);
+    const RerankResult got = engine.Rerank(request);
+    precision += TopKOverlap(got.topk, ref.topk, request.k);
+  }
+  precision /= static_cast<double>(sample_.size());
+  EXPECT_GE(precision, options.target_precision);
+}
+
+TEST_F(CalibratorTest, LooseTargetPicksAggressiveThreshold) {
+  MemoryTracker t1;
+  MemoryTracker t2;
+  HfRunnerOptions hopts;
+  hopts.device = FastDevice();
+  HfRunner reference(config_, ckpt_, hopts, &t1);
+  PrismOptions popts;
+  popts.device = FastDevice();
+  PrismEngine engine(config_, ckpt_, popts, &t2);
+
+  CalibrationOptions loose;
+  loose.target_precision = 0.0;  // Anything passes.
+  const CalibrationResult result = CalibrateThreshold(&engine, &reference, sample_, loose);
+  EXPECT_FLOAT_EQ(result.threshold, loose.threshold_lo);
+}
+
+TEST_F(CalibratorTest, TighterTargetGivesHigherThreshold) {
+  MemoryTracker t1;
+  MemoryTracker t2;
+  HfRunnerOptions hopts;
+  hopts.device = FastDevice();
+  HfRunner reference(config_, ckpt_, hopts, &t1);
+  PrismOptions popts;
+  popts.device = FastDevice();
+  PrismEngine engine(config_, ckpt_, popts, &t2);
+
+  CalibrationOptions loose;
+  loose.target_precision = 0.5;
+  const float loose_threshold =
+      CalibrateThreshold(&engine, &reference, sample_, loose).threshold;
+  CalibrationOptions tight;
+  tight.target_precision = 0.999;
+  const float tight_threshold =
+      CalibrateThreshold(&engine, &reference, sample_, tight).threshold;
+  EXPECT_LE(loose_threshold, tight_threshold);
+}
+
+}  // namespace
+}  // namespace prism

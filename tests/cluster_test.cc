@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/core/cluster.h"
+
+namespace prism {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousGroups) {
+  const std::vector<float> values = {0.9f, 0.92f, 0.88f, 0.1f, 0.12f, 0.08f};
+  const Clustering c = KMeans1D(values, 2, 1);
+  ASSERT_EQ(c.k(), 2);
+  // Cluster 0 is the higher one.
+  EXPECT_GT(c.centers[0], c.centers[1]);
+  EXPECT_EQ(c.assignment[0], 0);
+  EXPECT_EQ(c.assignment[3], 1);
+  EXPECT_EQ(c.sizes[0], 3u);
+  EXPECT_EQ(c.sizes[1], 3u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(2);
+  std::vector<float> values;
+  for (int i = 0; i < 30; ++i) {
+    values.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  const Clustering a = KMeans1D(values, 3, 77);
+  const Clustering b = KMeans1D(values, 3, 77);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centers, b.centers);
+}
+
+TEST(KMeansTest, OneDClustersAreContiguousIntervals) {
+  // The safety property pruning relies on: in 1-D, k-means clusters are
+  // intervals, so every member of a higher cluster outscores every member of
+  // a lower cluster.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> values;
+    for (int i = 0; i < 24; ++i) {
+      values.push_back(static_cast<float>(rng.NextDouble()));
+    }
+    const Clustering c = KMeans1D(values, 3, 100 + trial);
+    for (size_t i = 0; i < values.size(); ++i) {
+      for (size_t j = 0; j < values.size(); ++j) {
+        if (c.assignment[i] < c.assignment[j]) {  // i in strictly higher cluster
+          EXPECT_GE(values[i], values[j])
+              << "trial " << trial << ": higher-cluster member scored lower";
+        }
+      }
+    }
+  }
+}
+
+TEST(KMeansTest, HandlesDuplicateValues) {
+  const std::vector<float> values = {0.5f, 0.5f, 0.5f, 0.5f, 0.9f};
+  const Clustering c = KMeans1D(values, 2, 4);
+  EXPECT_LE(c.k(), 2);
+  // All duplicates land in one cluster.
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_EQ(c.assignment[1], c.assignment[2]);
+}
+
+TEST(ClusterScoresTest, PicksSensibleKBySilhouette) {
+  // Three clearly separated groups → best silhouette at k=3.
+  const std::vector<float> values = {0.95f, 0.93f, 0.9f, 0.55f, 0.5f, 0.52f, 0.1f, 0.08f, 0.12f};
+  const Clustering c = ClusterScores(values, 4, 5);
+  EXPECT_EQ(c.k(), 3);
+}
+
+TEST(ClusterScoresTest, AllEqualFallsBackToSingleCluster) {
+  const std::vector<float> values(8, 0.4f);
+  const Clustering c = ClusterScores(values, 4, 6);
+  EXPECT_EQ(c.k(), 1);
+  for (int a : c.assignment) {
+    EXPECT_EQ(a, 0);
+  }
+}
+
+TEST(ClusterScoresTest, TwoDistinctValues) {
+  const std::vector<float> values = {0.2f, 0.8f, 0.2f, 0.8f};
+  const Clustering c = ClusterScores(values, 4, 7);
+  EXPECT_EQ(c.k(), 2);
+  EXPECT_NE(c.assignment[0], c.assignment[1]);
+}
+
+TEST(ClusterScoresTest, SizesSumToN) {
+  Rng rng(8);
+  std::vector<float> values;
+  for (int i = 0; i < 17; ++i) {
+    values.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  const Clustering c = ClusterScores(values, 4, 9);
+  size_t total = 0;
+  for (size_t s : c.sizes) {
+    total += s;
+  }
+  EXPECT_EQ(total, values.size());
+}
+
+TEST(ClusterScoresTest, CentersSortedDescending) {
+  Rng rng(10);
+  std::vector<float> values;
+  for (int i = 0; i < 20; ++i) {
+    values.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  const Clustering c = ClusterScores(values, 4, 11);
+  for (size_t i = 1; i < c.centers.size(); ++i) {
+    EXPECT_GE(c.centers[i - 1], c.centers[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prism

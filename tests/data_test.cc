@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/dataset.h"
+#include "src/data/metrics.h"
+#include "src/model/pair_encoder.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+TEST(DatasetTest, EighteenProfiles) {
+  const auto profiles = AllDatasetProfiles();
+  EXPECT_EQ(profiles.size(), 18u);
+  // Names are unique.
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    for (size_t j = i + 1; j < profiles.size(); ++j) {
+      EXPECT_NE(profiles[i].name, profiles[j].name);
+    }
+  }
+}
+
+TEST(DatasetTest, QueriesAreDeterministic) {
+  const ModelConfig config = TestModel();
+  const SyntheticDataset a(DatasetByName("beir-nq"), config, 5);
+  const SyntheticDataset b(DatasetByName("beir-nq"), config, 5);
+  const RerankQuery qa = a.MakeQuery(3, 10);
+  const RerankQuery qb = b.MakeQuery(3, 10);
+  EXPECT_EQ(qa.tokens, qb.tokens);
+  ASSERT_EQ(qa.candidates.size(), qb.candidates.size());
+  for (size_t i = 0; i < qa.candidates.size(); ++i) {
+    EXPECT_EQ(qa.candidates[i].tokens, qb.candidates[i].tokens);
+    EXPECT_EQ(qa.candidates[i].planted_r, qb.candidates[i].planted_r);
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  const ModelConfig config = TestModel();
+  const SyntheticDataset a(DatasetByName("beir-nq"), config, 5);
+  const SyntheticDataset b(DatasetByName("beir-nq"), config, 6);
+  EXPECT_NE(a.MakeQuery(0, 10).tokens, b.MakeQuery(0, 10).tokens);
+}
+
+TEST(DatasetTest, RelevantFractionRoughlyRespected) {
+  const ModelConfig config = TestModel();
+  const SyntheticDataset data(DatasetByName("wikipedia"), config, 5);
+  size_t total_relevant = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    total_relevant += data.MakeQuery(i, 20).relevant.size();
+  }
+  // wikipedia profile: relevant_fraction 0.3 → about 6 of 20 per query.
+  EXPECT_NEAR(static_cast<double>(total_relevant) / 10.0, 6.0, 2.0);
+}
+
+TEST(DatasetTest, TokensInWordRange) {
+  const ModelConfig config = TestModel();
+  const SyntheticDataset data(DatasetByName("coderag"), config, 5);
+  const RerankQuery q = data.MakeQuery(0, 8);
+  for (uint32_t t : q.tokens) {
+    EXPECT_GE(t, kFirstWordToken);
+    EXPECT_LT(t, config.vocab_size);
+  }
+  for (const CandidateDoc& c : q.candidates) {
+    EXPECT_FALSE(c.tokens.empty());
+    for (uint32_t t : c.tokens) {
+      EXPECT_GE(t, kFirstWordToken);
+      EXPECT_LT(t, config.vocab_size);
+    }
+  }
+}
+
+TEST(DatasetTest, PlantedRelevanceCorrelatesWithGrade) {
+  const ModelConfig config = TestModel();
+  const SyntheticDataset data(DatasetByName("beir-fever"), config, 5);
+  std::vector<float> grades;
+  std::vector<float> planted;
+  for (size_t i = 0; i < 8; ++i) {
+    const RerankQuery q = data.MakeQuery(i, 16);
+    for (const CandidateDoc& c : q.candidates) {
+      grades.push_back(c.grade);
+      planted.push_back(c.planted_r);
+    }
+  }
+  EXPECT_GT(KendallTau(grades, planted), 0.5);
+}
+
+TEST(MetricsTest, PrecisionAtKBasics) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3}, {1, 2, 3}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 9, 8}, {1, 2, 3}, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({9, 8, 7}, {1}, 3), 0.0);
+}
+
+TEST(MetricsTest, PrecisionDenominatorUsesGroundTruthWhenSmaller) {
+  // Paper §6.1: when |relevant| < K the denominator is |relevant|.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 9, 8, 7, 6}, {1}, 5), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 8, 7, 6}, {1, 2}, 5), 1.0);
+}
+
+TEST(MetricsTest, TopKOverlapOrderInsensitive) {
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2, 3}, {3, 2, 1}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2, 3}, {1, 5, 6}, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({}, {1}, 0), 1.0);
+}
+
+TEST(MetricsTest, GammaPerfectAndReversed) {
+  const std::vector<float> final_scores = {0.9f, 0.7f, 0.5f, 0.3f};
+  EXPECT_DOUBLE_EQ(GoodmanKruskalGamma({0.8f, 0.6f, 0.4f, 0.2f}, final_scores), 1.0);
+  EXPECT_DOUBLE_EQ(GoodmanKruskalGamma({0.2f, 0.4f, 0.6f, 0.8f}, final_scores), -1.0);
+}
+
+TEST(MetricsTest, GammaSkipsTies) {
+  const std::vector<float> a = {0.5f, 0.5f, 0.1f};
+  const std::vector<float> b = {0.9f, 0.8f, 0.1f};
+  // Pair (0,1) tied in a → skipped; the other two pairs concordant.
+  EXPECT_DOUBLE_EQ(GoodmanKruskalGamma(a, b), 1.0);
+}
+
+TEST(MetricsTest, ClusterGammaIgnoresIntraClusterPairs) {
+  const std::vector<float> final_scores = {0.9f, 0.8f, 0.2f, 0.1f};
+  // Intra-cluster order is wrong, inter-cluster order is right.
+  const std::vector<float> scores = {0.7f, 0.75f, 0.05f, 0.1f};
+  const std::vector<int> clusters = {0, 0, 1, 1};
+  EXPECT_LT(GoodmanKruskalGamma(scores, final_scores), 1.0);
+  EXPECT_DOUBLE_EQ(ClusterGamma(scores, final_scores, clusters), 1.0);
+}
+
+TEST(MetricsTest, KendallTauRange) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> b = {4.0f, 3.0f, 2.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(KendallTau(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), -1.0);
+}
+
+TEST(MetricsTest, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({2.0f, 2.0f, 2.0f}), 0.0);
+  const double cv = CoefficientOfVariation({1.0f, 3.0f});
+  EXPECT_NEAR(cv, 0.5, 1e-9);  // std=1, mean=2.
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({}), 0.0);
+}
+
+TEST(MetricsTest, TopKIndicesOrderAndTies) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.9f};
+  const auto top = TopKIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // Tie with 3 broken by lower index.
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(MetricsTest, TopKIndicesClampsToSize) {
+  const std::vector<float> scores = {0.3f, 0.1f};
+  EXPECT_EQ(TopKIndices(scores, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace prism

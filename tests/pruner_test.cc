@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/core/pruner.h"
+#include "src/data/metrics.h"
+
+namespace prism {
+namespace {
+
+bool Contains(const std::vector<size_t>& v, size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(PrunerTest, FewerCandidatesThanSlotsTerminates) {
+  PrunerOptions options;
+  const PruneDecision d = DecidePrune({0.5f, 0.6f}, 3, options);
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.selected.size(), 2u);
+}
+
+TEST(PrunerTest, LowDispersionDefersEveryone) {
+  PrunerOptions options;
+  options.dispersion_threshold = 0.5f;
+  const PruneDecision d = DecidePrune({0.50f, 0.51f, 0.49f, 0.52f, 0.48f}, 2, options);
+  EXPECT_FALSE(d.triggered);
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.deferred.size(), 5u);
+}
+
+TEST(PrunerTest, HighDispersionTriggersThreeWayRouting) {
+  PrunerOptions options;
+  options.dispersion_threshold = 0.2f;
+  // Two clear winners, two clear losers, boundary in the middle (K=3 → the
+  // 3rd ranked candidate sits in the middle cluster).
+  const std::vector<float> scores = {0.95f, 0.93f, 0.55f, 0.53f, 0.06f, 0.04f};
+  const PruneDecision d = DecidePrune(scores, 3, options);
+  ASSERT_TRUE(d.triggered);
+  EXPECT_TRUE(Contains(d.selected, 0));
+  EXPECT_TRUE(Contains(d.selected, 1));
+  EXPECT_TRUE(Contains(d.dropped, 4));
+  EXPECT_TRUE(Contains(d.dropped, 5));
+  EXPECT_TRUE(Contains(d.deferred, 2));
+  EXPECT_TRUE(Contains(d.deferred, 3));
+}
+
+TEST(PrunerTest, TerminatesWhenDeferredFillsSlots) {
+  PrunerOptions options;
+  options.dispersion_threshold = 0.1f;
+  // K=3: two winners selected, boundary cluster of exactly one → terminate.
+  const std::vector<float> scores = {0.95f, 0.90f, 0.55f, 0.05f, 0.02f};
+  const PruneDecision d = DecidePrune(scores, 3, options);
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.selected.size(), 3u);
+  EXPECT_TRUE(d.deferred.empty());
+}
+
+TEST(PrunerTest, ExactRankModeNeverSelectsEarly) {
+  PrunerOptions options;
+  options.dispersion_threshold = 0.1f;
+  options.prune_winners = false;
+  const std::vector<float> scores = {0.95f, 0.93f, 0.55f, 0.53f, 0.06f, 0.04f};
+  const PruneDecision d = DecidePrune(scores, 3, options);
+  ASSERT_TRUE(d.triggered);
+  EXPECT_TRUE(d.selected.empty());  // Winners keep computing.
+  EXPECT_FALSE(d.dropped.empty());  // Hopeless ones still pruned.
+  EXPECT_FALSE(d.terminate);
+}
+
+// Property sweep: random score vectors × thresholds × K — the §4.1 safety
+// invariants must hold universally.
+class PrunerPropertyTest : public ::testing::TestWithParam<std::tuple<float, size_t, uint64_t>> {};
+
+TEST_P(PrunerPropertyTest, PartitionInvariants) {
+  const auto [threshold, k, seed] = GetParam();
+  Rng rng(seed);
+  const size_t n = 8 + rng.NextBelow(20);
+  std::vector<float> scores;
+  for (size_t i = 0; i < n; ++i) {
+    scores.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  PrunerOptions options;
+  options.dispersion_threshold = threshold;
+  const PruneDecision d = DecidePrune(scores, k, options);
+
+  // Partition: every index appears exactly once across the three sets.
+  std::vector<int> seen(n, 0);
+  for (size_t i : d.selected) {
+    ++seen[i];
+  }
+  for (size_t i : d.dropped) {
+    ++seen[i];
+  }
+  for (size_t i : d.deferred) {
+    ++seen[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i], 1) << "index " << i;
+  }
+  EXPECT_LE(d.selected.size(), k);
+
+  if (n > k) {
+    // The K-th ranked candidate is never dropped.
+    const auto order = TopKIndices(scores, n);
+    EXPECT_FALSE(Contains(d.dropped, order[k - 1]));
+    // Selected candidates all outscore every dropped candidate.
+    for (size_t s : d.selected) {
+      for (size_t x : d.dropped) {
+        EXPECT_GE(scores[s], scores[x]);
+      }
+    }
+    // True top-K ⊆ selected ∪ deferred (no winner is ever dropped).
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_FALSE(Contains(d.dropped, order[i])) << "true top-" << k << " member dropped";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrunerPropertyTest,
+    ::testing::Combine(::testing::Values(0.05f, 0.2f, 0.4f, 0.8f),
+                       ::testing::Values<size_t>(1, 3, 5, 10),
+                       ::testing::Values<uint64_t>(1, 2, 3, 4, 5)));
+
+TEST(PrunerTest, ThresholdMonotonicityOnTriggering) {
+  // For a fixed score vector, raising the threshold can only change the
+  // decision from triggered to not-triggered (never the other way).
+  Rng rng(42);
+  std::vector<float> scores;
+  for (int i = 0; i < 16; ++i) {
+    scores.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  bool was_triggered = true;
+  for (float threshold : {0.01f, 0.1f, 0.3f, 0.6f, 1.0f, 2.0f}) {
+    PrunerOptions options;
+    options.dispersion_threshold = threshold;
+    const PruneDecision d = DecidePrune(scores, 4, options);
+    EXPECT_LE(d.triggered, was_triggered);  // Monotone non-increasing.
+    was_triggered = d.triggered;
+  }
+}
+
+}  // namespace
+}  // namespace prism

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/quant.h"
+
+namespace prism {
+namespace {
+
+std::vector<float> RandomWeights(size_t n, uint64_t seed, float scale = 0.1f) {
+  std::vector<float> w(n);
+  Rng rng(seed);
+  for (float& v : w) {
+    v = static_cast<float>(rng.NextGaussian()) * scale;
+  }
+  return w;
+}
+
+// Property sweep over matrix shapes and group sizes.
+class QuantRoundTripTest : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(QuantRoundTripTest, ErrorBoundedByHalfScale) {
+  const auto [rows, cols, group] = GetParam();
+  MemoryTracker tracker;
+  const std::vector<float> w = RandomWeights(rows * cols, rows * 31 + cols);
+  const QuantizedMatrix qm =
+      QuantizedMatrix::Quantize(w.data(), rows, cols, group, MemCategory::kScratch, &tracker);
+  std::vector<float> back(rows * cols);
+  qm.Dequantize(back.data());
+  // Symmetric 4-bit rounding: |err| <= scale/2 everywhere; check against the
+  // global max scale (a loose but always-valid bound).
+  const float bound = qm.MaxScale() * 0.5f + 1e-6f;
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w[i] - back[i]), bound) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QuantRoundTripTest,
+                         ::testing::Values(std::make_tuple(8, 32, 16),
+                                           std::make_tuple(16, 64, 32),
+                                           std::make_tuple(3, 32, 32),
+                                           std::make_tuple(32, 128, 64),
+                                           std::make_tuple(5, 96, 32)));
+
+TEST(QuantTest, ByteSizeIsRoughlyQuarter) {
+  MemoryTracker tracker;
+  const size_t rows = 64;
+  const size_t cols = 128;
+  const std::vector<float> w = RandomWeights(rows * cols, 9);
+  const QuantizedMatrix qm =
+      QuantizedMatrix::Quantize(w.data(), rows, cols, 32, MemCategory::kScratch, &tracker);
+  const size_t f32_bytes = rows * cols * sizeof(float);
+  EXPECT_LT(qm.ByteSize(), f32_bytes / 3);  // 4 bits + scales < a third of fp32.
+}
+
+TEST(QuantTest, MatMulMatchesDequantizedMatMul) {
+  MemoryTracker tracker;
+  const size_t rows = 12;
+  const size_t cols = 32;
+  const size_t m = 5;
+  const std::vector<float> w = RandomWeights(rows * cols, 10);
+  const std::vector<float> a = RandomWeights(m * cols, 11, 1.0f);
+  const QuantizedMatrix qm =
+      QuantizedMatrix::Quantize(w.data(), rows, cols, 16, MemCategory::kScratch, &tracker);
+
+  std::vector<float> dequant(rows * cols);
+  qm.Dequantize(dequant.data());
+  std::vector<float> expected(m * rows, 0.0f);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < rows; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < cols; ++k) {
+        acc += static_cast<double>(a[i * cols + k]) * dequant[j * cols + k];
+      }
+      expected[i * rows + j] = static_cast<float>(acc);
+    }
+  }
+  std::vector<float> got(m * rows, 0.0f);
+  qm.MatMulTransB(a.data(), m, got.data());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-3f);
+  }
+}
+
+TEST(QuantTest, SerializeDeserializeRoundTrip) {
+  MemoryTracker tracker;
+  const size_t rows = 8;
+  const size_t cols = 64;
+  const std::vector<float> w = RandomWeights(rows * cols, 12);
+  const QuantizedMatrix qm =
+      QuantizedMatrix::Quantize(w.data(), rows, cols, 32, MemCategory::kScratch, &tracker);
+  std::vector<uint8_t> buf(qm.SerializedSize());
+  qm.SerializeTo(buf.data());
+  const QuantizedMatrix back = QuantizedMatrix::Deserialize(buf.data(), rows, cols, 32,
+                                                            MemCategory::kScratch, &tracker);
+  std::vector<float> w1(rows * cols);
+  std::vector<float> w2(rows * cols);
+  qm.Dequantize(w1.data());
+  back.Dequantize(w2.data());
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(QuantTest, ViewMatchesOwningMatrix) {
+  MemoryTracker tracker;
+  const size_t rows = 8;
+  const size_t cols = 32;
+  const size_t m = 4;
+  const std::vector<float> w = RandomWeights(rows * cols, 13);
+  const std::vector<float> a = RandomWeights(m * cols, 14, 1.0f);
+  const QuantizedMatrix qm =
+      QuantizedMatrix::Quantize(w.data(), rows, cols, 16, MemCategory::kScratch, &tracker);
+  std::vector<uint8_t> buf(qm.SerializedSize());
+  qm.SerializeTo(buf.data());
+
+  QuantMatrixView view;
+  view.rows = rows;
+  view.cols = cols;
+  view.group_size = 16;
+  view.packed = buf.data();
+  view.scales = reinterpret_cast<const float*>(buf.data() + rows * cols / 2);
+
+  std::vector<float> got_owning(m * rows);
+  std::vector<float> got_view(m * rows);
+  qm.MatMulTransB(a.data(), m, got_owning.data());
+  view.MatMulTransB(a.data(), m, got_view.data());
+  EXPECT_EQ(got_owning, got_view);
+}
+
+TEST(QuantTest, SpanBytesMatchesSerializedSize) {
+  MemoryTracker tracker;
+  const size_t rows = 16;
+  const size_t cols = 64;
+  const std::vector<float> w = RandomWeights(rows * cols, 15);
+  const QuantizedMatrix qm =
+      QuantizedMatrix::Quantize(w.data(), rows, cols, 32, MemCategory::kScratch, &tracker);
+  EXPECT_EQ(qm.SerializedSize(), QuantMatrixView::SpanBytes(rows, cols, 32));
+}
+
+TEST(QuantTest, ZeroMatrixQuantizesToZero) {
+  MemoryTracker tracker;
+  const std::vector<float> w(8 * 16, 0.0f);
+  const QuantizedMatrix qm =
+      QuantizedMatrix::Quantize(w.data(), 8, 16, 16, MemCategory::kScratch, &tracker);
+  std::vector<float> back(8 * 16, 1.0f);
+  qm.Dequantize(back.data());
+  for (float v : back) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace prism

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/retrieval/bi_encoder.h"
+#include "src/retrieval/bm25.h"
+#include "src/retrieval/hybrid.h"
+#include "src/retrieval/vector_index.h"
+
+namespace prism {
+namespace {
+
+TEST(Bm25Test, RanksMatchingDocHigher) {
+  Bm25Index index;
+  index.Add({10, 11, 12, 13});        // doc 0: matches query
+  index.Add({20, 21, 22, 23});        // doc 1: unrelated
+  index.Add({10, 21, 22, 23});        // doc 2: partial match
+  const auto hits = index.Search({10, 11}, 3);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc_id, 0u);
+  EXPECT_EQ(hits[1].doc_id, 2u);
+}
+
+TEST(Bm25Test, NoMatchesReturnsEmpty) {
+  Bm25Index index;
+  index.Add({10, 11});
+  EXPECT_TRUE(index.Search({99}, 5).empty());
+}
+
+TEST(Bm25Test, RareTermsWeighMore) {
+  Bm25Index index;
+  // Term 50 appears everywhere (low idf); term 60 only in doc 2.
+  index.Add({50, 51});
+  index.Add({50, 52});
+  index.Add({50, 60});
+  index.Add({50, 53});
+  const auto hits = index.Search({60, 50}, 4);
+  EXPECT_EQ(hits[0].doc_id, 2u);
+  EXPECT_GT(hits[0].score, 1.5 * hits[1].score);
+}
+
+TEST(Bm25Test, TopNLimit) {
+  Bm25Index index;
+  for (int i = 0; i < 20; ++i) {
+    index.Add({100, static_cast<uint32_t>(200 + i)});
+  }
+  EXPECT_EQ(index.Search({100}, 7).size(), 7u);
+}
+
+TEST(BiEncoderTest, DeterministicEmbedding) {
+  const BiEncoder encoder(32, 5);
+  const auto a = encoder.Embed({1, 2, 3});
+  const auto b = encoder.Embed({1, 2, 3});
+  EXPECT_EQ(a, b);
+}
+
+TEST(BiEncoderTest, EmbeddingIsUnitNorm) {
+  const BiEncoder encoder(32, 5);
+  const auto e = encoder.Embed({4, 5, 6, 7});
+  float norm = 0.0f;
+  for (float v : e) {
+    norm += v * v;
+  }
+  EXPECT_NEAR(norm, 1.0f, 1e-5f);
+}
+
+TEST(BiEncoderTest, SharedTokensRaiseSimilarity) {
+  const BiEncoder encoder(48, 6);
+  const auto query = encoder.Embed({1, 2, 3, 4});
+  const auto related = encoder.Embed({1, 2, 3, 9});
+  const auto unrelated = encoder.Embed({20, 21, 22, 23});
+  EXPECT_GT(CosineSim(query, related), CosineSim(query, unrelated) + 0.2f);
+}
+
+TEST(FlatIndexTest, ExactNearestNeighbor) {
+  const BiEncoder encoder(32, 7);
+  FlatIndex index(32);
+  for (uint32_t d = 0; d < 20; ++d) {
+    index.Add(encoder.Embed({d * 3, d * 3 + 1, d * 3 + 2}));
+  }
+  // Query identical to doc 5's tokens → doc 5 must rank first.
+  const auto hits = index.Search(encoder.Embed({15, 16, 17}), 3);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_id, 5u);
+}
+
+TEST(IvfIndexTest, RecallAgainstFlat) {
+  const BiEncoder encoder(32, 8);
+  FlatIndex flat(32);
+  IvfIndex ivf(32, 8, 4);
+  Rng rng(9);
+  for (int d = 0; d < 100; ++d) {
+    std::vector<uint32_t> tokens;
+    for (int t = 0; t < 6; ++t) {
+      tokens.push_back(static_cast<uint32_t>(rng.NextBelow(500)));
+    }
+    const auto e = encoder.Embed(tokens);
+    flat.Add(e);
+    ivf.Add(e);
+  }
+  ivf.Train();
+  double recall = 0.0;
+  const int n_queries = 10;
+  for (int q = 0; q < n_queries; ++q) {
+    std::vector<uint32_t> tokens;
+    for (int t = 0; t < 6; ++t) {
+      tokens.push_back(static_cast<uint32_t>(rng.NextBelow(500)));
+    }
+    const auto e = encoder.Embed(tokens);
+    const auto exact = flat.Search(e, 5);
+    const auto approx = ivf.Search(e, 5);
+    size_t hit = 0;
+    for (const auto& a : approx) {
+      for (const auto& x : exact) {
+        if (a.doc_id == x.doc_id) {
+          ++hit;
+          break;
+        }
+      }
+    }
+    recall += static_cast<double>(hit) / 5.0;
+  }
+  EXPECT_GT(recall / n_queries, 0.5);  // nprobe=4 of 8 lists → decent recall.
+}
+
+TEST(IvfIndexTest, FullProbeEqualsFlat) {
+  const BiEncoder encoder(16, 10);
+  FlatIndex flat(16);
+  IvfIndex ivf(16, 4, 4);  // nprobe == nlist → exhaustive.
+  for (uint32_t d = 0; d < 30; ++d) {
+    const auto e = encoder.Embed({d, d + 100});
+    flat.Add(e);
+    ivf.Add(e);
+  }
+  ivf.Train();
+  const auto query = encoder.Embed({7, 107});
+  const auto a = flat.Search(query, 5);
+  const auto b = ivf.Search(query, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc_id, b[i].doc_id);
+  }
+}
+
+TEST(HybridTest, InterleavesAndDedupes) {
+  const std::vector<RetrievalHit> sparse = {{1, 0.9}, {2, 0.8}, {3, 0.7}};
+  const std::vector<RetrievalHit> dense = {{2, 0.95}, {4, 0.85}, {5, 0.75}};
+  const auto fused = FuseHits(sparse, dense, 5);
+  EXPECT_EQ(fused, (std::vector<size_t>{1, 2, 4, 3, 5}));
+}
+
+TEST(HybridTest, StopsAtTotal) {
+  const std::vector<RetrievalHit> sparse = {{1, 0.9}, {2, 0.8}};
+  const std::vector<RetrievalHit> dense = {{3, 0.9}, {4, 0.8}};
+  EXPECT_EQ(FuseHits(sparse, dense, 3).size(), 3u);
+}
+
+TEST(HybridTest, ExhaustsShortLists) {
+  const std::vector<RetrievalHit> sparse = {{1, 0.9}};
+  const std::vector<RetrievalHit> dense = {{1, 0.8}};
+  EXPECT_EQ(FuseHits(sparse, dense, 10), std::vector<size_t>{1});
+}
+
+}  // namespace
+}  // namespace prism

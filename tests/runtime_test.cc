@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/metrics.h"
+#include "src/runtime/hf_runner.h"
+#include "src/runtime/offload_runner.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+TEST(DeviceTest, ProfilesExist) {
+  EXPECT_EQ(NvidiaProfile().name, "nvidia");
+  EXPECT_EQ(AppleProfile().name, "apple");
+  EXPECT_GT(AppleProfile().compute_slowdown, NvidiaProfile().compute_slowdown);
+  EXPECT_LT(AppleProfile().ssd.bandwidth_bytes_per_sec,
+            NvidiaProfile().ssd.bandwidth_bytes_per_sec);
+}
+
+TEST(RequestTest, FromQueryCopiesEverything) {
+  const ModelConfig config = TestModel();
+  const SyntheticDataset data(DatasetByName("lotte"), config, 3);
+  const RerankQuery q = data.MakeQuery(0, 7);
+  const RerankRequest request = RerankRequest::FromQuery(q, 4);
+  EXPECT_EQ(request.query, q.tokens);
+  ASSERT_EQ(request.docs.size(), 7u);
+  EXPECT_EQ(request.k, 4u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(request.docs[i], q.candidates[i].tokens);
+    EXPECT_EQ(request.planted_r[i], q.candidates[i].planted_r);
+  }
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TestModel();
+    ckpt_ = TestCheckpoint(config_);
+    qckpt_ = TestCheckpoint(config_, true);
+    request_ = TestRequest(config_, 10, 3);
+  }
+
+  ModelConfig config_;
+  std::string ckpt_;
+  std::string qckpt_;
+  RerankRequest request_;
+};
+
+TEST_F(RunnerTest, HfAndOffloadProduceIdenticalScores) {
+  MemoryTracker t1;
+  MemoryTracker t2;
+  HfRunnerOptions hopts;
+  hopts.device = FastDevice();
+  HfRunner hf(config_, ckpt_, hopts, &t1);
+  OffloadRunnerOptions oopts;
+  oopts.device = FastDevice();
+  OffloadRunner off(config_, ckpt_, oopts, &t2);
+  const RerankResult a = hf.Rerank(request_);
+  const RerankResult b = off.Rerank(request_);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.topk, b.topk);
+}
+
+TEST_F(RunnerTest, BatchSizeDoesNotChangeScores) {
+  MemoryTracker t1;
+  MemoryTracker t2;
+  HfRunnerOptions small;
+  small.device = FastDevice();
+  small.batch_size = 2;
+  HfRunnerOptions large;
+  large.device = FastDevice();
+  large.batch_size = 10;
+  HfRunner a(config_, ckpt_, small, &t1);
+  HfRunner b(config_, ckpt_, large, &t2);
+  EXPECT_EQ(a.Rerank(request_).scores, b.Rerank(request_).scores);
+}
+
+TEST_F(RunnerTest, QuantizedCloseToF32) {
+  MemoryTracker t1;
+  MemoryTracker t2;
+  HfRunnerOptions f32;
+  f32.device = FastDevice();
+  HfRunnerOptions q4;
+  q4.device = FastDevice();
+  q4.quantized = true;
+  HfRunner a(config_, ckpt_, f32, &t1);
+  HfRunner b(config_, qckpt_, q4, &t2);
+  const RerankResult ra = a.Rerank(request_);
+  const RerankResult rb = b.Rerank(request_);
+  for (size_t i = 0; i < ra.scores.size(); ++i) {
+    EXPECT_NEAR(ra.scores[i], rb.scores[i], 0.15f);
+  }
+  EXPECT_GE(TopKOverlap(ra.topk, rb.topk, request_.k), 1.0 / 3.0);
+}
+
+TEST_F(RunnerTest, HfKeepsAllWeightsResident) {
+  MemoryTracker tracker;
+  HfRunnerOptions opts;
+  opts.device = FastDevice();
+  HfRunner hf(config_, ckpt_, opts, &tracker);
+  const int64_t expected =
+      static_cast<int64_t>(config_.n_layers * LayerBlobBytes(config_, false));
+  EXPECT_EQ(tracker.CurrentBytes(MemCategory::kWeights), expected);
+  EXPECT_EQ(tracker.CurrentBytes(MemCategory::kEmbedding),
+            static_cast<int64_t>(config_.EmbeddingBlobBytes()));
+}
+
+TEST_F(RunnerTest, OffloadKeepsAtMostOneLayerResident) {
+  MemoryTracker tracker;
+  OffloadRunnerOptions opts;
+  opts.device = FastDevice();
+  OffloadRunner off(config_, ckpt_, opts, &tracker);
+  off.Rerank(request_);
+  EXPECT_LE(tracker.PeakBytes(MemCategory::kWeights),
+            static_cast<int64_t>(LayerBlobBytes(config_, false)));
+  // After the request, no layer weights remain resident.
+  EXPECT_EQ(tracker.CurrentBytes(MemCategory::kWeights), 0);
+}
+
+TEST_F(RunnerTest, OffloadReportsStreamedBytes) {
+  MemoryTracker tracker;
+  OffloadRunnerOptions opts;
+  opts.device = FastDevice();
+  opts.batch_size = 5;
+  OffloadRunner off(config_, ckpt_, opts, &tracker);
+  const RerankResult result = off.Rerank(request_);
+  // 10 candidates in batches of 5 → every layer loaded twice.
+  EXPECT_EQ(result.stats.bytes_streamed,
+            static_cast<int64_t>(2 * config_.n_layers * LayerBlobBytes(config_, false)));
+}
+
+TEST_F(RunnerTest, TopKSizeRespectsK) {
+  MemoryTracker tracker;
+  HfRunnerOptions opts;
+  opts.device = FastDevice();
+  HfRunner hf(config_, ckpt_, opts, &tracker);
+  const RerankResult result = hf.Rerank(request_);
+  EXPECT_EQ(result.topk.size(), 3u);
+  EXPECT_EQ(result.stats.layers_until_done, config_.n_layers);
+  EXPECT_EQ(result.stats.candidate_layers,
+            static_cast<int64_t>(10 * config_.n_layers));
+}
+
+TEST_F(RunnerTest, ComputeSlowdownStretchesLatency) {
+  MemoryTracker t1;
+  MemoryTracker t2;
+  HfRunnerOptions fast;
+  fast.device = FastDevice();
+  HfRunnerOptions slow;
+  slow.device = FastDevice();
+  slow.device.compute_slowdown = 3.0;
+  HfRunner a(config_, ckpt_, fast, &t1);
+  HfRunner b(config_, ckpt_, slow, &t2);
+  const double t_fast = a.Rerank(request_).stats.latency_ms;
+  const double t_slow = b.Rerank(request_).stats.latency_ms;
+  EXPECT_GT(t_slow, t_fast * 1.8);
+}
+
+}  // namespace
+}  // namespace prism

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/online_calibrator.h"
+#include "src/core/service.h"
+#include "src/data/metrics.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TestModel();
+    ckpt_ = TestCheckpoint(config_);
+    const SyntheticDataset data(DatasetByName("wikipedia"), config_, 17);
+    for (size_t i = 0; i < 6; ++i) {
+      requests_.push_back(RerankRequest::FromQuery(data.MakeQuery(i, 14), 4));
+    }
+  }
+
+  ModelConfig config_;
+  std::string ckpt_;
+  std::vector<RerankRequest> requests_;
+};
+
+TEST_F(ServiceTest, AggregatesStats) {
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  RerankService service(config_, ckpt_, options, &tracker);
+  for (const RerankRequest& request : requests_) {
+    const RerankResult result = service.Rerank(request);
+    EXPECT_EQ(result.topk.size(), 4u);
+  }
+  const ServiceStats& stats = service.stats();
+  EXPECT_EQ(stats.requests, requests_.size());
+  EXPECT_GT(stats.MeanLatencyMs(), 0.0);
+  EXPECT_GE(stats.max_latency_ms, stats.MeanLatencyMs());
+  EXPECT_EQ(stats.total_candidates, static_cast<int64_t>(6 * 14));
+  // Pruning executed less than full work.
+  EXPECT_LT(stats.WorkFraction(config_.n_layers), 1.0);
+  EXPECT_GT(stats.WorkFraction(config_.n_layers), 0.0);
+}
+
+TEST_F(ServiceTest, IdleWithoutCalibrationIsNoop) {
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  RerankService service(config_, ckpt_, options, &tracker);
+  EXPECT_TRUE(std::isnan(service.OnIdle()));
+}
+
+TEST_F(ServiceTest, OnlineCalibrationAdjustsThreshold) {
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  options.engine.dispersion_threshold = 0.3f;
+  options.online_calibration = true;
+  options.calibration.sample_every = 1;
+  options.calibration.target_precision = 1.01;  // Unreachable → always raise.
+  RerankService service(config_, ckpt_, options, &tracker);
+  for (const RerankRequest& request : requests_) {
+    service.Rerank(request);
+  }
+  const float before = service.current_threshold();
+  const double agreement = service.OnIdle();
+  EXPECT_FALSE(std::isnan(agreement));
+  EXPECT_GT(service.current_threshold(), before);  // Raised for precision.
+}
+
+TEST_F(ServiceTest, OnlineCalibrationLowersWhenComfortable) {
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  options.engine.dispersion_threshold = 0.8f;  // Very conservative start.
+  options.online_calibration = true;
+  options.calibration.sample_every = 1;
+  options.calibration.target_precision = 0.0;  // Always comfortable.
+  RerankService service(config_, ckpt_, options, &tracker);
+  for (const RerankRequest& request : requests_) {
+    service.Rerank(request);
+  }
+  const float before = service.current_threshold();
+  service.OnIdle();
+  EXPECT_LT(service.current_threshold(), before);  // Lowered for performance.
+}
+
+TEST_F(ServiceTest, ConvergesTowardTargetOverCycles) {
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  options.engine.dispersion_threshold = 0.02f;  // Start very aggressive.
+  options.online_calibration = true;
+  options.calibration.sample_every = 1;
+  options.calibration.target_precision = 0.95;
+  RerankService service(config_, ckpt_, options, &tracker);
+  double last_agreement = 0.0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    for (const RerankRequest& request : requests_) {
+      service.Rerank(request);
+    }
+    last_agreement = service.OnIdle();
+  }
+  EXPECT_GE(last_agreement, 0.90);  // Feedback drove agreement up near target.
+}
+
+TEST(OnlineCalibratorTest, SamplesEveryNth) {
+  const ModelConfig config = TestModel();
+  const std::string ckpt = TestCheckpoint(config);
+  MemoryTracker t1;
+  MemoryTracker t2;
+  PrismOptions eopts;
+  eopts.device = FastDevice();
+  PrismEngine engine(config, ckpt, eopts, &t1);
+  PrismOptions ropts;
+  ropts.device = FastDevice();
+  ropts.pruning = false;
+  PrismEngine reference(config, ckpt, ropts, &t2);
+  OnlineCalibratorOptions options;
+  options.sample_every = 3;
+  OnlineCalibrator calibrator(&engine, &reference, options);
+  const RerankRequest request = TestRequest(config, 10, 3);
+  for (int i = 0; i < 7; ++i) {
+    calibrator.Rerank(request);
+  }
+  EXPECT_EQ(calibrator.pending_samples(), 3u);  // Requests 0, 3, 6.
+  EXPECT_EQ(calibrator.requests_served(), 7u);
+}
+
+TEST(OnlineCalibratorTest, LogIsBounded) {
+  const ModelConfig config = TestModel();
+  const std::string ckpt = TestCheckpoint(config);
+  MemoryTracker t1;
+  MemoryTracker t2;
+  PrismOptions eopts;
+  eopts.device = FastDevice();
+  PrismEngine engine(config, ckpt, eopts, &t1);
+  PrismOptions ropts;
+  ropts.device = FastDevice();
+  ropts.pruning = false;
+  PrismEngine reference(config, ckpt, ropts, &t2);
+  OnlineCalibratorOptions options;
+  options.sample_every = 1;
+  options.max_samples = 4;
+  OnlineCalibrator calibrator(&engine, &reference, options);
+  const RerankRequest request = TestRequest(config, 10, 3);
+  for (int i = 0; i < 10; ++i) {
+    calibrator.Rerank(request);
+  }
+  EXPECT_EQ(calibrator.pending_samples(), 4u);
+}
+
+TEST(NdcgTest, PerfectAndReversedRankings) {
+  const std::vector<float> grades = {1.0f, 0.5f, 0.2f, 0.0f};
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 1, 2, 3}, grades, 4), 1.0);
+  EXPECT_LT(NdcgAtK({3, 2, 1, 0}, grades, 4), 0.8);
+  EXPECT_GT(NdcgAtK({3, 2, 1, 0}, grades, 4), 0.0);
+}
+
+TEST(NdcgTest, TruncatesAtK) {
+  const std::vector<float> grades = {1.0f, 1.0f, 0.0f};
+  // Top-1 with the best item first is ideal regardless of the tail.
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 2, 1}, grades, 1), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({2, 0, 1}, grades, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace prism
