@@ -1,9 +1,11 @@
 #include "src/model/synthetic.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -222,8 +224,15 @@ std::string EnsureCheckpoint(const ModelConfig& config, uint64_t seed, bool quan
   const bool have_f32 = ::stat(f32_path.c_str(), &st) == 0 && st.st_size > 0;
   const bool have_q4 = ::stat(q4_path.c_str(), &st) == 0 && st.st_size > 0;
   if (!have_f32 || !have_q4) {
-    const Status status = GenerateCheckpoint(config, seed, f32_path, q4_path);
+    // Generate under a pid-unique name and publish with rename() so that
+    // concurrent processes (e.g. `ctest -j` binaries sharing a model) never
+    // observe a half-written checkpoint; rename() also makes the last
+    // concurrent generator win wholesale instead of interleaving writes.
+    const std::string suffix = ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const Status status = GenerateCheckpoint(config, seed, f32_path + suffix, q4_path + suffix);
     PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
+    PRISM_CHECK(::rename((f32_path + suffix).c_str(), f32_path.c_str()) == 0);
+    PRISM_CHECK(::rename((q4_path + suffix).c_str(), q4_path.c_str()) == 0);
   }
   return quantized ? q4_path : f32_path;
 }
