@@ -1,24 +1,18 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
+#include <utility>
 
 #include "src/common/check.h"
-#include "src/common/timer.h"
-#include "src/data/metrics.h"
-#include "src/model/layer.h"
-#include "src/model/pair_encoder.h"
 
 namespace prism {
 
-namespace {
-constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
-}  // namespace
-
 PrismEngine::PrismEngine(const ModelConfig& config, const std::string& checkpoint_path,
                          PrismOptions options, MemoryTracker* tracker)
-    : config_(config), options_(options), tracker_(tracker) {
+    : config_(config),
+      options_(options),
+      tracker_(tracker),
+      dispersion_threshold_(options.dispersion_threshold) {
   auto reader = BlobFileReader::Open(checkpoint_path, options_.device.ssd);
   PRISM_CHECK_MSG(reader.ok(), reader.status().ToString().c_str());
   reader_ = std::move(reader).value();
@@ -53,305 +47,95 @@ PrismEngine::PrismEngine(const ModelConfig& config, const std::string& checkpoin
   if (options_.offload_hidden) {
     spill_ = std::make_unique<SpillPool>(options_.device.ssd, tracker_);
   }
+
+  resources_.config = &config_;
+  resources_.options = &options_;
+  resources_.tracker = tracker_;
+  resources_.reader = reader_.get();
+  resources_.embedding = embedding_.get();
+  resources_.cache = cache_;
+  resources_.head = &head_;
+  resources_.resident_layers = &resident_layers_;
+  resources_.spill = spill_.get();
+  planner_.emplace(resources_);
+  embed_stage_.emplace(resources_);
+  layer_loop_.emplace(resources_);
+  prune_stage_.emplace(resources_);
 }
 
-const EmbeddingCacheStats* PrismEngine::embed_cache_stats() const {
-  return cache_ != nullptr ? &cache_->stats() : nullptr;
+std::optional<EmbeddingCacheStats> PrismEngine::embed_cache_stats() const {
+  if (cache_ == nullptr) {
+    return std::nullopt;
+  }
+  return cache_->stats();
+}
+
+std::vector<LayerTraceEntry> PrismEngine::last_trace() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_;
 }
 
 size_t PrismEngine::PlanChunkCandidates(size_t n, size_t seq_len) const {
-  if (!options_.chunked) {
-    return n;
-  }
-  if (options_.chunk_candidates > 0) {
-    return std::min(options_.chunk_candidates, n);
-  }
-  // Largest c with scratch(c·T) within the activation budget; floor 2 keeps
-  // each chunk's compute window wide enough to overlap a layer load.
-  size_t best = 1;
-  for (size_t c = 1; c <= n; ++c) {
-    if (LayerScratch::BytesFor(config_, c * seq_len, seq_len) <=
-        options_.device.activation_budget_bytes) {
-      best = c;
-    } else {
-      break;
-    }
-  }
-  return std::max<size_t>(std::min<size_t>(2, n), best);
-}
-
-Tensor PrismEngine::TakeChunk(ChunkState* chunk, int64_t key) {
-  if (chunk->spilled) {
-    chunk->spilled = false;
-    return spill_->Take(key);
-  }
-  Tensor t = std::move(*chunk->hidden);
-  chunk->hidden.reset();
-  return t;
-}
-
-void PrismEngine::StowChunk(ChunkState* chunk, int64_t key, Tensor hidden, bool more_layers) {
-  if (options_.offload_hidden && more_layers) {
-    spill_->SpillAsync(key, std::move(hidden));
-    chunk->spilled = true;
-  } else {
-    chunk->hidden = std::move(hidden);
-    chunk->spilled = false;
-  }
+  return planner_->PlanCandidates(n, seq_len);
 }
 
 RerankResult PrismEngine::Rerank(const RerankRequest& request) {
-  const WallTimer total_timer;
-  RerankResult result;
-  trace_.clear();
-  const size_t n = request.docs.size();
-  PRISM_CHECK_EQ(n, request.planted_r.size());
-  PRISM_CHECK_GT(request.k, 0u);
-  const size_t seq_len = ChooseSeqLen(config_, request.query, request.docs);
-  result.scores.assign(n, kNan);
+  const RerankRequest* ptr = &request;
+  std::vector<RerankResult> results = RerankBatch({&ptr, 1});
+  return std::move(results.front());
+}
 
-  const size_t chunk_cand = PlanChunkCandidates(n, seq_len);
-  LayerScratch scratch = LayerScratch::Make(config_, chunk_cand * seq_len, seq_len, tracker_);
-
-  // Build chunks over the initially-active candidate set.
-  std::vector<size_t> active(n);
-  for (size_t i = 0; i < n; ++i) {
-    active[i] = i;
+std::vector<RerankResult> PrismEngine::RerankBatch(
+    std::span<const RerankRequest* const> requests, ThreadPool* compute_pool) {
+  if (requests.empty()) {
+    return {};
   }
-  auto partition = [&](const std::vector<size_t>& ids) {
-    std::vector<ChunkState> chunks;
-    for (size_t at = 0; at < ids.size(); at += chunk_cand) {
-      ChunkState chunk;
-      const size_t end = std::min(at + chunk_cand, ids.size());
-      chunk.ids.assign(ids.begin() + static_cast<ptrdiff_t>(at),
-                       ids.begin() + static_cast<ptrdiff_t>(end));
-      chunks.push_back(std::move(chunk));
-    }
-    return chunks;
-  };
-  std::vector<ChunkState> chunks = partition(active);
+  // Contexts live on the heap so their addresses stay stable for the stages.
+  std::vector<std::unique_ptr<RequestContext>> contexts;
+  contexts.reserve(requests.size());
+  for (const RerankRequest* request : requests) {
+    auto ctx = std::make_unique<RequestContext>(
+        *request, next_request_id_.fetch_add(1, std::memory_order_relaxed));
+    ctx->pruner_options.dispersion_threshold = dispersion_threshold();
+    ctx->pruner_options.prune_winners = options_.prune_winners;
+    ctx->pruner_options.kmeans_max_k = options_.kmeans_max_k;
+    ctx->pruner_options.seed = options_.seed;
+    planner_->Begin(ctx.get());
+    contexts.push_back(std::move(ctx));
+  }
 
-  // --- Embedding (through the cache when enabled) ---
+  // Embed each request (in parallel when a pool is provided — the embedding
+  // cache serialises its own lookups).
+  if (compute_pool != nullptr && contexts.size() > 1) {
+    compute_pool->ParallelFor(0, contexts.size(),
+                              [&](size_t i) { embed_stage_->Run(contexts[i].get()); });
+  } else {
+    for (auto& ctx : contexts) {
+      embed_stage_->Run(ctx.get());
+    }
+  }
+
+  std::vector<RequestContext*> batch;
+  batch.reserve(contexts.size());
+  for (auto& ctx : contexts) {
+    batch.push_back(ctx.get());
+  }
+  layer_loop_->Run(batch, compute_pool);
+
+  std::vector<RerankResult> results;
+  results.reserve(contexts.size());
+  for (auto& ctx : contexts) {
+    prune_stage_->Finalize(ctx.get());
+    results.push_back(std::move(ctx->result));
+  }
+
+  // Publish the last context's trace — full per-layer records in trace
+  // mode, the light per-prune-decision entries otherwise.
   {
-    const WallTimer embed_timer;
-    // Build all pair inputs first so the cache can batch-load the request's
-    // unique missing tokens in one device read (§4.5).
-    std::vector<PairInput> pairs;
-    pairs.reserve(n);
-    std::vector<uint32_t> all_tokens;
-    for (size_t id = 0; id < n; ++id) {
-      pairs.push_back(BuildPairInput(config_, request.query, request.docs[id],
-                                     request.planted_r[id], seq_len));
-      all_tokens.insert(all_tokens.end(), pairs.back().tokens.begin(),
-                        pairs.back().tokens.end());
-    }
-    if (cache_ != nullptr) {
-      cache_->PrefetchTokens(all_tokens);
-    }
-    for (size_t ci = 0; ci < chunks.size(); ++ci) {
-      ChunkState& chunk = chunks[ci];
-      Tensor hidden(chunk.ids.size() * seq_len, config_.hidden, MemCategory::kHiddenStates,
-                    tracker_);
-      for (size_t c = 0; c < chunk.ids.size(); ++c) {
-        EmbedPairInto(config_, embedding_.get(), head_, pairs[chunk.ids[c]], c, seq_len,
-                      &hidden);
-      }
-      StowChunk(&chunk, static_cast<int64_t>(ci), std::move(hidden), /*more_layers=*/true);
-    }
-    result.stats.embed_ms = embed_timer.ElapsedMillis();
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_ = std::move(contexts.back()->trace);
   }
-
-  // --- Layer streaming setup ---
-  std::unique_ptr<LayerStreamer> streamer;
-  if (options_.streaming) {
-    std::vector<size_t> schedule;
-    for (size_t layer = 0; layer < config_.n_layers; ++layer) {
-      schedule.push_back(LayerBlobIndex(layer));
-    }
-    streamer = std::make_unique<LayerStreamer>(reader_.get(), std::move(schedule),
-                                               /*buffer_count=*/2, tracker_);
-  }
-
-  PrunerOptions pruner_options;
-  pruner_options.dispersion_threshold = options_.dispersion_threshold;
-  pruner_options.prune_winners = options_.prune_winners;
-  pruner_options.kmeans_max_k = options_.kmeans_max_k;
-  pruner_options.seed = options_.seed;
-
-  std::vector<std::pair<float, size_t>> finalized;  // (score at selection, id)
-  size_t remaining_k = std::min(request.k, n);
-  bool terminated = false;
-  std::vector<float> scores_active;
-
-  for (size_t layer = 0; layer < config_.n_layers; ++layer) {
-    // Acquire weights: prefetched by the streamer, or resident.
-    std::span<const uint8_t> blob;
-    if (streamer != nullptr) {
-      const WallTimer stall_timer;
-      blob = streamer->Acquire(layer);
-      result.stats.io_stall_ms += stall_timer.ElapsedMillis();
-    } else {
-      blob = resident_layers_[layer];
-    }
-    const AnyLayerView view = ParseAnyLayerBlob(config_, blob, options_.quantized);
-
-    // Forward every chunk through this layer; scores are collected in active
-    // order (chunk order concatenated).
-    scores_active.clear();
-    const bool last_layer = layer + 1 == config_.n_layers;
-    if (options_.offload_hidden && !chunks.empty() && chunks[0].spilled) {
-      spill_->PrefetchAsync(0);
-    }
-    for (size_t ci = 0; ci < chunks.size(); ++ci) {
-      ChunkState& chunk = chunks[ci];
-      Tensor hidden = TakeChunk(&chunk, static_cast<int64_t>(ci));
-      if (options_.offload_hidden && ci + 1 < chunks.size() && chunks[ci + 1].spilled) {
-        spill_->PrefetchAsync(static_cast<int64_t>(ci + 1));
-      }
-      const WallTimer compute_timer;
-      LayerForward(config_, view, seq_len, &hidden, &scratch);
-      ScoreChunk(config_, head_, hidden, seq_len, &scores_active);
-      const int64_t compute_micros = compute_timer.ElapsedMicros();
-      result.stats.compute_ms += static_cast<double>(compute_micros) / 1000.0;
-      ApplyComputeSlowdown(options_.device, compute_micros);
-      StowChunk(&chunk, static_cast<int64_t>(ci), std::move(hidden), !last_layer);
-    }
-    result.stats.candidate_layers += static_cast<int64_t>(active.size());
-    result.stats.layers_until_done = layer + 1;
-    if (streamer != nullptr) {
-      streamer->Release(layer);
-    }
-
-    // Record provisional scores for all active candidates.
-    PRISM_CHECK_EQ(scores_active.size(), active.size());
-    for (size_t i = 0; i < active.size(); ++i) {
-      result.scores[active[i]] = scores_active[i];
-    }
-
-    // Trace mode: record everything, prune nothing.
-    if (options_.trace) {
-      LayerTraceEntry entry;
-      entry.layer = layer;
-      entry.active = active.size();
-      entry.cv = CoefficientOfVariation(scores_active);
-      entry.scores.assign(n, kNan);
-      entry.clusters.assign(n, -1);
-      const Clustering clustering =
-          ClusterScores(scores_active, options_.kmeans_max_k, options_.seed);
-      for (size_t i = 0; i < active.size(); ++i) {
-        entry.scores[active[i]] = scores_active[i];
-        entry.clusters[active[i]] = clustering.assignment[i];
-      }
-      trace_.push_back(std::move(entry));
-      continue;
-    }
-
-    // Progressive cluster pruning between layers (skip after the last layer —
-    // final scores settle the remaining candidates anyway).
-    if (!options_.pruning || last_layer) {
-      continue;
-    }
-    const PruneDecision decision = DecidePrune(scores_active, remaining_k, pruner_options);
-    LayerTraceEntry entry;
-    entry.layer = layer;
-    entry.active = active.size();
-    entry.cv = decision.cv;
-    entry.prune_triggered = decision.triggered;
-    entry.selected = decision.selected.size();
-    entry.dropped = decision.dropped.size();
-    trace_.push_back(std::move(entry));
-    if (!decision.triggered && !decision.terminate) {
-      continue;
-    }
-
-    for (size_t idx : decision.selected) {
-      finalized.emplace_back(scores_active[idx], active[idx]);
-    }
-    PRISM_CHECK_GE(remaining_k, decision.selected.size());
-    remaining_k -= decision.selected.size();
-
-    if (decision.terminate || remaining_k == 0 || decision.deferred.empty()) {
-      terminated = true;
-      if (streamer != nullptr) {
-        streamer->TruncateSchedule(layer);
-      }
-      break;
-    }
-
-    if (decision.selected.empty() && decision.dropped.empty()) {
-      continue;  // Triggered but nothing to prune; chunks stay as they are.
-    }
-
-    // Compact: gather surviving candidates' hidden rows into fresh chunks
-    // (the paper's shrinking monolithic batch, Fig 3: BS 20 → 16 → 10).
-    std::vector<size_t> survivors;
-    survivors.reserve(decision.deferred.size());
-    for (size_t idx : decision.deferred) {
-      survivors.push_back(active[idx]);
-    }
-    // Map original id → (chunk, slot) for row gathering.
-    std::vector<std::pair<size_t, size_t>> location(n, {SIZE_MAX, SIZE_MAX});
-    for (size_t ci = 0; ci < chunks.size(); ++ci) {
-      for (size_t c = 0; c < chunks[ci].ids.size(); ++c) {
-        location[chunks[ci].ids[c]] = {ci, c};
-      }
-    }
-    std::vector<Tensor> materialized;
-    materialized.reserve(chunks.size());
-    for (size_t ci = 0; ci < chunks.size(); ++ci) {
-      materialized.push_back(TakeChunk(&chunks[ci], static_cast<int64_t>(ci)));
-    }
-    std::vector<ChunkState> new_chunks = partition(survivors);
-    for (size_t ci = 0; ci < new_chunks.size(); ++ci) {
-      ChunkState& chunk = new_chunks[ci];
-      Tensor hidden(chunk.ids.size() * seq_len, config_.hidden, MemCategory::kHiddenStates,
-                    tracker_);
-      for (size_t c = 0; c < chunk.ids.size(); ++c) {
-        const auto [src_chunk, src_slot] = location[chunk.ids[c]];
-        PRISM_CHECK_NE(src_chunk, SIZE_MAX);
-        const float* src = materialized[src_chunk].data() + src_slot * seq_len * config_.hidden;
-        std::copy(src, src + seq_len * config_.hidden,
-                  hidden.data() + c * seq_len * config_.hidden);
-      }
-      StowChunk(&chunk, static_cast<int64_t>(ci), std::move(hidden), /*more_layers=*/true);
-    }
-    materialized.clear();
-    chunks = std::move(new_chunks);
-    active = std::move(survivors);
-  }
-
-  // Fill any remaining top-K slots from the still-active candidates by final
-  // provisional score.
-  if (!terminated && remaining_k > 0) {
-    const std::vector<size_t> order = TopKIndices(scores_active, remaining_k);
-    for (size_t idx : order) {
-      finalized.emplace_back(scores_active[idx], active[idx]);
-    }
-  }
-
-  std::sort(finalized.begin(), finalized.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) {
-      return a.first > b.first;
-    }
-    return a.second < b.second;
-  });
-  for (const auto& [score, id] : finalized) {
-    if (result.topk.size() == std::min(request.k, n)) {
-      break;
-    }
-    result.topk.push_back(id);
-  }
-
-  if (streamer != nullptr) {
-    const StreamerStats stats = streamer->stats();
-    result.stats.bytes_streamed = stats.bytes_loaded;
-    streamer.reset();
-  }
-  if (cache_ != nullptr) {
-    result.stats.embed_cache_hit_rate = cache_->stats().HitRate();
-  }
-  result.stats.latency_ms = total_timer.ElapsedMillis();
-  return result;
+  return results;
 }
 
 }  // namespace prism

@@ -1,4 +1,4 @@
-// The PRISM engine: monolithic forwarding (paper §3.3–§4).
+// The PRISM engine: staged monolithic forwarding (paper §3.3–§4).
 //
 // All candidates advance through the transformer together as one monolithic
 // batch, giving the engine a global view for progressive cluster pruning
@@ -7,16 +7,26 @@
 // memory (optionally spilling hidden states to disk), and the embedding-table
 // LRU cache (§4.4) replaces the resident embedding table. Every technique is
 // individually switchable for the ablation study (Fig 16).
+//
+// Execution is organised as a staged pipeline (src/core/stages.h): the
+// engine owns only shared immutable resources and hands each request a
+// private RequestContext, so concurrent Rerank/RerankBatch calls are safe —
+// a batch shares a single layer-streaming pass across its requests while
+// producing results bit-identical to serial execution.
 #ifndef PRISM_SRC_CORE_ENGINE_H_
 #define PRISM_SRC_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/common/memory_tracker.h"
-#include "src/core/pruner.h"
+#include "src/common/thread_pool.h"
+#include "src/core/stages.h"
 #include "src/model/embedding.h"
 #include "src/model/weights.h"
 #include "src/runtime/device.h"
@@ -27,64 +37,43 @@
 
 namespace prism {
 
-struct PrismOptions {
-  DeviceProfile device = NvidiaProfile();
-
-  // §4.1 progressive cluster pruning.
-  bool pruning = true;
-  float dispersion_threshold = 0.35f;
-  bool prune_winners = true;  // false → exact-rank mode (Discussion §7).
-  int kmeans_max_k = 4;
-
-  // §4.2 overlapped layer streaming (false → all layers resident, HF-style).
-  bool streaming = true;
-
-  // §4.3 chunked execution.
-  bool chunked = true;
-  size_t chunk_candidates = 0;  // 0 = plan from device.activation_budget.
-  bool offload_hidden = false;  // Dynamic hidden-state offloading.
-
-  // §4.4 embedding table caching (false → full table resident).
-  bool embed_cache = true;
-  double embed_cache_fraction = 0.10;
-
-  bool quantized = false;  // W4 checkpoint ("PRISM Quant").
-
-  // Trace mode: records per-layer scores/clusters for every candidate and
-  // disables pruning (used by the Fig-2 sparsity analysis).
-  bool trace = false;
-
-  uint64_t seed = 42;
-};
-
-// Per-layer record captured in trace mode (and, lightly, during pruning).
-struct LayerTraceEntry {
-  size_t layer = 0;
-  size_t active = 0;
-  double cv = 0.0;
-  bool prune_triggered = false;
-  size_t selected = 0;
-  size_t dropped = 0;
-  // Indexed by original candidate id; NaN when the candidate was inactive.
-  std::vector<float> scores;
-  // Cluster id per original candidate (-1 when unclustered/inactive).
-  std::vector<int> clusters;
-};
-
 class PrismEngine : public Runner {
  public:
   PrismEngine(const ModelConfig& config, const std::string& checkpoint_path, PrismOptions options,
               MemoryTracker* tracker = &MemoryTracker::Global());
 
   RerankResult Rerank(const RerankRequest& request) override;
+
+  // Runs several requests as one coalesced pass: every layer's weights are
+  // fetched once for the whole batch (the §3.3 global view extended across
+  // requests), while per-request pruning keeps each result bit-identical to
+  // a serial Rerank. When `compute_pool` is non-null, per-request forwarding
+  // fans out across its workers. Thread-compatible: concurrent calls are
+  // safe (shared caches/spill are internally synchronised).
+  std::vector<RerankResult> RerankBatch(std::span<const RerankRequest* const> requests,
+                                        ThreadPool* compute_pool = nullptr);
+
   std::string name() const override { return options_.quantized ? "PRISM Quant" : "PRISM"; }
 
-  const std::vector<LayerTraceEntry>& last_trace() const { return trace_; }
-  const PrismOptions& options() const { return options_; }
-  void set_dispersion_threshold(float threshold) { options_.dispersion_threshold = threshold; }
+  // Trace of the most recent request (trace mode only; meaningful when
+  // requests are issued serially).
+  std::vector<LayerTraceEntry> last_trace() const;
 
-  // Stats of the persistent embedding cache (null when embed_cache is off).
-  const EmbeddingCacheStats* embed_cache_stats() const;
+  const PrismOptions& options() const { return options_; }
+
+  // The live dispersion threshold is atomic: the OnlineCalibrator nudges it
+  // while requests are in flight. `options().dispersion_threshold` keeps the
+  // construction-time value; read the current one here.
+  float dispersion_threshold() const {
+    return dispersion_threshold_.load(std::memory_order_relaxed);
+  }
+  void set_dispersion_threshold(float threshold) {
+    dispersion_threshold_.store(threshold, std::memory_order_relaxed);
+  }
+
+  // Stats of the persistent embedding cache (nullopt when embed_cache off).
+  // Cumulative across all requests served by this engine.
+  std::optional<EmbeddingCacheStats> embed_cache_stats() const;
 
   // Chunk size the planner would pick for `n` candidates at `seq_len` (§4.3):
   // the largest count whose scratch fits the activation budget, floored at 2
@@ -92,15 +81,6 @@ class PrismEngine : public Runner {
   size_t PlanChunkCandidates(size_t n, size_t seq_len) const;
 
  private:
-  struct ChunkState {
-    std::vector<size_t> ids;        // Original candidate indices.
-    std::optional<Tensor> hidden;   // Resident hidden states (unless spilled).
-    bool spilled = false;
-  };
-
-  Tensor TakeChunk(ChunkState* chunk, int64_t key);
-  void StowChunk(ChunkState* chunk, int64_t key, Tensor hidden, bool more_layers);
-
   ModelConfig config_;
   PrismOptions options_;
   MemoryTracker* tracker_;
@@ -112,6 +92,19 @@ class PrismEngine : public Runner {
   std::vector<std::vector<uint8_t>> resident_layers_;
   MemClaim resident_claim_;
   std::unique_ptr<SpillPool> spill_;
+
+  std::atomic<float> dispersion_threshold_;
+  std::atomic<uint64_t> next_request_id_{0};
+
+  // Stage pipeline over the shared resources above. Constructed last; the
+  // resource bundle points into this object, which never moves.
+  StageResources resources_;
+  std::optional<ChunkPlanner> planner_;
+  std::optional<EmbedStage> embed_stage_;
+  std::optional<LayerLoop> layer_loop_;
+  std::optional<PruneStage> prune_stage_;
+
+  mutable std::mutex trace_mu_;
   std::vector<LayerTraceEntry> trace_;
 };
 

@@ -8,6 +8,16 @@
 
 namespace prism {
 
+size_t OnlineCalibrator::pending_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+size_t OnlineCalibrator::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
 OnlineCalibrator::OnlineCalibrator(PrismEngine* engine, Runner* reference,
                                    OnlineCalibratorOptions options)
     : engine_(engine), reference_(reference), options_(options) {
@@ -17,6 +27,7 @@ OnlineCalibrator::OnlineCalibrator(PrismEngine* engine, Runner* reference,
 
 RerankResult OnlineCalibrator::Rerank(const RerankRequest& request) {
   const RerankResult result = engine_->Rerank(request);
+  std::lock_guard<std::mutex> lock(mu_);
   if (served_++ % options_.sample_every == 0) {
     if (log_.size() == options_.max_samples) {
       log_.pop_front();
@@ -27,22 +38,30 @@ RerankResult OnlineCalibrator::Rerank(const RerankRequest& request) {
 }
 
 double OnlineCalibrator::RunIdleCycle(size_t budget) {
-  if (log_.empty()) {
-    return std::nan("");
-  }
   double agreement = 0.0;
   size_t processed = 0;
-  while (!log_.empty() && processed < budget) {
-    const Sample sample = std::move(log_.front());
-    log_.pop_front();
-    // Full inference without pruning → ground truth.
+  while (processed < budget) {
+    Sample sample;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (log_.empty()) {
+        break;
+      }
+      sample = std::move(log_.front());
+      log_.pop_front();
+    }
+    // Full inference without pruning → ground truth (outside the lock: the
+    // reference run is slow and serving threads only need the log).
     const RerankResult truth = reference_->Rerank(sample.request);
     agreement += TopKOverlap(sample.topk, truth.topk, sample.request.k);
     ++processed;
   }
+  if (processed == 0) {
+    return std::nan("");
+  }
   agreement /= static_cast<double>(processed);
 
-  float threshold = engine_->options().dispersion_threshold;
+  float threshold = engine_->dispersion_threshold();
   if (agreement < options_.target_precision) {
     threshold *= options_.raise_factor;  // Precision first.
   } else {

@@ -11,12 +11,17 @@
 // logged together with PRISM's top-K; RunIdleCycle() (invoked whenever the
 // host application is idle) replays the logged requests through a
 // full-inference reference, measures agreement, and nudges the engine's
-// threshold multiplicatively in the indicated direction.
+// threshold multiplicatively in the indicated direction. The threshold write
+// is safe against in-flight requests (the engine stores it atomically), and
+// the sample log is mutex-guarded so RunIdleCycle may overlap a serving
+// thread; serving itself stays one-request-at-a-time (RerankService's
+// SerialScheduler).
 #ifndef PRISM_SRC_CORE_ONLINE_CALIBRATOR_H_
 #define PRISM_SRC_CORE_ONLINE_CALIBRATOR_H_
 
 #include <deque>
 #include <memory>
+#include <mutex>
 
 #include "src/core/engine.h"
 
@@ -47,9 +52,9 @@ class OnlineCalibrator : public Runner {
   // was empty).
   double RunIdleCycle(size_t budget = SIZE_MAX);
 
-  float current_threshold() const { return engine_->options().dispersion_threshold; }
-  size_t pending_samples() const { return log_.size(); }
-  size_t requests_served() const { return served_; }
+  float current_threshold() const { return engine_->dispersion_threshold(); }
+  size_t pending_samples() const;
+  size_t requests_served() const;
 
  private:
   struct Sample {
@@ -60,6 +65,7 @@ class OnlineCalibrator : public Runner {
   PrismEngine* engine_;
   Runner* reference_;
   OnlineCalibratorOptions options_;
+  mutable std::mutex mu_;  // Guards log_ and served_.
   std::deque<Sample> log_;
   size_t served_ = 0;
 };

@@ -1,0 +1,97 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace prism {
+
+RerankResult SerialScheduler::Submit(const RerankRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runner_->Rerank(request);
+}
+
+std::future<RerankResult> RequestQueue::Push(const RerankRequest& request) {
+  std::future<RerankResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PRISM_CHECK_MSG(!closed_, "Push after Close");
+    Pending pending;
+    pending.request = &request;
+    pending.ticket = next_ticket_++;
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch) {
+  PRISM_CHECK_GT(max_batch, 0u);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  std::vector<Pending> batch;
+  const size_t take = std::min(max_batch, queue_.size());
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+BatchScheduler::BatchScheduler(PrismEngine* engine, size_t max_inflight, size_t compute_threads)
+    : engine_(engine), max_inflight_(max_inflight) {
+  PRISM_CHECK_GT(max_inflight_, 0u);
+  if (compute_threads == 0) {
+    // At least one thread per batch slot: requests spend much of their layer
+    // time waiting on the (simulated) device, so oversubscribing a small core
+    // count still overlaps those waits across the batch.
+    compute_threads = std::max<size_t>(std::thread::hardware_concurrency(), max_inflight_);
+  }
+  compute_pool_ = std::make_unique<ThreadPool>(compute_threads);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  queue_.Close();
+  dispatcher_.join();
+}
+
+RerankResult BatchScheduler::Submit(const RerankRequest& request) {
+  return queue_.Push(request).get();
+}
+
+void BatchScheduler::DispatchLoop() {
+  for (;;) {
+    std::vector<RequestQueue::Pending> batch = queue_.PopBatch(max_inflight_);
+    if (batch.empty()) {
+      return;  // Closed and drained.
+    }
+    std::vector<const RerankRequest*> requests;
+    requests.reserve(batch.size());
+    for (const RequestQueue::Pending& pending : batch) {
+      requests.push_back(pending.request);
+    }
+    std::vector<RerankResult> results = engine_->RerankBatch(requests, compute_pool_.get());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+}  // namespace prism

@@ -1,0 +1,112 @@
+// Request admission for RerankService.
+//
+// A Scheduler decides how concurrent Rerank calls reach the engine:
+//
+//   SerialScheduler  — one request at a time through a Runner (the original
+//                      behaviour; callers queue on a mutex). Required when
+//                      the runner is stateful, e.g. the OnlineCalibrator.
+//   BatchScheduler   — callers enqueue into a ticketed FIFO RequestQueue; a
+//                      dispatcher thread drains it, coalescing up to
+//                      `max_inflight` requests into one PrismEngine batch.
+//                      The batch shares a single layer-streaming pass (each
+//                      layer's weights are fetched once for every in-flight
+//                      request — the paper's §3.3 global view extended
+//                      across requests) and fans per-request compute out on
+//                      a worker pool. Admission order, not thread timing,
+//                      determines batch composition, and per-request pruning
+//                      keeps every result bit-identical to a serial run.
+#ifndef PRISM_SRC_CORE_SCHEDULER_H_
+#define PRISM_SRC_CORE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/engine.h"
+#include "src/runtime/runner.h"
+
+namespace prism {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Blocks until the request has been served; thread-safe.
+  virtual RerankResult Submit(const RerankRequest& request) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Mutex-serialised pass-through to a Runner.
+class SerialScheduler : public Scheduler {
+ public:
+  explicit SerialScheduler(Runner* runner) : runner_(runner) {}
+
+  RerankResult Submit(const RerankRequest& request) override;
+  std::string name() const override { return "serial"; }
+
+ private:
+  Runner* runner_;
+  std::mutex mu_;
+};
+
+// Ticketed FIFO of pending requests. Pushes never block; PopBatch blocks
+// until at least one request is pending (or the queue is closed) and then
+// drains up to `max_batch` entries in admission order.
+class RequestQueue {
+ public:
+  struct Pending {
+    const RerankRequest* request = nullptr;
+    std::promise<RerankResult> promise;
+    uint64_t ticket = 0;
+  };
+
+  std::future<RerankResult> Push(const RerankRequest& request);
+  std::vector<Pending> PopBatch(size_t max_batch);
+
+  // Wakes PopBatch; subsequent pushes are rejected (CHECK).
+  void Close();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  uint64_t next_ticket_ = 0;
+  bool closed_ = false;
+};
+
+class BatchScheduler : public Scheduler {
+ public:
+  // `compute_threads` sizes the per-request fan-out pool (0 = one per core).
+  BatchScheduler(PrismEngine* engine, size_t max_inflight, size_t compute_threads = 0);
+  ~BatchScheduler() override;
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  RerankResult Submit(const RerankRequest& request) override;
+  std::string name() const override { return "batch"; }
+
+  size_t max_inflight() const { return max_inflight_; }
+
+ private:
+  void DispatchLoop();
+
+  PrismEngine* engine_;
+  size_t max_inflight_;
+  RequestQueue queue_;
+  std::unique_ptr<ThreadPool> compute_pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_CORE_SCHEDULER_H_

@@ -1,15 +1,46 @@
 #include "src/core/service.h"
 
-#include <algorithm>
 #include <cmath>
 
+#include "src/common/check.h"
+#include "src/common/timer.h"
+
 namespace prism {
+
+void ServiceStats::Observe(const RerankRequest& request, const RerankResult& result,
+                           double observed_ms) {
+  ++requests;
+  total_latency_ms += observed_ms;
+  max_latency_ms = std::max(max_latency_ms, observed_ms);
+  total_candidate_layers += result.stats.candidate_layers;
+  total_candidates += static_cast<int64_t>(request.docs.size());
+  bytes_streamed += result.stats.bytes_streamed;
+  if (latency_ring.size() < kLatencyRingCapacity) {
+    latency_ring.push_back(observed_ms);
+  } else {
+    latency_ring[ring_next] = observed_ms;
+    ring_next = (ring_next + 1) % kLatencyRingCapacity;
+  }
+}
+
+double ServiceStats::LatencyPercentileMs(double p) const {
+  if (latency_ring.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(latency_ring);
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const size_t index = rank <= 1.0 ? 0 : std::min(sorted.size() - 1, static_cast<size_t>(rank) - 1);
+  return sorted[index];
+}
 
 RerankService::RerankService(const ModelConfig& config, const std::string& checkpoint_path,
                              ServiceOptions options, MemoryTracker* tracker)
     : config_(config) {
   engine_ = std::make_unique<PrismEngine>(config, checkpoint_path, options.engine, tracker);
   if (options.online_calibration) {
+    PRISM_CHECK_MSG(options.max_inflight <= 1,
+                    "online calibration samples through a serial log; use max_inflight == 1");
     PrismOptions reference_options = options.engine;
     reference_options.pruning = false;
     // Ground-truth runs happen at idle time; they should not distort the
@@ -22,18 +53,24 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
     calibrator_ = std::make_unique<OnlineCalibrator>(engine_.get(), reference_.get(),
                                                      options.calibration);
   }
+  if (options.max_inflight > 1) {
+    scheduler_ = std::make_unique<BatchScheduler>(engine_.get(), options.max_inflight,
+                                                  options.compute_threads);
+  } else {
+    Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
+                                            : static_cast<Runner*>(engine_.get());
+    scheduler_ = std::make_unique<SerialScheduler>(runner);
+  }
 }
 
 RerankResult RerankService::Rerank(const RerankRequest& request) {
-  Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
-                                          : static_cast<Runner*>(engine_.get());
-  const RerankResult result = runner->Rerank(request);
-  ++stats_.requests;
-  stats_.total_latency_ms += result.stats.latency_ms;
-  stats_.max_latency_ms = std::max(stats_.max_latency_ms, result.stats.latency_ms);
-  stats_.total_candidate_layers += result.stats.candidate_layers;
-  stats_.total_candidates += static_cast<int64_t>(request.docs.size());
-  stats_.bytes_streamed += result.stats.bytes_streamed;
+  const WallTimer timer;
+  RerankResult result = scheduler_->Submit(request);
+  const double observed_ms = timer.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.Observe(request, result, observed_ms);
+  }
   return result;
 }
 
@@ -42,6 +79,11 @@ double RerankService::OnIdle() {
     return std::nan("");
   }
   return calibrator_->RunIdleCycle();
+}
+
+ServiceStats RerankService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace prism

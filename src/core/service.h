@@ -2,39 +2,73 @@
 //
 // Owns a model's checkpoint, a PRISM engine, an optional full-inference
 // reference for online calibration, and rolling service statistics — the
-// piece an application (file search, RAG, agent) embeds. Single-threaded by
-// design: on-device rerank requests are serial, and the engine's internal
-// I/O threads provide the only concurrency the workload needs.
+// piece an application (file search, RAG, agent) embeds. Rerank() is
+// thread-safe: requests are admitted through a Scheduler
+// (src/core/scheduler.h). With the default `max_inflight == 1` every call
+// is served serially, exactly as before; with `max_inflight > 1` a batching
+// scheduler coalesces concurrent requests into one engine pass that shares
+// a single layer-streaming sweep, raising throughput while keeping each
+// request's result bit-identical to serial execution.
 #ifndef PRISM_SRC_CORE_SERVICE_H_
 #define PRISM_SRC_CORE_SERVICE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/core/engine.h"
 #include "src/core/online_calibrator.h"
+#include "src/core/scheduler.h"
 
 namespace prism {
 
 struct ServiceOptions {
   PrismOptions engine;
+  // Maximum requests admitted into one coalesced engine batch. 1 (default)
+  // keeps the serial scheduler: existing callers see identical behaviour.
+  size_t max_inflight = 1;
+  // Worker threads for per-request compute fan-out when max_inflight > 1.
+  // 0 = max(hardware cores, max_inflight): a thread per batch slot lets
+  // device-wait-heavy requests overlap even on few cores.
+  size_t compute_threads = 0;
   // When set, a pruning-disabled twin engine is created and every Nth request
-  // is sampled for idle-time calibration toward `target_precision`.
+  // is sampled for idle-time calibration toward `target_precision`. The
+  // calibrator's sample log is serial-only, so this requires
+  // max_inflight == 1 (checked).
   bool online_calibration = false;
   OnlineCalibratorOptions calibration;
 };
 
+// Rolling service statistics. RerankService accumulates these under a mutex
+// and hands out snapshots; latencies are client-observed (queueing included)
+// so concurrent-mode percentiles mean what an operator expects.
 struct ServiceStats {
+  // Latencies (ms) of the most recent requests, for percentile tracking.
+  static constexpr size_t kLatencyRingCapacity = 1024;
+
   size_t requests = 0;
   double total_latency_ms = 0.0;
   double max_latency_ms = 0.0;
   int64_t total_candidate_layers = 0;
   int64_t total_candidates = 0;
   int64_t bytes_streamed = 0;
+  std::vector<double> latency_ring;
+  size_t ring_next = 0;
+
+  void Observe(const RerankRequest& request, const RerankResult& result, double observed_ms);
 
   double MeanLatencyMs() const {
     return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);
   }
+
+  // Latency percentile (p in [0, 100]) over the ring window; 0 when empty.
+  double LatencyPercentileMs(double p) const;
+  double P50LatencyMs() const { return LatencyPercentileMs(50.0); }
+  double P99LatencyMs() const { return LatencyPercentileMs(99.0); }
+
   // Fraction of full-inference work actually executed (1.0 = no pruning win).
   double WorkFraction(size_t n_layers) const {
     const auto full = static_cast<double>(total_candidates) * static_cast<double>(n_layers);
@@ -47,21 +81,28 @@ class RerankService {
   RerankService(const ModelConfig& config, const std::string& checkpoint_path,
                 ServiceOptions options, MemoryTracker* tracker = &MemoryTracker::Global());
 
+  // Thread-safe; blocks until the request has been served.
   RerankResult Rerank(const RerankRequest& request);
 
   // Idle hook: runs one online-calibration cycle if enabled (no-op
-  // otherwise). Returns the measured agreement or NaN.
+  // otherwise). Returns the measured agreement or NaN. Thread-safe — the
+  // calibrator's sample log is mutex-guarded, so this may overlap serving —
+  // but it runs full-inference ground truth, so call it when the service is
+  // otherwise idle.
   double OnIdle();
 
-  const ServiceStats& stats() const { return stats_; }
+  ServiceStats stats() const;  // Snapshot.
   const ModelConfig& config() const { return config_; }
-  float current_threshold() const { return engine_->options().dispersion_threshold; }
+  float current_threshold() const { return engine_->dispersion_threshold(); }
+  const Scheduler& scheduler() const { return *scheduler_; }
 
  private:
   ModelConfig config_;
   std::unique_ptr<PrismEngine> engine_;
   std::unique_ptr<PrismEngine> reference_;  // Pruning-off twin (calibration).
   std::unique_ptr<OnlineCalibrator> calibrator_;
+  std::unique_ptr<Scheduler> scheduler_;
+  mutable std::mutex stats_mu_;
   ServiceStats stats_;
 };
 

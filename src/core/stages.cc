@@ -1,0 +1,384 @@
+#include "src/core/stages.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/data/metrics.h"
+#include "src/storage/layer_streamer.h"
+
+namespace prism {
+
+namespace {
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+}  // namespace
+
+Tensor TakeChunkHidden(const StageResources& res, RequestContext* ctx, size_t chunk_index) {
+  ChunkState& chunk = ctx->chunks[chunk_index];
+  if (chunk.spilled) {
+    chunk.spilled = false;
+    return res.spill->Take(ctx->SpillKey(chunk_index));
+  }
+  Tensor t = std::move(*chunk.hidden);
+  chunk.hidden.reset();
+  return t;
+}
+
+void StowChunkHidden(const StageResources& res, RequestContext* ctx, size_t chunk_index,
+                     Tensor hidden, bool more_layers) {
+  ChunkState& chunk = ctx->chunks[chunk_index];
+  if (res.options->offload_hidden && more_layers) {
+    res.spill->SpillAsync(ctx->SpillKey(chunk_index), std::move(hidden));
+    chunk.spilled = true;
+  } else {
+    chunk.hidden = std::move(hidden);
+    chunk.spilled = false;
+  }
+}
+
+size_t ChunkPlanner::PlanCandidates(size_t n, size_t seq_len) const {
+  const PrismOptions& options = *res_.options;
+  if (!options.chunked) {
+    return n;
+  }
+  if (options.chunk_candidates > 0) {
+    return std::min(options.chunk_candidates, n);
+  }
+  // Largest c with scratch(c·T) within the activation budget; floor 2 keeps
+  // each chunk's compute window wide enough to overlap a layer load.
+  size_t best = 1;
+  for (size_t c = 1; c <= n; ++c) {
+    if (LayerScratch::BytesFor(*res_.config, c * seq_len, seq_len) <=
+        options.device.activation_budget_bytes) {
+      best = c;
+    } else {
+      break;
+    }
+  }
+  return std::max<size_t>(std::min<size_t>(2, n), best);
+}
+
+std::vector<ChunkState> ChunkPlanner::Partition(const std::vector<size_t>& ids,
+                                                size_t chunk_cand) {
+  std::vector<ChunkState> chunks;
+  for (size_t at = 0; at < ids.size(); at += chunk_cand) {
+    ChunkState chunk;
+    const size_t end = std::min(at + chunk_cand, ids.size());
+    chunk.ids.assign(ids.begin() + static_cast<ptrdiff_t>(at),
+                     ids.begin() + static_cast<ptrdiff_t>(end));
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+void ChunkPlanner::Begin(RequestContext* ctx) const {
+  const RerankRequest& request = *ctx->request;
+  const size_t n = ctx->n();
+  PRISM_CHECK_EQ(n, request.planted_r.size());
+  PRISM_CHECK_GT(request.k, 0u);
+  ctx->seq_len = ChooseSeqLen(*res_.config, request.query, request.docs);
+  ctx->result.scores.assign(n, kNan);
+  ctx->remaining_k = std::min(request.k, n);
+
+  ctx->chunk_cand = PlanCandidates(n, ctx->seq_len);
+  ctx->scratch.emplace(
+      LayerScratch::Make(*res_.config, ctx->chunk_cand * ctx->seq_len, ctx->seq_len,
+                         res_.tracker));
+
+  ctx->active.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ctx->active[i] = i;
+  }
+  ctx->chunks = Partition(ctx->active, ctx->chunk_cand);
+}
+
+void EmbedStage::Run(RequestContext* ctx) const {
+  const WallTimer embed_timer;
+  const ModelConfig& config = *res_.config;
+  const RerankRequest& request = *ctx->request;
+  const size_t n = ctx->n();
+  const size_t seq_len = ctx->seq_len;
+  // Build all pair inputs first so the cache can batch-load the request's
+  // unique missing tokens in one device read (§4.5).
+  ctx->pairs.reserve(n);
+  std::vector<uint32_t> all_tokens;
+  for (size_t id = 0; id < n; ++id) {
+    ctx->pairs.push_back(BuildPairInput(config, request.query, request.docs[id],
+                                        request.planted_r[id], seq_len));
+    all_tokens.insert(all_tokens.end(), ctx->pairs.back().tokens.begin(),
+                      ctx->pairs.back().tokens.end());
+  }
+  if (res_.cache != nullptr) {
+    res_.cache->PrefetchTokens(all_tokens);
+  }
+  for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
+    ChunkState& chunk = ctx->chunks[ci];
+    Tensor hidden(chunk.ids.size() * seq_len, config.hidden, MemCategory::kHiddenStates,
+                  res_.tracker);
+    for (size_t c = 0; c < chunk.ids.size(); ++c) {
+      EmbedPairInto(config, res_.embedding, *res_.head, ctx->pairs[chunk.ids[c]], c, seq_len,
+                    &hidden);
+    }
+    StowChunkHidden(res_, ctx, ci, std::move(hidden), /*more_layers=*/true);
+  }
+  ctx->result.stats.embed_ms = embed_timer.ElapsedMillis();
+}
+
+bool PruneStage::AfterLayer(RequestContext* ctx, size_t layer, bool last_layer) const {
+  const PrismOptions& options = *res_.options;
+  const size_t n = ctx->n();
+  std::vector<size_t>& active = ctx->active;
+  std::vector<float>& scores_active = ctx->scores_active;
+
+  // Record provisional scores for all active candidates.
+  PRISM_CHECK_EQ(scores_active.size(), active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    ctx->result.scores[active[i]] = scores_active[i];
+  }
+
+  // Trace mode: record everything, prune nothing.
+  if (options.trace) {
+    LayerTraceEntry entry;
+    entry.layer = layer;
+    entry.active = active.size();
+    entry.cv = CoefficientOfVariation(scores_active);
+    entry.scores.assign(n, kNan);
+    entry.clusters.assign(n, -1);
+    const Clustering clustering =
+        ClusterScores(scores_active, options.kmeans_max_k, options.seed);
+    for (size_t i = 0; i < active.size(); ++i) {
+      entry.scores[active[i]] = scores_active[i];
+      entry.clusters[active[i]] = clustering.assignment[i];
+    }
+    ctx->trace.push_back(std::move(entry));
+    return false;
+  }
+
+  // Progressive cluster pruning between layers (skip after the last layer —
+  // final scores settle the remaining candidates anyway).
+  if (!options.pruning || last_layer) {
+    return false;
+  }
+  const PruneDecision decision = DecidePrune(scores_active, ctx->remaining_k,
+                                             ctx->pruner_options);
+  LayerTraceEntry entry;
+  entry.layer = layer;
+  entry.active = active.size();
+  entry.cv = decision.cv;
+  entry.prune_triggered = decision.triggered;
+  entry.selected = decision.selected.size();
+  entry.dropped = decision.dropped.size();
+  ctx->trace.push_back(std::move(entry));
+  if (!decision.triggered && !decision.terminate) {
+    return false;
+  }
+
+  for (size_t idx : decision.selected) {
+    ctx->finalized.emplace_back(scores_active[idx], active[idx]);
+  }
+  PRISM_CHECK_GE(ctx->remaining_k, decision.selected.size());
+  ctx->remaining_k -= decision.selected.size();
+
+  if (decision.terminate || ctx->remaining_k == 0 || decision.deferred.empty()) {
+    ctx->terminated = true;
+    return true;
+  }
+
+  if (decision.selected.empty() && decision.dropped.empty()) {
+    return false;  // Triggered but nothing to prune; chunks stay as they are.
+  }
+
+  // Compact: gather surviving candidates' hidden rows into fresh chunks
+  // (the paper's shrinking monolithic batch, Fig 3: BS 20 → 16 → 10).
+  std::vector<size_t> survivors;
+  survivors.reserve(decision.deferred.size());
+  for (size_t idx : decision.deferred) {
+    survivors.push_back(active[idx]);
+  }
+  // Map original id → (chunk, slot) for row gathering.
+  const size_t seq_len = ctx->seq_len;
+  const size_t hidden_dim = res_.config->hidden;
+  std::vector<std::pair<size_t, size_t>> location(n, {SIZE_MAX, SIZE_MAX});
+  for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
+    for (size_t c = 0; c < ctx->chunks[ci].ids.size(); ++c) {
+      location[ctx->chunks[ci].ids[c]] = {ci, c};
+    }
+  }
+  std::vector<Tensor> materialized;
+  materialized.reserve(ctx->chunks.size());
+  for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
+    materialized.push_back(TakeChunkHidden(res_, ctx, ci));
+  }
+  // The old chunks' tensors were all taken above; replace them wholesale.
+  ctx->chunks = ChunkPlanner::Partition(survivors, ctx->chunk_cand);
+  for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
+    ChunkState& chunk = ctx->chunks[ci];
+    Tensor hidden(chunk.ids.size() * seq_len, hidden_dim, MemCategory::kHiddenStates,
+                  res_.tracker);
+    for (size_t c = 0; c < chunk.ids.size(); ++c) {
+      const auto [src_chunk, src_slot] = location[chunk.ids[c]];
+      PRISM_CHECK_NE(src_chunk, SIZE_MAX);
+      const float* src = materialized[src_chunk].data() + src_slot * seq_len * hidden_dim;
+      std::copy(src, src + seq_len * hidden_dim, hidden.data() + c * seq_len * hidden_dim);
+    }
+    StowChunkHidden(res_, ctx, ci, std::move(hidden), /*more_layers=*/true);
+  }
+  materialized.clear();
+  ctx->active = std::move(survivors);
+  return false;
+}
+
+void PruneStage::Finalize(RequestContext* ctx) const {
+  // Early termination can leave chunks parked on disk; release their pool
+  // entries so a long-running service stays bounded.
+  if (res_.spill != nullptr) {
+    for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
+      if (ctx->chunks[ci].spilled) {
+        res_.spill->Drop(ctx->SpillKey(ci));
+        ctx->chunks[ci].spilled = false;
+      }
+    }
+  }
+
+  // Fill any remaining top-K slots from the still-active candidates by final
+  // provisional score.
+  if (!ctx->terminated && ctx->remaining_k > 0) {
+    const std::vector<size_t> order = TopKIndices(ctx->scores_active, ctx->remaining_k);
+    for (size_t idx : order) {
+      ctx->finalized.emplace_back(ctx->scores_active[idx], ctx->active[idx]);
+    }
+  }
+
+  std::sort(ctx->finalized.begin(), ctx->finalized.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first > b.first;
+    }
+    return a.second < b.second;
+  });
+  const size_t want = std::min(ctx->request->k, ctx->n());
+  for (const auto& [score, id] : ctx->finalized) {
+    if (ctx->result.topk.size() == want) {
+      break;
+    }
+    ctx->result.topk.push_back(id);
+  }
+
+  if (res_.cache != nullptr) {
+    ctx->result.stats.embed_cache_hit_rate = res_.cache->stats().HitRate();
+  }
+  ctx->result.stats.latency_ms = ctx->timer.ElapsedMillis();
+}
+
+void LayerLoop::ForwardOneLayer(RequestContext* ctx, const AnyLayerView& view,
+                                bool last_layer) const {
+  const ModelConfig& config = *res_.config;
+  const PrismOptions& options = *res_.options;
+  const size_t seq_len = ctx->seq_len;
+  ctx->scores_active.clear();
+  if (options.offload_hidden && !ctx->chunks.empty() && ctx->chunks[0].spilled) {
+    res_.spill->PrefetchAsync(ctx->SpillKey(0));
+  }
+  for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
+    Tensor hidden = TakeChunkHidden(res_, ctx, ci);
+    if (options.offload_hidden && ci + 1 < ctx->chunks.size() && ctx->chunks[ci + 1].spilled) {
+      res_.spill->PrefetchAsync(ctx->SpillKey(ci + 1));
+    }
+    const WallTimer compute_timer;
+    LayerForward(config, view, seq_len, &hidden, &*ctx->scratch);
+    ScoreChunk(config, *res_.head, hidden, seq_len, &ctx->scores_active);
+    const int64_t compute_micros = compute_timer.ElapsedMicros();
+    ctx->result.stats.compute_ms += static_cast<double>(compute_micros) / 1000.0;
+    ApplyComputeSlowdown(options.device, compute_micros);
+    StowChunkHidden(res_, ctx, ci, std::move(hidden), !last_layer);
+  }
+}
+
+void LayerLoop::Run(std::span<RequestContext* const> ctxs, ThreadPool* compute_pool) const {
+  const ModelConfig& config = *res_.config;
+  const PrismOptions& options = *res_.options;
+
+  std::unique_ptr<LayerStreamer> streamer;
+  if (options.streaming) {
+    std::vector<size_t> schedule;
+    for (size_t layer = 0; layer < config.n_layers; ++layer) {
+      schedule.push_back(LayerBlobIndex(layer));
+    }
+    streamer = std::make_unique<LayerStreamer>(res_.reader, std::move(schedule),
+                                               /*buffer_count=*/2, res_.tracker);
+  }
+
+  std::vector<RequestContext*> live;
+  live.reserve(ctxs.size());
+  for (size_t layer = 0; layer < config.n_layers; ++layer) {
+    live.clear();
+    for (RequestContext* ctx : ctxs) {
+      if (!ctx->done) {
+        live.push_back(ctx);
+      }
+    }
+
+    // Acquire weights: prefetched by the streamer, or resident. One fetch
+    // serves every live request; the stall is split across them.
+    std::span<const uint8_t> blob;
+    if (streamer != nullptr) {
+      const WallTimer stall_timer;
+      blob = streamer->Acquire(layer);
+      const double stall_share = stall_timer.ElapsedMillis() / static_cast<double>(live.size());
+      for (RequestContext* ctx : live) {
+        ctx->result.stats.io_stall_ms += stall_share;
+      }
+    } else {
+      blob = (*res_.resident_layers)[layer];
+    }
+    const AnyLayerView view = ParseAnyLayerBlob(config, blob, options.quantized);
+
+    // Forward every live request's chunks through this layer. Contexts are
+    // independent, so the batch fans out across pool threads; results are
+    // bit-identical to the serial order.
+    const bool last_layer = layer + 1 == config.n_layers;
+    if (compute_pool != nullptr && live.size() > 1) {
+      compute_pool->ParallelFor(0, live.size(), [&](size_t i) {
+        ForwardOneLayer(live[i], view, last_layer);
+      });
+    } else {
+      for (RequestContext* ctx : live) {
+        ForwardOneLayer(ctx, view, last_layer);
+      }
+    }
+    if (streamer != nullptr) {
+      streamer->Release(layer);
+    }
+
+    // Between-layer bookkeeping and pruning, per request in admission order.
+    for (RequestContext* ctx : live) {
+      ctx->result.stats.candidate_layers += static_cast<int64_t>(ctx->active.size());
+      ctx->result.stats.layers_until_done = layer + 1;
+      if (prune_.AfterLayer(ctx, layer, last_layer) || last_layer) {
+        ctx->done = true;
+      }
+    }
+
+    bool all_done = true;
+    for (RequestContext* ctx : ctxs) {
+      all_done = all_done && ctx->done;
+    }
+    if (all_done) {
+      if (streamer != nullptr && !last_layer) {
+        streamer->TruncateSchedule(layer);
+      }
+      break;
+    }
+  }
+
+  if (streamer != nullptr) {
+    const StreamerStats stats = streamer->stats();
+    const int64_t share = stats.bytes_loaded / static_cast<int64_t>(ctxs.size());
+    for (RequestContext* ctx : ctxs) {
+      ctx->result.stats.bytes_streamed = share;
+    }
+    streamer.reset();
+  }
+}
+
+}  // namespace prism

@@ -1,0 +1,237 @@
+// Staged execution pipeline for the PRISM engine.
+//
+// PrismEngine::Rerank used to be one monolithic 350-line forwarding loop; it
+// is now composed of four explicit stages operating on a per-request
+// RequestContext:
+//
+//   ChunkPlanner ─► EmbedStage ─► LayerLoop ◄──► PruneStage
+//    (geometry)     (lookup +      (stream +      (CV check, k-means,
+//                    planted        forward        compact survivors,
+//                    signal)        chunks)        finalize top-K)
+//
+// Every byte of mutable per-request state — hidden-state chunks, provisional
+// scores, trace, stats, the activation scratch — lives in the context; the
+// engine retains only shared immutable resources (weights, config, reader),
+// bundled here as StageResources. That split is what lets the service
+// front-end admit several requests at once: LayerLoop takes a *batch* of
+// contexts and forwards all of them through each streamed layer, so one
+// weight fetch serves every in-flight request (the paper's §3.3 global view,
+// extended across requests), while pruning decisions stay per-request —
+// results are bit-identical to serial execution regardless of batch size or
+// thread count.
+#ifndef PRISM_SRC_CORE_STAGES_H_
+#define PRISM_SRC_CORE_STAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/memory_tracker.h"
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
+#include "src/core/pruner.h"
+#include "src/model/embedding.h"
+#include "src/model/layer.h"
+#include "src/model/pair_encoder.h"
+#include "src/model/weights.h"
+#include "src/runtime/device.h"
+#include "src/runtime/runner.h"
+#include "src/storage/blob_file.h"
+#include "src/storage/hidden_spill.h"
+
+namespace prism {
+
+struct PrismOptions {
+  DeviceProfile device = NvidiaProfile();
+
+  // §4.1 progressive cluster pruning.
+  bool pruning = true;
+  float dispersion_threshold = 0.35f;
+  bool prune_winners = true;  // false → exact-rank mode (Discussion §7).
+  int kmeans_max_k = 4;
+
+  // §4.2 overlapped layer streaming (false → all layers resident, HF-style).
+  bool streaming = true;
+
+  // §4.3 chunked execution.
+  bool chunked = true;
+  size_t chunk_candidates = 0;  // 0 = plan from device.activation_budget.
+  bool offload_hidden = false;  // Dynamic hidden-state offloading.
+
+  // §4.4 embedding table caching (false → full table resident).
+  bool embed_cache = true;
+  double embed_cache_fraction = 0.10;
+
+  bool quantized = false;  // W4 checkpoint ("PRISM Quant").
+
+  // Trace mode: records per-layer scores/clusters for every candidate and
+  // disables pruning (used by the Fig-2 sparsity analysis).
+  bool trace = false;
+
+  uint64_t seed = 42;
+};
+
+// Per-layer record captured in trace mode (and, lightly, during pruning).
+struct LayerTraceEntry {
+  size_t layer = 0;
+  size_t active = 0;
+  double cv = 0.0;
+  bool prune_triggered = false;
+  size_t selected = 0;
+  size_t dropped = 0;
+  // Indexed by original candidate id; NaN when the candidate was inactive.
+  std::vector<float> scores;
+  // Cluster id per original candidate (-1 when unclustered/inactive).
+  std::vector<int> clusters;
+};
+
+// Shared immutable engine resources handed to every stage. All pointees are
+// owned by the engine and outlive any request; the mutable ones
+// (EmbeddingCache, SpillPool, MemoryTracker) are internally synchronised so
+// stages may touch them from concurrent requests.
+struct StageResources {
+  const ModelConfig* config = nullptr;
+  const PrismOptions* options = nullptr;
+  MemoryTracker* tracker = nullptr;
+  BlobFileReader* reader = nullptr;
+  EmbeddingSource* embedding = nullptr;
+  EmbeddingCache* cache = nullptr;  // Null when embed_cache is off.
+  const HeadWeights* head = nullptr;
+  // Resident layer blobs when streaming is off (empty otherwise).
+  const std::vector<std::vector<uint8_t>>* resident_layers = nullptr;
+  SpillPool* spill = nullptr;  // Null unless offload_hidden.
+};
+
+// One group of candidates advancing through the layers together (§4.3).
+struct ChunkState {
+  std::vector<size_t> ids;       // Original candidate indices.
+  std::optional<Tensor> hidden;  // Resident hidden states (unless spilled).
+  bool spilled = false;
+};
+
+// All mutable state of one in-flight rerank request. Contexts are built by
+// the engine (which assigns the engine-unique `id`), threaded through the
+// stages, and torn down when the result is extracted. Nothing in here is
+// shared between requests, so a batch of contexts can advance on separate
+// threads without synchronisation.
+struct RequestContext {
+  RequestContext(const RerankRequest& req, uint64_t request_id)
+      : request(&req), id(request_id) {}
+
+  const RerankRequest* request;
+  uint64_t id;
+
+  // Geometry (ChunkPlanner).
+  size_t seq_len = 0;
+  size_t chunk_cand = 0;
+
+  // Forwarding state.
+  std::vector<PairInput> pairs;
+  std::vector<ChunkState> chunks;
+  std::vector<size_t> active;        // Original ids still computing.
+  std::vector<float> scores_active;  // Scores of `active`, last layer run.
+  std::vector<std::pair<float, size_t>> finalized;  // (score, id) selected.
+  size_t remaining_k = 0;
+  bool terminated = false;  // Pruning stopped the forward pass early.
+  bool done = false;        // No more layers to run (terminated or exhausted).
+
+  PrunerOptions pruner_options;
+  std::optional<LayerScratch> scratch;
+  std::vector<LayerTraceEntry> trace;
+  RerankResult result;
+  WallTimer timer;
+
+  size_t n() const { return request->docs.size(); }
+
+  // Spill keys are namespaced by request id so concurrent requests sharing
+  // one SpillPool never collide.
+  int64_t SpillKey(size_t chunk_index) const {
+    return static_cast<int64_t>(id * kSpillKeysPerRequest + chunk_index);
+  }
+  static constexpr uint64_t kSpillKeysPerRequest = uint64_t{1} << 20;
+};
+
+// Moves a chunk's hidden tensor out of the context (unspilling it from disk
+// when parked there) / stows it back (spilling when offload is on and more
+// layers remain). Shared by LayerLoop and PruneStage's compaction.
+Tensor TakeChunkHidden(const StageResources& res, RequestContext* ctx, size_t chunk_index);
+void StowChunkHidden(const StageResources& res, RequestContext* ctx, size_t chunk_index,
+                     Tensor hidden, bool more_layers);
+
+// Stage 1 — geometry. Validates the request, chooses the common sequence
+// length, plans the chunk size against the activation budget (§4.3), builds
+// the initial chunks/active set, and allocates the per-request scratch.
+class ChunkPlanner {
+ public:
+  explicit ChunkPlanner(const StageResources& res) : res_(res) {}
+
+  // Chunk size the planner picks for `n` candidates at `seq_len`: the largest
+  // count whose scratch fits the activation budget, floored at 2 to keep the
+  // compute window wide enough for I/O overlap (min(2, n) for tiny requests).
+  size_t PlanCandidates(size_t n, size_t seq_len) const;
+
+  static std::vector<ChunkState> Partition(const std::vector<size_t>& ids, size_t chunk_cand);
+
+  void Begin(RequestContext* ctx) const;
+
+ private:
+  StageResources res_;
+};
+
+// Stage 2 — embedding. Builds every pair input first so the embedding cache
+// can batch-load the request's unique missing tokens in one device read
+// (§4.5), then embeds each chunk and stows it.
+class EmbedStage {
+ public:
+  explicit EmbedStage(const StageResources& res) : res_(res) {}
+
+  void Run(RequestContext* ctx) const;
+
+ private:
+  StageResources res_;
+};
+
+// Stage 4 — pruning. Consumes the provisional scores a layer produced:
+// records them into the result, handles trace mode, runs DecidePrune, and on
+// a trigger finalizes/drops/compacts (the paper's shrinking monolithic
+// batch, Fig 3: BS 20 → 16 → 10). Finalize() fills the top-K once the layer
+// loop is over.
+class PruneStage {
+ public:
+  explicit PruneStage(const StageResources& res) : res_(res) {}
+
+  // Processes one completed layer; returns true when the request terminated
+  // early (no further layers needed).
+  bool AfterLayer(RequestContext* ctx, size_t layer, bool last_layer) const;
+
+  void Finalize(RequestContext* ctx) const;
+
+ private:
+  StageResources res_;
+};
+
+// Stage 3 — the layer loop. Streams (or reads resident) layer weights and
+// forwards every live context's chunks through each layer, invoking
+// PruneStage between layers. A batch of contexts shares one LayerStreamer
+// pass: each layer's weights are fetched once for all in-flight requests,
+// and per-context forwarding fans out on `compute_pool` when provided.
+// Streamed-bytes / stall stats are split evenly across the batch.
+class LayerLoop {
+ public:
+  explicit LayerLoop(const StageResources& res) : res_(res), prune_(res) {}
+
+  void Run(std::span<RequestContext* const> ctxs, ThreadPool* compute_pool) const;
+
+ private:
+  void ForwardOneLayer(RequestContext* ctx, const AnyLayerView& view, bool last_layer) const;
+
+  StageResources res_;
+  PruneStage prune_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_CORE_STAGES_H_

@@ -45,6 +45,7 @@ EmbeddingCache::EmbeddingCache(const ModelConfig& config, BlobFileReader* reader
 void EmbeddingCache::Lookup(uint32_t token, std::span<float> dest) {
   PRISM_CHECK_EQ(dest.size(), config_.hidden);
   PRISM_CHECK_LT(token, config_.vocab_size);
+  std::unique_lock<std::mutex> lock(mu_);
   const auto it = map_.find(token);
   if (it != map_.end()) {
     ++stats_.hits;
@@ -53,8 +54,12 @@ void EmbeddingCache::Lookup(uint32_t token, std::span<float> dest) {
     return;
   }
   ++stats_.misses;
+  stats_.miss_bytes += static_cast<int64_t>(config_.hidden * sizeof(float));
   // Row-granular read through the device model — this is the "negligible
-  // latency" miss path the paper's ablation measures.
+  // latency" miss path the paper's ablation measures. The lock is released
+  // across the device wait so other requests' hits proceed; misses
+  // serialise behind the (single-queue) device itself.
+  lock.unlock();
   std::vector<float> row(config_.hidden);
   const int64_t offset =
       static_cast<int64_t>(token) * static_cast<int64_t>(config_.hidden * sizeof(float));
@@ -62,17 +67,17 @@ void EmbeddingCache::Lookup(uint32_t token, std::span<float> dest) {
   const Status status =
       reader_->ReadBlobRange(EmbeddingBlobIndex(), offset, {bytes, row.size() * sizeof(float)});
   PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
-  stats_.miss_bytes += static_cast<int64_t>(row.size() * sizeof(float));
   std::memcpy(dest.data(), row.data(), config_.hidden * sizeof(float));
-  if (lru_.size() == capacity_rows_) {
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
+  lock.lock();
+  if (map_.find(token) == map_.end()) {
+    InsertRowLocked(token, std::move(row));
   }
-  lru_.emplace_front(token, std::move(row));
-  map_[token] = lru_.begin();
+  // else: lost a race with another miss of the same token — the row is
+  // already resident (and identical, so either copy serves future hits).
 }
 
 void EmbeddingCache::PrefetchTokens(const std::vector<uint32_t>& tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Unique missing tokens.
   std::vector<uint32_t> missing;
   {
@@ -107,13 +112,27 @@ void EmbeddingCache::PrefetchTokens(const std::vector<uint32_t>& tokens) {
   stats_.misses += static_cast<int64_t>(missing.size());
   stats_.miss_bytes += static_cast<int64_t>(missing.size() * row_bytes);
   for (size_t i = 0; i < missing.size(); ++i) {
-    if (lru_.size() == capacity_rows_) {
-      map_.erase(lru_.back().first);
-      lru_.pop_back();
-    }
-    lru_.emplace_front(missing[i], std::move(rows[i]));
-    map_[missing[i]] = lru_.begin();
+    InsertRowLocked(missing[i], std::move(rows[i]));
   }
+}
+
+void EmbeddingCache::InsertRowLocked(uint32_t token, std::vector<float> row) {
+  if (lru_.size() == capacity_rows_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(token, std::move(row));
+  map_[token] = lru_.begin();
+}
+
+size_t EmbeddingCache::resident_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+EmbeddingCacheStats EmbeddingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 int64_t EmbeddingCache::ResidentBytes() const {

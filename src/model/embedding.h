@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -59,6 +60,12 @@ struct EmbeddingCacheStats {
 
 // LRU row cache over the on-disk embedding blob (§4.4). Misses trigger a
 // synchronous row-granular read through the simulated device.
+//
+// Thread-safe: the cache is shared by every request in flight through the
+// engine, so all LRU bookkeeping (and the stats) is mutex-guarded. The row
+// *values* a lookup returns are independent of hit/miss interleavings, which
+// is what keeps concurrently-served requests bit-identical to serial runs;
+// only the hit-rate stats depend on arrival order.
 class EmbeddingCache : public EmbeddingSource {
  public:
   EmbeddingCache(const ModelConfig& config, BlobFileReader* reader, size_t capacity_rows,
@@ -73,13 +80,16 @@ class EmbeddingCache : public EmbeddingSource {
   void PrefetchTokens(const std::vector<uint32_t>& tokens);
 
   size_t capacity_rows() const { return capacity_rows_; }
-  size_t resident_rows() const { return map_.size(); }
-  const EmbeddingCacheStats& stats() const { return stats_; }
+  size_t resident_rows() const;
+  EmbeddingCacheStats stats() const;  // Snapshot (cumulative).
 
  private:
+  void InsertRowLocked(uint32_t token, std::vector<float> row);
+
   ModelConfig config_;
   BlobFileReader* reader_;
   size_t capacity_rows_;
+  mutable std::mutex mu_;
   // LRU: most-recent at front. map_ points into lru_.
   std::list<std::pair<uint32_t, std::vector<float>>> lru_;
   std::unordered_map<uint32_t, std::list<std::pair<uint32_t, std::vector<float>>>::iterator> map_;

@@ -1,4 +1,17 @@
 // Common reranker-runner interface shared by the baselines and PRISM.
+//
+// Contract:
+//  - Rerank() is synchronous: it returns only when `result.topk` (best
+//    first) and `result.scores` (NaN for candidates pruned before scoring)
+//    are final. `topk.size() == min(request.k, request.docs.size())`.
+//  - Determinism: the same request against the same checkpoint and options
+//    yields bit-identical topk/scores; only the timing fields of
+//    RerankStats may vary between runs.
+//  - Threading: implementations are not required to be thread-safe;
+//    serialise calls externally (RerankService's SerialScheduler) unless an
+//    implementation documents stronger guarantees. PrismEngine does:
+//    concurrent Rerank/RerankBatch calls are safe, and batching preserves
+//    the per-request determinism above.
 #ifndef PRISM_SRC_RUNTIME_RUNNER_H_
 #define PRISM_SRC_RUNTIME_RUNNER_H_
 

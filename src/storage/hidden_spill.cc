@@ -29,24 +29,40 @@ SpillPool::~SpillPool() {
   ::unlink(path_.c_str());
 }
 
-void SpillPool::SpillAsync(int64_t key, Tensor t) {
+SpillPool::Entry* SpillPool::FindEntry(int64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& entry = entries_[key];
-  WaitSpill(entry);
-  entry.rows = t.rows();
-  entry.cols = t.cols();
-  entry.prefetched.reset();
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void SpillPool::SpillAsync(int64_t key, Tensor t) {
   const int64_t bytes = static_cast<int64_t>(t.ByteSize());
-  entry.offset = cursor_;
-  cursor_ += bytes;
+  Entry* entry = nullptr;
+  int64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = &entries_[key];
+    offset = cursor_;
+    cursor_ += bytes;
+  }
+  // Wait out the previous spill — and any prefetch still reading into the
+  // entry's tensor — without holding the pool lock (only this key's owner
+  // can reach this entry).
+  WaitSpill(*entry);
+  if (entry->prefetch_done.valid()) {
+    entry->prefetch_done.get();
+  }
+  entry->rows = t.rows();
+  entry->cols = t.cols();
+  entry->prefetched.reset();
+  entry->offset = offset;
   // The tensor moves into the I/O task; its tracked memory must be released
   // *inside* the task body (before the future resolves) — the task object
   // itself is destroyed by the worker thread some time after completion,
   // which could outlive this pool's tracker.
   auto shared = std::make_shared<Tensor>(std::move(t));
-  const int64_t offset = entry.offset;
   SimulatedSsd* ssd = ssd_.get();
-  entry.spill_done = GlobalIoPool().Submit([shared, offset, ssd]() mutable {
+  entry->spill_done = GlobalIoPool().Submit([shared, offset, ssd]() mutable {
     const auto* data = reinterpret_cast<const uint8_t*>(shared->data());
     const Status status = ssd->Write(offset, {data, shared->ByteSize()});
     PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
@@ -55,19 +71,17 @@ void SpillPool::SpillAsync(int64_t key, Tensor t) {
 }
 
 void SpillPool::PrefetchAsync(int64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(key);
-  PRISM_CHECK_MSG(it != entries_.end(), "Prefetch of key never spilled");
-  Entry& entry = it->second;
-  if (entry.prefetched.has_value() || entry.prefetch_done.valid()) {
+  Entry* entry = FindEntry(key);
+  PRISM_CHECK_MSG(entry != nullptr, "Prefetch of key never spilled");
+  if (entry->prefetched.has_value() || entry->prefetch_done.valid()) {
     return;  // Already resident or in flight.
   }
-  WaitSpill(entry);
-  entry.prefetched.emplace(entry.rows, entry.cols, MemCategory::kHiddenStates, tracker_);
-  Tensor* dest = &*entry.prefetched;
-  const int64_t offset = entry.offset;
+  WaitSpill(*entry);
+  entry->prefetched.emplace(entry->rows, entry->cols, MemCategory::kHiddenStates, tracker_);
+  Tensor* dest = &*entry->prefetched;
+  const int64_t offset = entry->offset;
   SimulatedSsd* ssd = ssd_.get();
-  entry.prefetch_done = GlobalIoPool().Submit([dest, offset, ssd] {
+  entry->prefetch_done = GlobalIoPool().Submit([dest, offset, ssd] {
     auto* data = reinterpret_cast<uint8_t*>(dest->data());
     const Status status = ssd->Read(offset, {data, dest->ByteSize()});
     PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
@@ -75,29 +89,43 @@ void SpillPool::PrefetchAsync(int64_t key) {
 }
 
 Tensor SpillPool::Take(int64_t key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto it = entries_.find(key);
-  PRISM_CHECK_MSG(it != entries_.end(), "Take of key never spilled");
-  Entry& entry = it->second;
-  if (!entry.prefetched.has_value() && !entry.prefetch_done.valid()) {
+  Entry* entry = FindEntry(key);
+  PRISM_CHECK_MSG(entry != nullptr, "Take of key never spilled");
+  Tensor t;
+  if (!entry->prefetched.has_value() && !entry->prefetch_done.valid()) {
     // No prefetch issued; read synchronously.
-    WaitSpill(entry);
-    Tensor t(entry.rows, entry.cols, MemCategory::kHiddenStates, tracker_);
+    WaitSpill(*entry);
+    t = Tensor(entry->rows, entry->cols, MemCategory::kHiddenStates, tracker_);
     auto* data = reinterpret_cast<uint8_t*>(t.data());
-    lock.unlock();
-    const Status status = ssd_->Read(entry.offset, {data, t.ByteSize()});
+    const Status status = ssd_->Read(entry->offset, {data, t.ByteSize()});
     PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
-    return t;
+  } else {
+    if (entry->prefetch_done.valid()) {
+      entry->prefetch_done.get();
+    }
+    t = std::move(*entry->prefetched);
+    entry->prefetched.reset();
   }
-  std::future<void> done = std::move(entry.prefetch_done);
-  lock.unlock();
-  if (done.valid()) {
-    done.get();
+  // Consume the entry: the map stays bounded in live chunks, and a later
+  // Spill of the same key re-creates it.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key);
   }
-  lock.lock();
-  Tensor t = std::move(*entry.prefetched);
-  entry.prefetched.reset();
   return t;
+}
+
+void SpillPool::Drop(int64_t key) {
+  Entry* entry = FindEntry(key);
+  if (entry == nullptr) {
+    return;
+  }
+  WaitSpill(*entry);
+  if (entry->prefetch_done.valid()) {
+    entry->prefetch_done.get();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(key);
 }
 
 int64_t SpillPool::bytes_on_disk() const {

@@ -5,6 +5,17 @@
 // to the simulated SSD (releasing its memory), and prefetches it back before
 // the chunk is next computed, so that at most three chunks are resident: one
 // computing, one offloading, one prefetching.
+//
+// Thread-safe under disjoint keys: one pool is shared by every request in
+// flight through the engine, and callers keep their keys disjoint
+// (RequestContext::SpillKey namespaces chunk keys by request id). The entry
+// map is mutex-guarded, but waits on a key's in-flight I/O happen *outside*
+// the lock — one request's device-speed spill never stalls another's. Using
+// the same key from two threads concurrently is undefined.
+//
+// Take() and Drop() erase the consumed entry, so the map stays bounded in
+// the number of live chunks. Disk space is append-only (cursor model, like
+// the checkpoint writer) and reclaimed when the pool is destroyed.
 #ifndef PRISM_SRC_STORAGE_HIDDEN_SPILL_H_
 #define PRISM_SRC_STORAGE_HIDDEN_SPILL_H_
 
@@ -44,6 +55,11 @@ class SpillPool {
   // consumed (a later Spill of the same key re-creates it).
   Tensor Take(int64_t key);
 
+  // Discards `key` without reading it back (waits out any in-flight I/O and
+  // releases the entry — used for chunks still parked on disk when pruning
+  // terminates a request early). No-op if the key is absent.
+  void Drop(int64_t key);
+
   int64_t bytes_on_disk() const;
 
  private:
@@ -56,7 +72,10 @@ class SpillPool {
     std::future<void> prefetch_done;
   };
 
-  void WaitSpill(Entry& entry);
+  // Looks up (or creates) the entry for `key`. Entry field access outside
+  // mu_ is safe because keys are single-owner; mu_ only guards the map.
+  Entry* FindEntry(int64_t key);
+  static void WaitSpill(Entry& entry);
 
   std::unique_ptr<SimulatedSsd> ssd_;
   MemoryTracker* tracker_;

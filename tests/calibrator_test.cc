@@ -40,7 +40,7 @@ TEST_F(CalibratorTest, MeetsPrecisionTarget) {
   EXPECT_GE(result.achieved_precision, options.target_precision);
   EXPECT_GT(result.evaluations, 0);
   // The engine is left configured with the calibrated threshold.
-  EXPECT_FLOAT_EQ(engine.options().dispersion_threshold, result.threshold);
+  EXPECT_FLOAT_EQ(engine.dispersion_threshold(), result.threshold);
 
   // Re-measure independently: the calibrated engine meets the target.
   double precision = 0.0;

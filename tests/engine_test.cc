@@ -205,6 +205,46 @@ TEST_F(EngineTest, PlanChunkCandidatesRespectsBudget) {
             options.device.activation_budget_bytes + LayerScratch::BytesFor(config_, 16, 16));
 }
 
+TEST_F(EngineTest, PlanChunkCandidatesDegenerateCounts) {
+  // A budget too small for even one candidate: the planner still returns a
+  // usable chunk size, clamped to the candidate count for tiny requests.
+  MemoryTracker tracker;
+  PrismOptions options = BaseOptions();
+  options.device.activation_budget_bytes = 1;
+  PrismEngine engine(config_, ckpt_, options, &tracker);
+  EXPECT_EQ(engine.PlanChunkCandidates(0, 16), 1u);  // No candidates: nothing to split.
+  EXPECT_EQ(engine.PlanChunkCandidates(1, 16), 1u);  // Floor is min(2, n).
+}
+
+TEST_F(EngineTest, PlanChunkCandidatesFloorsAtTwoWhenOverBudget) {
+  // seq_len so large a single candidate's scratch exceeds the budget: the
+  // documented floor of 2 still applies (a 1-candidate chunk would leave no
+  // compute window to overlap a layer load).
+  MemoryTracker tracker;
+  PrismOptions options = BaseOptions();
+  options.device.activation_budget_bytes = 1;
+  PrismEngine engine(config_, ckpt_, options, &tracker);
+  const size_t c = engine.PlanChunkCandidates(20, config_.max_seq);
+  EXPECT_EQ(c, 2u);
+  EXPECT_GT(LayerScratch::BytesFor(config_, config_.max_seq, config_.max_seq),
+            options.device.activation_budget_bytes);
+}
+
+TEST_F(EngineTest, PlanChunkCandidatesExplicitAndUnchunked) {
+  MemoryTracker tracker;
+  PrismOptions explicit_options = BaseOptions();
+  explicit_options.chunk_candidates = 5;
+  PrismEngine explicit_engine(config_, ckpt_, explicit_options, &tracker);
+  EXPECT_EQ(explicit_engine.PlanChunkCandidates(20, 16), 5u);
+  EXPECT_EQ(explicit_engine.PlanChunkCandidates(3, 16), 3u);  // Clamped to n.
+
+  MemoryTracker tracker2;
+  PrismOptions unchunked = BaseOptions();
+  unchunked.chunked = false;
+  PrismEngine unchunked_engine(config_, ckpt_, unchunked, &tracker2);
+  EXPECT_EQ(unchunked_engine.PlanChunkCandidates(20, 16), 20u);  // One monolithic chunk.
+}
+
 TEST_F(EngineTest, LowThresholdTerminatesEarly) {
   MemoryTracker tracker;
   PrismOptions options = BaseOptions();

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <thread>
 
 #include "src/model/config.h"
 #include "src/model/embedding.h"
@@ -199,6 +200,47 @@ TEST(EmbeddingTest, ZipfTrafficHasHighHitRate) {
     cache.Lookup(static_cast<uint32_t>(zipf.Sample(rng)), buf);
   }
   EXPECT_GT(cache.stats().HitRate(), 0.5);
+}
+
+TEST(EmbeddingTest, ConcurrentLookupsMatchTableBitExactly) {
+  // The cache is shared by every in-flight request; parallel lookups and
+  // prefetches must return table-exact rows regardless of LRU interleaving
+  // (this is also the ThreadSanitizer target for the cache's locking).
+  const ModelConfig config = TestModel();
+  const std::string path = TestCheckpoint(config);
+  auto reader = BlobFileReader::Open(path, Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  MemoryTracker tracker;
+  FullEmbeddingTable table(config, reader.value().get(), &tracker);
+  EmbeddingCache cache(config, reader.value().get(), 16, &tracker);  // Tiny: force evictions.
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(100 + w);
+      std::vector<float> expected(config.hidden);
+      std::vector<float> got(config.hidden);
+      for (int i = 0; i < 200; ++i) {
+        if (i % 16 == 0) {
+          std::vector<uint32_t> batch;
+          for (int j = 0; j < 8; ++j) {
+            batch.push_back(static_cast<uint32_t>(rng.NextBelow(config.vocab_size)));
+          }
+          cache.PrefetchTokens(batch);
+        }
+        const auto token = static_cast<uint32_t>(rng.NextBelow(config.vocab_size));
+        table.Lookup(token, expected);
+        cache.Lookup(token, got);
+        EXPECT_EQ(expected, got) << "token " << token;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const EmbeddingCacheStats stats = cache.stats();
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_LE(cache.resident_rows(), 16u);
 }
 
 TEST(PairEncoderTest, FixedLengthWithMarkers) {

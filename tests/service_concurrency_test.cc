@@ -1,0 +1,324 @@
+// Concurrency tests for the staged pipeline and the batching service
+// front-end. The load-bearing property throughout: results through any
+// scheduler, batch size, or thread count are bit-identical to the serial
+// path. This binary is also the main ThreadSanitizer target in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/core/service.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+std::vector<RerankRequest> MakeRequests(const ModelConfig& config, size_t count) {
+  std::vector<RerankRequest> requests;
+  requests.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    requests.push_back(TestRequest(config, 12 + i % 3, 3, i));
+  }
+  return requests;
+}
+
+class ServiceConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TestModel();
+    ckpt_ = TestCheckpoint(config_);
+    requests_ = MakeRequests(config_, 6);
+  }
+
+  ServiceOptions ConcurrentOptions(size_t max_inflight) const {
+    ServiceOptions options;
+    options.engine.device = FastDevice();
+    options.max_inflight = max_inflight;
+    options.compute_threads = 4;
+    return options;
+  }
+
+  std::vector<RerankResult> SerialReference() {
+    MemoryTracker tracker;
+    ServiceOptions options;
+    options.engine.device = FastDevice();
+    RerankService service(config_, ckpt_, options, &tracker);
+    std::vector<RerankResult> results;
+    results.reserve(requests_.size());
+    for (const RerankRequest& request : requests_) {
+      results.push_back(service.Rerank(request));
+    }
+    return results;
+  }
+
+  ModelConfig config_;
+  std::string ckpt_;
+  std::vector<RerankRequest> requests_;
+};
+
+TEST(RequestQueueTest, PopsInAdmissionOrder) {
+  RequestQueue queue;
+  const ModelConfig config = TestModel();
+  std::vector<RerankRequest> requests = MakeRequests(config, 5);
+  std::vector<std::future<RerankResult>> futures;
+  for (const RerankRequest& request : requests) {
+    futures.push_back(queue.Push(request));
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  std::vector<RequestQueue::Pending> first = queue.PopBatch(3);
+  ASSERT_EQ(first.size(), 3u);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].ticket, i);
+    EXPECT_EQ(first[i].request, &requests[i]);
+  }
+  std::vector<RequestQueue::Pending> rest = queue.PopBatch(10);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].ticket, 3u);
+  EXPECT_EQ(rest[1].ticket, 4u);
+  // Fulfil so the futures don't dangle.
+  for (auto& pending : first) {
+    pending.promise.set_value(RerankResult{});
+  }
+  for (auto& pending : rest) {
+    pending.promise.set_value(RerankResult{});
+  }
+}
+
+TEST(RequestQueueTest, CloseDrainsThenReturnsEmpty) {
+  RequestQueue queue;
+  const ModelConfig config = TestModel();
+  const RerankRequest request = TestRequest(config, 10, 3);
+  auto future = queue.Push(request);
+  queue.Close();
+  std::vector<RequestQueue::Pending> batch = queue.PopBatch(4);
+  ASSERT_EQ(batch.size(), 1u);
+  batch[0].promise.set_value(RerankResult{});
+  EXPECT_TRUE(queue.PopBatch(4).empty());
+  future.get();
+}
+
+TEST_F(ServiceConcurrencyTest, EngineBatchMatchesSerial) {
+  // One coalesced RerankBatch pass == N serial Rerank calls, bit for bit.
+  MemoryTracker t1;
+  MemoryTracker t2;
+  PrismOptions options;
+  options.device = FastDevice();
+  PrismEngine serial_engine(config_, ckpt_, options, &t1);
+  PrismEngine batch_engine(config_, ckpt_, options, &t2);
+
+  std::vector<const RerankRequest*> pointers;
+  for (const RerankRequest& request : requests_) {
+    pointers.push_back(&request);
+  }
+  ThreadPool pool(4);
+  const std::vector<RerankResult> batched = batch_engine.RerankBatch(pointers, &pool);
+  ASSERT_EQ(batched.size(), requests_.size());
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    const RerankResult serial = serial_engine.Rerank(requests_[i]);
+    EXPECT_EQ(batched[i].topk, serial.topk) << "request " << i;
+    EXPECT_EQ(batched[i].scores, serial.scores) << "request " << i;
+  }
+}
+
+TEST_F(ServiceConcurrencyTest, ConcurrentServiceMatchesSerialBitIdentically) {
+  const std::vector<RerankResult> reference = SerialReference();
+
+  MemoryTracker tracker;
+  RerankService service(config_, ckpt_, ConcurrentOptions(4), &tracker);
+  std::vector<RerankResult> results(requests_.size());
+  std::vector<std::thread> clients;
+  clients.reserve(requests_.size());
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    clients.emplace_back([&, i] { results[i] = service.Rerank(requests_[i]); });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    EXPECT_EQ(results[i].topk, reference[i].topk) << "request " << i;
+    EXPECT_EQ(results[i].scores, reference[i].scores) << "request " << i;
+  }
+}
+
+TEST_F(ServiceConcurrencyTest, IdenticalRequestsFromManyThreadsAgree) {
+  const RerankRequest request = TestRequest(config_, 14, 4);
+  MemoryTracker t1;
+  ServiceOptions serial_options;
+  serial_options.engine.device = FastDevice();
+  RerankService serial(config_, ckpt_, serial_options, &t1);
+  const RerankResult expected = serial.Rerank(request);
+
+  MemoryTracker t2;
+  RerankService service(config_, ckpt_, ConcurrentOptions(4), &t2);
+  constexpr size_t kThreads = 8;
+  std::vector<RerankResult> results(kThreads);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kThreads; ++i) {
+    clients.emplace_back([&, i] { results[i] = service.Rerank(request); });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (size_t i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].topk, expected.topk) << "thread " << i;
+    EXPECT_EQ(results[i].scores, expected.scores) << "thread " << i;
+  }
+}
+
+TEST_F(ServiceConcurrencyTest, OffloadAndSpillSafeAcrossConcurrentRequests) {
+  // Hidden-state offload shares one SpillPool across the batch; per-request
+  // key namespacing must keep round-trips exact.
+  ServiceOptions options = ConcurrentOptions(3);
+  options.engine.offload_hidden = true;
+  options.engine.chunk_candidates = 3;
+
+  MemoryTracker t1;
+  ServiceOptions serial_options;
+  serial_options.engine = options.engine;
+  RerankService serial(config_, ckpt_, serial_options, &t1);
+  std::vector<RerankResult> reference;
+  for (const RerankRequest& request : requests_) {
+    reference.push_back(serial.Rerank(request));
+  }
+
+  MemoryTracker t2;
+  RerankService service(config_, ckpt_, options, &t2);
+  std::vector<RerankResult> results(requests_.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    clients.emplace_back([&, i] { results[i] = service.Rerank(requests_[i]); });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    EXPECT_EQ(results[i].topk, reference[i].topk) << "request " << i;
+    EXPECT_EQ(results[i].scores, reference[i].scores) << "request " << i;
+  }
+}
+
+TEST_F(ServiceConcurrencyTest, StatsAggregateUnderConcurrency) {
+  MemoryTracker tracker;
+  RerankService service(config_, ckpt_, ConcurrentOptions(4), &tracker);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 3;
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        service.Rerank(requests_[(t * kPerThread + i) % requests_.size()]);
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_GT(stats.MeanLatencyMs(), 0.0);
+  EXPECT_GE(stats.max_latency_ms, stats.MeanLatencyMs());
+  EXPECT_GT(stats.P50LatencyMs(), 0.0);
+  EXPECT_GE(stats.P99LatencyMs(), stats.P50LatencyMs());
+  EXPECT_GT(stats.total_candidates, 0);
+}
+
+TEST_F(ServiceConcurrencyTest, ThresholdNudgesAreSafeWhileServing) {
+  // The OnlineCalibrator adjusts the dispersion threshold while requests are
+  // in flight; the engine stores it atomically. Run a writer thread against
+  // concurrent engine-level requests (TSan validates the absence of races).
+  MemoryTracker tracker;
+  PrismOptions options;
+  options.device = FastDevice();
+  PrismEngine engine(config_, ckpt_, options, &tracker);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    float threshold = 0.05f;
+    while (!stop.load()) {
+      engine.set_dispersion_threshold(threshold);
+      threshold = threshold >= 1.0f ? 0.05f : threshold * 1.1f;
+    }
+  });
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < 3; ++i) {
+    clients.emplace_back([&, i] {
+      for (size_t r = 0; r < 4; ++r) {
+        const RerankResult result = engine.Rerank(requests_[(i + r) % requests_.size()]);
+        EXPECT_EQ(result.topk.size(), 3u);
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(engine.dispersion_threshold(), 0.0f);
+}
+
+TEST_F(ServiceConcurrencyTest, OnIdleOverlapsServingSafely) {
+  // The calibrator's sample log is mutex-guarded, so an idle-cycle thread
+  // may run while serving threads push samples (serving itself is
+  // serialised by the scheduler). TSan validates the locking.
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  options.online_calibration = true;
+  options.calibration.sample_every = 1;
+  RerankService service(config_, ckpt_, options, &tracker);
+  std::atomic<bool> stop{false};
+  std::thread idler([&] {
+    while (!stop.load()) {
+      service.OnIdle();
+    }
+  });
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < 4; ++r) {
+        const RerankResult result = service.Rerank(requests_[(c * 4 + r) % requests_.size()]);
+        EXPECT_EQ(result.topk.size(), 3u);
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  stop.store(true);
+  idler.join();
+  EXPECT_EQ(service.stats().requests, 8u);
+}
+
+TEST(ServiceStatsTest, PercentilesFromRing) {
+  ServiceStats stats;
+  RerankRequest request;
+  request.docs.resize(1);
+  request.planted_r.resize(1);
+  RerankResult result;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Observe(request, result, static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(stats.P50LatencyMs(), 50.0);
+  EXPECT_DOUBLE_EQ(stats.P99LatencyMs(), 99.0);
+  EXPECT_DOUBLE_EQ(stats.LatencyPercentileMs(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(stats.LatencyPercentileMs(0.0), 1.0);
+  EXPECT_EQ(stats.requests, 100u);
+  EXPECT_DOUBLE_EQ(stats.max_latency_ms, 100.0);
+}
+
+TEST(ServiceStatsTest, RingEvictsOldestBeyondCapacity) {
+  ServiceStats stats;
+  RerankRequest request;
+  RerankResult result;
+  const size_t total = ServiceStats::kLatencyRingCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    stats.Observe(request, result, static_cast<double>(i));
+  }
+  EXPECT_EQ(stats.latency_ring.size(), ServiceStats::kLatencyRingCapacity);
+  // The smallest retained latency is the first not-yet-evicted value.
+  EXPECT_DOUBLE_EQ(stats.LatencyPercentileMs(0.0), 100.0);
+}
+
+}  // namespace
+}  // namespace prism

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -275,6 +276,53 @@ TEST(SpillPoolTest, RespillSameKeyOverwrites) {
   EXPECT_EQ(second.at(0, 0), 2.0f);
 }
 
+
+TEST(SpillPoolTest, DropReleasesEntryWithoutReadback) {
+  MemoryTracker tracker;
+  SpillPool pool(Unthrottled(), &tracker);
+  Tensor t(8, 8, MemCategory::kHiddenStates, &tracker);
+  t.Fill(4.0f);
+  pool.SpillAsync(3, std::move(t));
+  pool.PrefetchAsync(3);
+  pool.Drop(3);  // Entry gone, prefetched tensor's claim released.
+  EXPECT_EQ(tracker.CurrentBytes(MemCategory::kHiddenStates), 0);
+  pool.Drop(3);  // Absent key: no-op.
+  // The key is free for reuse.
+  Tensor u(1, 8, MemCategory::kHiddenStates, &tracker);
+  u.Fill(9.0f);
+  pool.SpillAsync(3, std::move(u));
+  EXPECT_EQ(pool.Take(3).at(0, 0), 9.0f);
+}
+
+TEST(SpillPoolTest, ConcurrentDisjointKeysRoundTrip) {
+  // Requests in flight through the engine share one pool under disjoint
+  // (namespaced) keys; spills/prefetches/takes from several threads must
+  // round-trip exactly (TSan validates the locking discipline).
+  MemoryTracker tracker;
+  SpillPool pool(Unthrottled(), &tracker);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kRounds = 8;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        const int64_t key = static_cast<int64_t>(w * kRounds + r);
+        Tensor t(2, 4, MemCategory::kHiddenStates, &tracker);
+        t.Fill(static_cast<float>(key));
+        pool.SpillAsync(key, std::move(t));
+        if (r % 2 == 0) {
+          pool.PrefetchAsync(key);
+        }
+        Tensor back = pool.Take(key);
+        EXPECT_EQ(back.at(1, 3), static_cast<float>(key));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(tracker.CurrentBytes(MemCategory::kHiddenStates), 0);
+}
 
 TEST(SsdTest, ScatteredReadReturnsDataAndChargesOnce) {
   TempFile file("ssd_scatter");
