@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 // Human-readable name for a status code, e.g. for log messages.
@@ -49,6 +50,9 @@ class Status {
   static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

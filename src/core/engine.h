@@ -37,7 +37,7 @@
 
 namespace prism {
 
-class PrismEngine : public Runner {
+class PrismEngine : public BatchRunner {
  public:
   PrismEngine(const ModelConfig& config, const std::string& checkpoint_path, PrismOptions options,
               MemoryTracker* tracker = &MemoryTracker::Global());
@@ -51,7 +51,7 @@ class PrismEngine : public Runner {
   // fans out across its workers. Thread-compatible: concurrent calls are
   // safe (shared caches/spill are internally synchronised).
   std::vector<RerankResult> RerankBatch(std::span<const RerankRequest* const> requests,
-                                        ThreadPool* compute_pool = nullptr);
+                                        ThreadPool* compute_pool = nullptr) override;
 
   std::string name() const override { return options_.quantized ? "PRISM Quant" : "PRISM"; }
 
@@ -74,6 +74,11 @@ class PrismEngine : public Runner {
   // Stats of the persistent embedding cache (nullopt when embed_cache off).
   // Cumulative across all requests served by this engine.
   std::optional<EmbeddingCacheStats> embed_cache_stats() const;
+
+  // Shared hidden-state spill pool; null unless offload_hidden. Exposed so
+  // tests can assert that no request — including one terminated early or
+  // failed by fault injection — leaks a parked chunk.
+  const SpillPool* spill_pool() const { return spill_.get(); }
 
   // Chunk size the planner would pick for `n` candidates at `seq_len` (§4.3):
   // the largest count whose scratch fits the activation budget, floored at 2

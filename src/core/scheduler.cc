@@ -4,11 +4,36 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/timer.h"
 
 namespace prism {
 
+namespace {
+
+RequestQueue::Clock::duration MillisToDuration(double ms) {
+  return std::chrono::duration_cast<RequestQueue::Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+RerankResult MakeShedResult(double deadline_ms, double waited_ms) {
+  RerankResult result;
+  result.status = Status::DeadlineExceeded(
+      "request shed: waited " + std::to_string(waited_ms) + " ms against a " +
+      std::to_string(deadline_ms) + " ms deadline");
+  result.stats.latency_ms = waited_ms;
+  return result;
+}
+
 RerankResult SerialScheduler::Submit(const RerankRequest& request) {
+  const WallTimer waited;
   std::lock_guard<std::mutex> lock(mu_);
+  // The budget covers time spent queueing on the mutex: if it ran out while
+  // other requests held the runner, answer cheaply instead of running.
+  if (request.deadline_ms > 0.0 && waited.ElapsedMillis() >= request.deadline_ms) {
+    return MakeShedResult(request.deadline_ms, waited.ElapsedMillis());
+  }
   return runner_->Rerank(request);
 }
 
@@ -20,8 +45,21 @@ std::future<RerankResult> RequestQueue::Push(const RerankRequest& request) {
     Pending pending;
     pending.request = &request;
     pending.ticket = next_ticket_++;
+    pending.priority = request.priority;
+    pending.admitted = Clock::now();
+    if (request.deadline_ms > 0.0) {
+      pending.has_deadline = true;
+      pending.deadline = pending.admitted + MillisToDuration(request.deadline_ms);
+    }
     future = pending.promise.get_future();
-    queue_.push_back(std::move(pending));
+    // Insert before the first strictly-lower-priority entry, scanning from
+    // the back: equal priorities keep ticket (FIFO) order, and the
+    // all-default-priority case inserts at the end immediately.
+    auto pos = queue_.end();
+    while (pos != queue_.begin() && std::prev(pos)->priority < pending.priority) {
+      --pos;
+    }
+    queue_.insert(pos, std::move(pending));
   }
   cv_.notify_one();
   return future;
@@ -29,16 +67,45 @@ std::future<RerankResult> RequestQueue::Push(const RerankRequest& request) {
 
 std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch) {
   PRISM_CHECK_GT(max_batch, 0u);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-  std::vector<Pending> batch;
-  const size_t take = std::min(max_batch, queue_.size());
-  batch.reserve(take);
-  for (size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+  for (;;) {
+    std::vector<Pending> shed;
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      // Shed every expired entry — wherever it sits in the order; a
+      // low-priority request can expire behind higher classes.
+      const Clock::time_point now = Clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->ExpiredAt(now)) {
+          shed.push_back(std::move(*it));
+          it = queue_.erase(it);
+          ++shed_;
+        } else {
+          ++it;
+        }
+      }
+      const size_t take = std::min(max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (batch.empty() && shed.empty() && closed_) {
+        return {};  // Closed and drained.
+      }
+    }
+    // Fulfil shed promises outside the lock (set_value wakes the caller).
+    for (Pending& pending : shed) {
+      const double waited_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - pending.admitted).count();
+      pending.promise.set_value(MakeShedResult(pending.request->deadline_ms, waited_ms));
+    }
+    if (!batch.empty()) {
+      return batch;
+    }
+    // Everything pending was shed; wait for real work (or Close).
   }
-  return batch;
 }
 
 void RequestQueue::Close() {
@@ -54,8 +121,13 @@ size_t RequestQueue::size() const {
   return queue_.size();
 }
 
-BatchScheduler::BatchScheduler(PrismEngine* engine, size_t max_inflight, size_t compute_threads)
-    : engine_(engine), max_inflight_(max_inflight) {
+size_t RequestQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+BatchScheduler::BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads)
+    : runner_(runner), max_inflight_(max_inflight) {
   PRISM_CHECK_GT(max_inflight_, 0u);
   if (compute_threads == 0) {
     // At least one thread per batch slot: requests spend much of their layer
@@ -87,7 +159,8 @@ void BatchScheduler::DispatchLoop() {
     for (const RequestQueue::Pending& pending : batch) {
       requests.push_back(pending.request);
     }
-    std::vector<RerankResult> results = engine_->RerankBatch(requests, compute_pool_.get());
+    std::vector<RerankResult> results = runner_->RerankBatch(requests, compute_pool_.get());
+    PRISM_CHECK_EQ(results.size(), batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(results[i]));
     }

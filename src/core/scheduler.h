@@ -5,9 +5,11 @@
 //   SerialScheduler  — one request at a time through a Runner (the original
 //                      behaviour; callers queue on a mutex). Required when
 //                      the runner is stateful, e.g. the OnlineCalibrator.
-//   BatchScheduler   — callers enqueue into a ticketed FIFO RequestQueue; a
+//                      Deadlines are honoured at dispatch: a request whose
+//                      budget expired while waiting on the mutex is shed.
+//   BatchScheduler   — callers enqueue into a ticketed RequestQueue; a
 //                      dispatcher thread drains it, coalescing up to
-//                      `max_inflight` requests into one PrismEngine batch.
+//                      `max_inflight` requests into one BatchRunner pass.
 //                      The batch shares a single layer-streaming pass (each
 //                      layer's weights are fetched once for every in-flight
 //                      request — the paper's §3.3 global view extended
@@ -15,9 +17,18 @@
 //                      a worker pool. Admission order, not thread timing,
 //                      determines batch composition, and per-request pruning
 //                      keeps every result bit-identical to a serial run.
+//
+// Admission order is priority-then-FIFO: within a priority class, tickets
+// (monotonic admission sequence numbers) decide; a higher class always
+// dispatches before a lower one. Requests carrying a deadline are shed the
+// moment the dispatcher observes them expired — their caller receives a
+// kDeadlineExceeded RerankResult instead of burning an engine pass — so an
+// overloaded service degrades by answering late requests cheaply rather
+// than queueing unboundedly.
 #ifndef PRISM_SRC_CORE_SCHEDULER_H_
 #define PRISM_SRC_CORE_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,7 +40,6 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
-#include "src/core/engine.h"
 #include "src/runtime/runner.h"
 
 namespace prism {
@@ -38,10 +48,16 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  // Blocks until the request has been served; thread-safe.
+  // Blocks until the request has been served (or shed); thread-safe. A shed
+  // or failed request is reported through `result.status`.
   virtual RerankResult Submit(const RerankRequest& request) = 0;
   virtual std::string name() const = 0;
 };
+
+// The result handed to a caller whose request was shed after waiting
+// `waited_ms` against `deadline_ms`. topk stays empty; scores are not
+// filled (the request never reached an engine).
+RerankResult MakeShedResult(double deadline_ms, double waited_ms);
 
 // Mutex-serialised pass-through to a Runner.
 class SerialScheduler : public Scheduler {
@@ -56,37 +72,57 @@ class SerialScheduler : public Scheduler {
   std::mutex mu_;
 };
 
-// Ticketed FIFO of pending requests. Pushes never block; PopBatch blocks
-// until at least one request is pending (or the queue is closed) and then
-// drains up to `max_batch` entries in admission order.
+// Ticketed priority-then-FIFO queue of pending requests. Pushes never block;
+// PopBatch blocks until at least one unexpired request is pending (or the
+// queue is closed) and then drains up to `max_batch` entries in
+// (priority desc, ticket asc) order. Expired entries are shed inside
+// PopBatch: their promises are fulfilled with a kDeadlineExceeded result and
+// they never surface to the dispatcher.
 class RequestQueue {
  public:
+  using Clock = std::chrono::steady_clock;
+
   struct Pending {
     const RerankRequest* request = nullptr;
     std::promise<RerankResult> promise;
     uint64_t ticket = 0;
+    int priority = 0;
+    Clock::time_point admitted;
+    // Absolute expiry; only meaningful when has_deadline.
+    Clock::time_point deadline;
+    bool has_deadline = false;
+
+    bool ExpiredAt(Clock::time_point now) const { return has_deadline && now >= deadline; }
   };
 
   std::future<RerankResult> Push(const RerankRequest& request);
   std::vector<Pending> PopBatch(size_t max_batch);
 
-  // Wakes PopBatch; subsequent pushes are rejected (CHECK).
+  // Wakes PopBatch; subsequent pushes are rejected (CHECK). Entries still
+  // queued are drained by subsequent PopBatch calls.
   void Close();
 
   size_t size() const;
 
+  // Requests shed on an expired deadline so far.
+  size_t shed_count() const;
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  // Kept sorted: priority descending, ticket ascending. Push inserts from
+  // the back (new tickets sort last within their class), so the common
+  // single-priority workload stays O(1).
   std::deque<Pending> queue_;
   uint64_t next_ticket_ = 0;
+  size_t shed_ = 0;
   bool closed_ = false;
 };
 
 class BatchScheduler : public Scheduler {
  public:
   // `compute_threads` sizes the per-request fan-out pool (0 = one per core).
-  BatchScheduler(PrismEngine* engine, size_t max_inflight, size_t compute_threads = 0);
+  BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads = 0);
   ~BatchScheduler() override;
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -100,7 +136,7 @@ class BatchScheduler : public Scheduler {
  private:
   void DispatchLoop();
 
-  PrismEngine* engine_;
+  BatchRunner* runner_;
   size_t max_inflight_;
   RequestQueue queue_;
   std::unique_ptr<ThreadPool> compute_pool_;

@@ -10,6 +10,13 @@ namespace prism {
 void ServiceStats::Observe(const RerankRequest& request, const RerankResult& result,
                            double observed_ms) {
   ++requests;
+  if (!result.status.ok()) {
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      ++shed;
+    } else {
+      ++errors;
+    }
+  }
   total_latency_ms += observed_ms;
   max_latency_ms = std::max(max_latency_ms, observed_ms);
   total_candidate_layers += result.stats.candidate_layers;
@@ -21,6 +28,18 @@ void ServiceStats::Observe(const RerankRequest& request, const RerankResult& res
     latency_ring[ring_next] = observed_ms;
     ring_next = (ring_next + 1) % kLatencyRingCapacity;
   }
+}
+
+void ServiceStats::Merge(const ServiceStats& other) {
+  requests += other.requests;
+  shed += other.shed;
+  errors += other.errors;
+  total_latency_ms += other.total_latency_ms;
+  max_latency_ms = std::max(max_latency_ms, other.max_latency_ms);
+  total_candidate_layers += other.total_candidate_layers;
+  total_candidates += other.total_candidates;
+  bytes_streamed += other.bytes_streamed;
+  latency_ring.insert(latency_ring.end(), other.latency_ring.begin(), other.latency_ring.end());
 }
 
 double ServiceStats::LatencyPercentileMs(double p) const {
@@ -41,6 +60,8 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
   if (options.online_calibration) {
     PRISM_CHECK_MSG(options.max_inflight <= 1,
                     "online calibration samples through a serial log; use max_inflight == 1");
+    PRISM_CHECK_MSG(options.runner_override == nullptr,
+                    "runner_override would bypass the calibrator's sample log");
     PrismOptions reference_options = options.engine;
     reference_options.pruning = false;
     // Ground-truth runs happen at idle time; they should not distort the
@@ -53,12 +74,14 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
     calibrator_ = std::make_unique<OnlineCalibrator>(engine_.get(), reference_.get(),
                                                      options.calibration);
   }
+  BatchRunner* target =
+      options.runner_override != nullptr ? options.runner_override : engine_.get();
   if (options.max_inflight > 1) {
-    scheduler_ = std::make_unique<BatchScheduler>(engine_.get(), options.max_inflight,
+    scheduler_ = std::make_unique<BatchScheduler>(target, options.max_inflight,
                                                   options.compute_threads);
   } else {
     Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
-                                            : static_cast<Runner*>(engine_.get());
+                                            : static_cast<Runner*>(target);
     scheduler_ = std::make_unique<SerialScheduler>(runner);
   }
 }

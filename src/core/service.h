@@ -40,6 +40,12 @@ struct ServiceOptions {
   // max_inflight == 1 (checked).
   bool online_calibration = false;
   OnlineCalibratorOptions calibration;
+  // Test seam (fault injection): when non-null, the scheduler drives this
+  // runner instead of the service's own engine. The engine is still built —
+  // accessors like current_threshold() read it — but no request reaches it
+  // unless the override forwards. Incompatible with online_calibration
+  // (checked). The pointee must outlive the service.
+  BatchRunner* runner_override = nullptr;
 };
 
 // Rolling service statistics. RerankService accumulates these under a mutex
@@ -50,6 +56,10 @@ struct ServiceStats {
   static constexpr size_t kLatencyRingCapacity = 1024;
 
   size_t requests = 0;
+  // Of `requests`: shed on an expired deadline / failed with any other
+  // non-ok status. Served requests are `requests - shed - errors`.
+  size_t shed = 0;
+  size_t errors = 0;
   double total_latency_ms = 0.0;
   double max_latency_ms = 0.0;
   int64_t total_candidate_layers = 0;
@@ -59,6 +69,12 @@ struct ServiceStats {
   size_t ring_next = 0;
 
   void Observe(const RerankRequest& request, const RerankResult& result, double observed_ms);
+
+  // Folds another snapshot into this one (ServicePool aggregation). Counters
+  // add; the merged latency ring concatenates both windows, so it may exceed
+  // kLatencyRingCapacity — fine for a snapshot, which only feeds the
+  // percentile queries below.
+  void Merge(const ServiceStats& other);
 
   double MeanLatencyMs() const {
     return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);

@@ -1,0 +1,146 @@
+#include "src/core/service_pool.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace prism {
+
+namespace {
+
+class RoundRobinBalancer : public LoadBalancer {
+ public:
+  size_t Pick(const RerankRequest& /*request*/, std::span<const size_t> inflight) override {
+    return next_.fetch_add(1, std::memory_order_relaxed) % inflight.size();
+  }
+  std::string name() const override { return "round_robin"; }
+
+ private:
+  std::atomic<size_t> next_{0};
+};
+
+class LeastLoadedBalancer : public LoadBalancer {
+ public:
+  size_t Pick(const RerankRequest& /*request*/, std::span<const size_t> inflight) override {
+    size_t best = 0;
+    for (size_t i = 1; i < inflight.size(); ++i) {
+      if (inflight[i] < inflight[best]) {
+        best = i;
+      }
+    }
+    return best;  // Ties break toward the lowest index.
+  }
+  std::string name() const override { return "least_loaded"; }
+};
+
+class QueryAffinityBalancer : public LoadBalancer {
+ public:
+  size_t Pick(const RerankRequest& request, std::span<const size_t> inflight) override {
+    return static_cast<size_t>(QueryHash(request) % inflight.size());
+  }
+  std::string name() const override { return "query_affinity"; }
+};
+
+}  // namespace
+
+const char* LoadBalancePolicyName(LoadBalancePolicy policy) {
+  switch (policy) {
+    case LoadBalancePolicy::kRoundRobin:
+      return "round_robin";
+    case LoadBalancePolicy::kLeastLoaded:
+      return "least_loaded";
+    case LoadBalancePolicy::kQueryAffinity:
+      return "query_affinity";
+  }
+  return "unknown";
+}
+
+LoadBalancePolicy LoadBalancePolicyByName(const std::string& name) {
+  if (name == "round_robin") {
+    return LoadBalancePolicy::kRoundRobin;
+  }
+  if (name == "least_loaded") {
+    return LoadBalancePolicy::kLeastLoaded;
+  }
+  if (name == "query_affinity") {
+    return LoadBalancePolicy::kQueryAffinity;
+  }
+  PRISM_CHECK_MSG(false, ("unknown load-balance policy: " + name).c_str());
+  return LoadBalancePolicy::kRoundRobin;
+}
+
+std::unique_ptr<LoadBalancer> MakeLoadBalancer(LoadBalancePolicy policy) {
+  switch (policy) {
+    case LoadBalancePolicy::kRoundRobin:
+      return std::make_unique<RoundRobinBalancer>();
+    case LoadBalancePolicy::kLeastLoaded:
+      return std::make_unique<LeastLoadedBalancer>();
+    case LoadBalancePolicy::kQueryAffinity:
+      return std::make_unique<QueryAffinityBalancer>();
+  }
+  PRISM_CHECK_MSG(false, "unknown load-balance policy");
+  return nullptr;
+}
+
+uint64_t QueryHash(const RerankRequest& request) {
+  uint64_t hash = 0x9E3779B97F4A7C15ULL;
+  for (uint32_t token : request.query) {
+    hash = MixSeed(hash, token);
+  }
+  return hash;
+}
+
+ServicePool::ServicePool(const ModelConfig& config, const std::string& checkpoint_path,
+                         ServicePoolOptions options, MemoryTracker* tracker)
+    : options_(options) {
+  PRISM_CHECK_GT(options_.pool_size, 0u);
+  replicas_.reserve(options_.pool_size);
+  for (size_t i = 0; i < options_.pool_size; ++i) {
+    replicas_.push_back(
+        std::make_unique<RerankService>(config, checkpoint_path, options_.service, tracker));
+  }
+  balancer_ = MakeLoadBalancer(options_.balancer);
+  inflight_ = std::make_unique<std::atomic<size_t>[]>(replicas_.size());
+  admitted_ = std::make_unique<std::atomic<size_t>[]>(replicas_.size());
+}
+
+ServicePool::ServicePool(std::vector<std::unique_ptr<RerankService>> replicas,
+                         ServicePoolOptions options)
+    : options_(options), replicas_(std::move(replicas)) {
+  PRISM_CHECK_GT(replicas_.size(), 0u);
+  options_.pool_size = replicas_.size();
+  balancer_ = MakeLoadBalancer(options_.balancer);
+  inflight_ = std::make_unique<std::atomic<size_t>[]>(replicas_.size());
+  admitted_ = std::make_unique<std::atomic<size_t>[]>(replicas_.size());
+}
+
+RerankResult ServicePool::Rerank(const RerankRequest& request) {
+  // Snapshot in-flight counts for the balancer; slightly stale is fine (the
+  // point is a cheap wait-free read on the hot path).
+  std::vector<size_t> inflight(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    inflight[i] = inflight_[i].load(std::memory_order_relaxed);
+  }
+  const size_t pick = balancer_->Pick(request, inflight);
+  PRISM_CHECK_LT(pick, replicas_.size());
+  inflight_[pick].fetch_add(1, std::memory_order_relaxed);
+  admitted_[pick].fetch_add(1, std::memory_order_relaxed);
+  RerankResult result = replicas_[pick]->Rerank(request);
+  inflight_[pick].fetch_sub(1, std::memory_order_relaxed);
+  return result;
+}
+
+PoolStats ServicePool::stats() const {
+  PoolStats stats;
+  stats.replica_requests.resize(replicas_.size());
+  stats.replica_inflight.resize(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    stats.aggregate.Merge(replicas_[i]->stats());
+    stats.replica_requests[i] = admitted_[i].load(std::memory_order_relaxed);
+    stats.replica_inflight[i] = inflight_[i].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace prism

@@ -1,0 +1,100 @@
+// ServicePool: sharded multi-replica serving behind one Rerank() facade.
+//
+// One RerankService batches well but owns exactly one engine — one simulated
+// device queue, one spill pool, one embedding cache. To scale past a single
+// device, the pool owns N fully independent replicas (each its own
+// RerankService, hence its own engine, device model, spill pool, and cache)
+// and routes every request through a pluggable LoadBalancer:
+//
+//   round_robin    — rotate through replicas; fair under uniform traffic.
+//   least_loaded   — pick the replica with the fewest in-flight requests;
+//                    absorbs skewed request costs.
+//   query_affinity — hash the query's tokens to a replica, so repeated
+//                    queries land on a warm EmbeddingCache (at the price of
+//                    load skew under a hot query).
+//
+// Every replica runs the same checkpoint and options, so routing never
+// changes a result: a request's topk/scores are bit-identical whichever
+// replica serves it. Deadline shedding and priority ordering happen inside
+// each replica's scheduler (src/core/scheduler.h); the pool adds placement
+// and aggregate observability on top.
+#ifndef PRISM_SRC_CORE_SERVICE_POOL_H_
+#define PRISM_SRC_CORE_SERVICE_POOL_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/service.h"
+
+namespace prism {
+
+enum class LoadBalancePolicy { kRoundRobin, kLeastLoaded, kQueryAffinity };
+
+const char* LoadBalancePolicyName(LoadBalancePolicy policy);
+LoadBalancePolicy LoadBalancePolicyByName(const std::string& name);
+
+// Replica-selection strategy. Pick() must be thread-safe: the pool calls it
+// from every client thread. `inflight[i]` is a snapshot of replica i's
+// currently-admitted request count (including queued ones).
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+  virtual size_t Pick(const RerankRequest& request, std::span<const size_t> inflight) = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<LoadBalancer> MakeLoadBalancer(LoadBalancePolicy policy);
+
+// Stable hash of a query's tokens (used by the affinity balancer and
+// exposed for tests: affinity routing must be a pure function of these).
+uint64_t QueryHash(const RerankRequest& request);
+
+struct ServicePoolOptions {
+  // Per-replica configuration; every replica is built from this template.
+  ServiceOptions service;
+  size_t pool_size = 2;
+  LoadBalancePolicy balancer = LoadBalancePolicy::kLeastLoaded;
+};
+
+// Pool-wide snapshot: the merged per-replica ServiceStats plus placement
+// counters, so an operator can see both aggregate latency percentiles and
+// whether the balancer is spreading load.
+struct PoolStats {
+  ServiceStats aggregate;                 // All replicas merged.
+  std::vector<size_t> replica_requests;   // Admitted per replica, cumulative.
+  std::vector<size_t> replica_inflight;   // In flight per replica, snapshot.
+};
+
+class ServicePool {
+ public:
+  // Builds `pool_size` replicas of (config, checkpoint, options.service).
+  ServicePool(const ModelConfig& config, const std::string& checkpoint_path,
+              ServicePoolOptions options, MemoryTracker* tracker = &MemoryTracker::Global());
+
+  // Adopts pre-built replicas (tests inject fault-wrapped services here).
+  ServicePool(std::vector<std::unique_ptr<RerankService>> replicas, ServicePoolOptions options);
+
+  // Thread-safe; routes to a replica and blocks until served (or shed).
+  RerankResult Rerank(const RerankRequest& request);
+
+  size_t pool_size() const { return replicas_.size(); }
+  const LoadBalancer& balancer() const { return *balancer_; }
+  RerankService& replica(size_t i) { return *replicas_[i]; }
+
+  PoolStats stats() const;
+
+ private:
+  ServicePoolOptions options_;
+  std::vector<std::unique_ptr<RerankService>> replicas_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  // Indexed by replica; atomics because every client thread updates them.
+  std::unique_ptr<std::atomic<size_t>[]> inflight_;
+  std::unique_ptr<std::atomic<size_t>[]> admitted_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_CORE_SERVICE_POOL_H_

@@ -1,9 +1,13 @@
 // Common reranker-runner interface shared by the baselines and PRISM.
 //
 // Contract:
-//  - Rerank() is synchronous: it returns only when `result.topk` (best
-//    first) and `result.scores` (NaN for candidates pruned before scoring)
-//    are final. `topk.size() == min(request.k, request.docs.size())`.
+//  - Rerank() is synchronous: it returns only when `result.status` and, on
+//    success, `result.topk` (best first) and `result.scores` (NaN for
+//    candidates pruned before scoring) are final. When `status.ok()`,
+//    `topk.size() == min(request.k, request.docs.size())`; when it is not
+//    (an injected fault, a shed deadline), topk is empty and scores carry
+//    no ranking (empty or all-NaN) — callers must check `status` before
+//    touching either.
 //  - Determinism: the same request against the same checkpoint and options
 //    yields bit-identical topk/scores; only the timing fields of
 //    RerankStats may vary between runs.
@@ -16,19 +20,33 @@
 #define PRISM_SRC_RUNTIME_RUNNER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/data/dataset.h"
 #include "src/model/config.h"
 
 namespace prism {
+
+class ThreadPool;
 
 struct RerankRequest {
   std::vector<uint32_t> query;
   std::vector<std::vector<uint32_t>> docs;
   std::vector<float> planted_r;  // One per doc (see pair_encoder.h).
   size_t k = 5;
+
+  // Admission class: higher-priority requests are dispatched first
+  // (priority-then-FIFO, see RequestQueue in src/core/scheduler.h). 0 is the
+  // default class; runners themselves ignore the field.
+  int priority = 0;
+
+  // Time budget measured from admission (Scheduler::Submit). <= 0 means no
+  // deadline. A request still queued when its budget expires is shed: it
+  // returns a kDeadlineExceeded result without burning an engine pass.
+  double deadline_ms = 0.0;
 
   static RerankRequest FromQuery(const RerankQuery& q, size_t k);
 };
@@ -45,6 +63,10 @@ struct RerankStats {
 };
 
 struct RerankResult {
+  // Ok for a served request. kDeadlineExceeded when the request was shed
+  // before reaching an engine, kIoError (etc.) when a device fault surfaced;
+  // topk/scores carry no ranking in either failure case.
+  Status status;
   std::vector<size_t> topk;    // Candidate indices, best first.
   std::vector<float> scores;   // Score per candidate; NaN if pruned early.
   RerankStats stats;
@@ -55,6 +77,19 @@ class Runner {
   virtual ~Runner() = default;
   virtual RerankResult Rerank(const RerankRequest& request) = 0;
   virtual std::string name() const = 0;
+};
+
+// A runner that can additionally serve several requests as one coalesced
+// pass. BatchScheduler drives this interface, which is what lets tests slot
+// a fault-injection wrapper (tests/fault_injection.h) between the scheduler
+// and the real engine. The contract extends Runner's: results[i] corresponds
+// to requests[i], each result's status is per-request (one failing request
+// must not poison its batchmates), and when `compute_pool` is non-null the
+// implementation may fan per-request work out across it.
+class BatchRunner : public Runner {
+ public:
+  virtual std::vector<RerankResult> RerankBatch(std::span<const RerankRequest* const> requests,
+                                                ThreadPool* compute_pool = nullptr) = 0;
 };
 
 }  // namespace prism

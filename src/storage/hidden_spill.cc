@@ -133,6 +133,11 @@ int64_t SpillPool::bytes_on_disk() const {
   return cursor_;
 }
 
+size_t SpillPool::live_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 void SpillPool::WaitSpill(Entry& entry) {
   if (entry.spill_done.valid()) {
     entry.spill_done.get();

@@ -62,6 +62,11 @@ class SpillPool {
 
   int64_t bytes_on_disk() const;
 
+  // Entries currently parked (spilled but not yet taken or dropped). A
+  // healthy service returns to 0 between requests; tests use this to prove
+  // early termination and fault paths do not leak chunks.
+  size_t live_entries() const;
+
  private:
   struct Entry {
     int64_t offset = 0;

@@ -1,0 +1,113 @@
+// Fault-injection test doubles.
+//
+// FlakyRunner slots between a scheduler and the real engine (via
+// ServiceOptions::runner_override or a directly-constructed BatchScheduler)
+// and fails selected requests with an injected kIoError before they reach
+// the wrapped runner — modelling a device read failure surfaced per-request.
+// Failures follow either a deterministic sequence (request ordinal n fails
+// iff fail_sequence[n]) or a seeded Bernoulli draw, so every test run is
+// reproducible. The tests built on it pin down the error contract: a failing
+// request must not poison its batchmates, wedge the dispatcher, or leak
+// SpillPool entries.
+#ifndef PRISM_TESTS_FAULT_INJECTION_H_
+#define PRISM_TESTS_FAULT_INJECTION_H_
+
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/runner.h"
+
+namespace prism {
+
+struct FaultPlan {
+  // While the ordinal is inside fail_sequence, it decides; afterwards (or
+  // when empty) each request fails with fail_probability via `seed`.
+  std::vector<bool> fail_sequence;
+  double fail_probability = 0.0;
+  uint64_t seed = 0xFA17;
+};
+
+class FlakyRunner : public BatchRunner {
+ public:
+  FlakyRunner(BatchRunner* inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  RerankResult Rerank(const RerankRequest& request) override {
+    const RerankRequest* ptr = &request;
+    return std::move(RerankBatch({&ptr, 1}).front());
+  }
+
+  // Per-request injection: failing entries get an error result carrying the
+  // request's ordinal; survivors are forwarded to the wrapped runner as one
+  // (smaller) batch and their results scattered back into place.
+  std::vector<RerankResult> RerankBatch(std::span<const RerankRequest* const> requests,
+                                        ThreadPool* compute_pool = nullptr) override {
+    std::vector<RerankResult> results(requests.size());
+    std::vector<const RerankRequest*> forwarded;
+    std::vector<size_t> forwarded_at;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (const auto ordinal = NextFailure(); ordinal.has_value()) {
+        results[i].status =
+            Status::IoError("injected device read failure (request #" +
+                            std::to_string(*ordinal) + ")");
+        results[i].scores.assign(requests[i]->docs.size(),
+                                 std::numeric_limits<float>::quiet_NaN());
+      } else {
+        forwarded.push_back(requests[i]);
+        forwarded_at.push_back(i);
+      }
+    }
+    if (!forwarded.empty()) {
+      std::vector<RerankResult> inner_results = inner_->RerankBatch(forwarded, compute_pool);
+      for (size_t j = 0; j < forwarded.size(); ++j) {
+        results[forwarded_at[j]] = std::move(inner_results[j]);
+      }
+    }
+    return results;
+  }
+
+  std::string name() const override { return "flaky(" + inner_->name() + ")"; }
+
+  size_t injected_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+  }
+  size_t requests_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ordinal_;
+  }
+
+ private:
+  // Returns this request's ordinal if it should fail, nullopt otherwise.
+  std::optional<size_t> NextFailure() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t ordinal = ordinal_++;
+    bool fail;
+    if (ordinal < plan_.fail_sequence.size()) {
+      fail = plan_.fail_sequence[ordinal];
+    } else {
+      fail = rng_.NextDouble() < plan_.fail_probability;
+    }
+    if (!fail) {
+      return std::nullopt;
+    }
+    ++failures_;
+    return ordinal;
+  }
+
+  BatchRunner* inner_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  size_t ordinal_ = 0;
+  size_t failures_ = 0;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_TESTS_FAULT_INJECTION_H_

@@ -1,0 +1,210 @@
+// Fault-injection tests: a failing request must surface its error to exactly
+// its own caller — no poisoned batchmates, no wedged dispatcher, no leaked
+// SpillPool entries — whether the fault arrives through a BatchScheduler, a
+// SerialScheduler, or a whole ServicePool of flaky replicas.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/core/service_pool.h"
+#include "tests/fault_injection.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TestModel();
+    ckpt_ = TestCheckpoint(config_);
+    for (size_t i = 0; i < 8; ++i) {
+      requests_.push_back(TestRequest(config_, 10 + i % 3, 3, i));
+    }
+  }
+
+  PrismOptions EngineOptions() const {
+    PrismOptions options;
+    options.device = FastDevice();
+    return options;
+  }
+
+  ModelConfig config_;
+  std::string ckpt_;
+  std::vector<RerankRequest> requests_;
+};
+
+TEST_F(FaultInjectionTest, BatchSchedulerSurfacesErrorsPerRequest) {
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
+  // Serial reference for the requests that must still succeed.
+  MemoryTracker ref_tracker;
+  PrismEngine reference(config_, ckpt_, EngineOptions(), &ref_tracker);
+
+  FaultPlan plan;
+  plan.fail_sequence = {false, true, false, true, true, false, false, false};
+  FlakyRunner flaky(&engine, plan);
+  BatchScheduler scheduler(&flaky, /*max_inflight=*/4, /*compute_threads=*/2);
+
+  std::vector<RerankResult> results(requests_.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    clients.emplace_back([&, i] { results[i] = scheduler.Submit(requests_[i]); });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+
+  size_t failed = 0;
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    if (!results[i].status.ok()) {
+      ++failed;
+      EXPECT_EQ(results[i].status.code(), StatusCode::kIoError);
+      EXPECT_TRUE(results[i].topk.empty());
+      for (float score : results[i].scores) {
+        EXPECT_TRUE(std::isnan(score));
+      }
+    } else {
+      // Survivors are bit-identical to a serial run — a failing batchmate
+      // must not perturb them.
+      const RerankResult expected = reference.Rerank(requests_[i]);
+      EXPECT_EQ(results[i].topk, expected.topk) << "request " << i;
+      EXPECT_EQ(results[i].scores, expected.scores) << "request " << i;
+    }
+  }
+  EXPECT_EQ(failed, 3u);
+  EXPECT_EQ(flaky.injected_failures(), 3u);
+
+  // The dispatcher must still be alive after the faults: later requests run.
+  const RerankResult after = scheduler.Submit(requests_[0]);
+  EXPECT_TRUE(after.status.ok());
+  EXPECT_EQ(after.topk, reference.Rerank(requests_[0]).topk);
+}
+
+// Mixed fault/success traffic over a spill-enabled engine: injected
+// failures are answered above the engine (the seam sits between scheduler
+// and runner), so this pins down two cleanup paths — a failed request must
+// not strand anything, and every *served* request (including ones pruning
+// terminated early, whose chunks were parked on disk) must Drop its pool
+// entries by the time its caller unblocks. Engine-internal read faults
+// CHECK-fail today rather than returning Status, so there is no deeper
+// fault path to exercise yet.
+TEST_F(FaultInjectionTest, FaultsDoNotLeakSpillPoolEntries) {
+  PrismOptions options = EngineOptions();
+  options.offload_hidden = true;
+  options.chunk_candidates = 3;
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, options, &tracker);
+  ASSERT_NE(engine.spill_pool(), nullptr);
+
+  FaultPlan plan;
+  plan.fail_probability = 0.4;
+  plan.seed = 7;
+  FlakyRunner flaky(&engine, plan);
+  BatchScheduler scheduler(&flaky, /*max_inflight=*/3, /*compute_threads=*/2);
+
+  std::vector<std::thread> clients;
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> failed{0};
+  for (size_t round = 0; round < 3; ++round) {
+    clients.clear();
+    for (size_t i = 0; i < requests_.size(); ++i) {
+      clients.emplace_back([&, i] {
+        const RerankResult result = scheduler.Submit(requests_[i]);
+        (result.status.ok() ? ok : failed).fetch_add(1);
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    // Every request — served, pruned early, or failed — must have released
+    // its parked chunks by the time its caller unblocked.
+    EXPECT_EQ(engine.spill_pool()->live_entries(), 0u) << "round " << round;
+  }
+  EXPECT_EQ(ok.load() + failed.load(), 3 * requests_.size());
+  EXPECT_GT(failed.load(), 0u);  // p=0.4 over 24 draws: ~1e-6 to miss.
+  EXPECT_GT(ok.load(), 0u);
+}
+
+TEST_F(FaultInjectionTest, SerialSchedulerForwardsInjectedErrors) {
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
+  FaultPlan plan;
+  plan.fail_sequence = {true, false};
+  FlakyRunner flaky(&engine, plan);
+  SerialScheduler scheduler(&flaky);
+
+  const RerankResult failed = scheduler.Submit(requests_[0]);
+  EXPECT_EQ(failed.status.code(), StatusCode::kIoError);
+  const RerankResult served = scheduler.Submit(requests_[0]);
+  EXPECT_TRUE(served.status.ok());
+  EXPECT_EQ(served.topk.size(), 3u);
+}
+
+TEST_F(FaultInjectionTest, ServicePoolSurfacesReplicaFaultsAndKeepsServing) {
+  // Two flaky replicas behind a pool: each replica's scheduler drives a
+  // FlakyRunner wrapping that replica's own engine (runner_override seam).
+  MemoryTracker tracker;
+  std::vector<std::unique_ptr<PrismEngine>> engines;
+  std::vector<std::unique_ptr<FlakyRunner>> flakies;
+  std::vector<std::unique_ptr<RerankService>> replicas;
+  FaultPlan plan;
+  plan.fail_probability = 0.3;
+  for (size_t i = 0; i < 2; ++i) {
+    engines.push_back(std::make_unique<PrismEngine>(config_, ckpt_, EngineOptions(), &tracker));
+    plan.seed = 100 + i;
+    flakies.push_back(std::make_unique<FlakyRunner>(engines.back().get(), plan));
+    ServiceOptions options;
+    options.engine = EngineOptions();
+    options.max_inflight = 2;
+    options.compute_threads = 2;
+    options.runner_override = flakies.back().get();
+    replicas.push_back(std::make_unique<RerankService>(config_, ckpt_, options, &tracker));
+  }
+  ServicePoolOptions pool_options;
+  pool_options.balancer = LoadBalancePolicy::kRoundRobin;
+  ServicePool pool(std::move(replicas), pool_options);
+
+  MemoryTracker ref_tracker;
+  PrismEngine reference(config_, ckpt_, EngineOptions(), &ref_tracker);
+
+  constexpr size_t kRounds = 4;
+  std::atomic<size_t> failed{0};
+  for (size_t round = 0; round < kRounds; ++round) {
+    std::vector<RerankResult> results(requests_.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < requests_.size(); ++i) {
+      clients.emplace_back([&, i] { results[i] = pool.Rerank(requests_[i]); });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    for (size_t i = 0; i < requests_.size(); ++i) {
+      if (!results[i].status.ok()) {
+        EXPECT_EQ(results[i].status.code(), StatusCode::kIoError);
+        failed.fetch_add(1);
+      } else {
+        EXPECT_EQ(results[i].topk, reference.Rerank(requests_[i]).topk) << "request " << i;
+      }
+    }
+  }
+  EXPECT_GT(failed.load(), 0u);  // p=0.3 over 32 draws.
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.aggregate.requests, kRounds * requests_.size());
+  EXPECT_EQ(stats.aggregate.errors, failed.load());
+  EXPECT_EQ(stats.aggregate.shed, 0u);
+  // Round-robin: every replica kept taking traffic even while faulting.
+  for (size_t i = 0; i < pool.pool_size(); ++i) {
+    EXPECT_GT(stats.replica_requests[i], 0u) << "replica " << i;
+    EXPECT_EQ(stats.replica_inflight[i], 0u) << "replica " << i;
+  }
+}
+
+}  // namespace
+}  // namespace prism

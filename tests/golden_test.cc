@@ -1,0 +1,146 @@
+// Golden numeric regression: one canonical RerankResult for the default
+// config, serialized into tests/golden/. Any refactor that changes the
+// engine's numerics — kernel order, pruning decisions, embedding layout —
+// fails this test with a readable per-candidate diff instead of silently
+// shifting every benchmark.
+//
+// To regenerate after an *intentional* numeric change:
+//   PRISM_UPDATE_GOLDEN=1 ./build/tests/golden_test
+// and commit the rewritten fixture alongside the change that explains it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+#ifndef PRISM_TEST_DATA_DIR
+#error "PRISM_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+std::string GoldenPath() {
+  return std::string(PRISM_TEST_DATA_DIR) + "/golden/rerank_default.txt";
+}
+
+struct GoldenRecord {
+  std::vector<size_t> topk;
+  std::vector<float> scores;
+};
+
+// Scores are serialized as hexfloats (bit-exact round trip) with a decimal
+// rendering alongside for human diffs.
+std::string Serialize(const GoldenRecord& record) {
+  std::ostringstream out;
+  out << "# Canonical RerankResult: TestModel, wikipedia query 0, 12 candidates, k=3.\n";
+  out << "# Regenerate with PRISM_UPDATE_GOLDEN=1 ./build/tests/golden_test\n";
+  out << "topk";
+  for (size_t id : record.topk) {
+    out << ' ' << id;
+  }
+  out << '\n';
+  for (size_t i = 0; i < record.scores.size(); ++i) {
+    char line[80];
+    std::snprintf(line, sizeof(line), "score %zu %a  # %.6f\n", i,
+                  static_cast<double>(record.scores[i]),
+                  static_cast<double>(record.scores[i]));
+    out << line;
+  }
+  return out.str();
+}
+
+bool ParseGolden(const std::string& path, GoldenRecord* record) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "topk") {
+      size_t id;
+      while (fields >> id) {
+        record->topk.push_back(id);
+      }
+    } else if (tag == "score") {
+      size_t index;
+      std::string hex;
+      fields >> index >> hex;
+      EXPECT_EQ(index, record->scores.size()) << "out-of-order score line: " << line;
+      record->scores.push_back(std::strtof(hex.c_str(), nullptr));
+    }
+  }
+  return true;
+}
+
+GoldenRecord ComputeCanonical() {
+  const ModelConfig config = TestModel();
+  const std::string ckpt = TestCheckpoint(config);
+  PrismOptions options;  // Default engine configuration...
+  options.device = FastDevice();  // ...timing model off; numerics unaffected.
+  MemoryTracker tracker;
+  PrismEngine engine(config, ckpt, options, &tracker);
+  const RerankResult result = engine.Rerank(TestRequest(config));
+  EXPECT_TRUE(result.status.ok());
+  return GoldenRecord{result.topk, result.scores};
+}
+
+TEST(GoldenTest, DefaultConfigMatchesFixture) {
+  const GoldenRecord actual = ComputeCanonical();
+
+  if (std::getenv("PRISM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out) << "cannot write " << GoldenPath();
+    out << Serialize(actual);
+    GTEST_SKIP() << "rewrote " << GoldenPath();
+  }
+
+  GoldenRecord expected;
+  ASSERT_TRUE(ParseGolden(GoldenPath(), &expected))
+      << "missing fixture " << GoldenPath()
+      << " — generate it with PRISM_UPDATE_GOLDEN=1 ./build/tests/golden_test";
+
+  EXPECT_EQ(actual.topk, expected.topk) << "top-K order changed";
+  ASSERT_EQ(actual.scores.size(), expected.scores.size()) << "candidate count changed";
+  for (size_t i = 0; i < actual.scores.size(); ++i) {
+    const bool both_nan = std::isnan(actual.scores[i]) && std::isnan(expected.scores[i]);
+    if (both_nan) {
+      continue;  // Pruned-before-scoring in both runs.
+    }
+    EXPECT_EQ(actual.scores[i], expected.scores[i])
+        << "score[" << i << "] drifted: expected " << expected.scores[i] << " (hex "
+        << std::hexfloat << static_cast<double>(expected.scores[i]) << "), got "
+        << std::defaultfloat << actual.scores[i] << " (hex " << std::hexfloat
+        << static_cast<double>(actual.scores[i]) << ")";
+  }
+}
+
+// The fixture itself must be reproducible: two engines, same checkpoint,
+// same result. Guards against the canonical request accidentally depending
+// on ambient state (cache warmth, request ids).
+TEST(GoldenTest, CanonicalResultIsStableAcrossEngines) {
+  const GoldenRecord first = ComputeCanonical();
+  const GoldenRecord second = ComputeCanonical();
+  EXPECT_EQ(first.topk, second.topk);
+  for (size_t i = 0; i < first.scores.size(); ++i) {
+    const bool both_nan = std::isnan(first.scores[i]) && std::isnan(second.scores[i]);
+    EXPECT_TRUE(both_nan || first.scores[i] == second.scores[i]) << "score " << i;
+  }
+}
+
+}  // namespace
+}  // namespace prism

@@ -1,0 +1,181 @@
+// Property-based tests: hundreds of randomized cases from a seeded RNG,
+// asserting the invariants PlanChunkCandidates and DecidePrune promise
+// rather than hand-picked examples. Failures print the case's derived seed
+// so any counterexample replays deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/pruner.h"
+#include "src/core/stages.h"
+#include "src/model/layer.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+constexpr uint64_t kSuiteSeed = 0xBEEF5EED;
+constexpr int kCases = 300;
+
+// --- ChunkPlanner::PlanCandidates -----------------------------------------
+
+struct PlannerCase {
+  size_t n = 0;
+  size_t seq_len = 0;
+  int64_t budget = 0;
+  size_t chunk_candidates = 0;
+  bool chunked = true;
+};
+
+size_t Plan(const ModelConfig& config, const PlannerCase& c) {
+  PrismOptions options;
+  options.chunked = c.chunked;
+  options.chunk_candidates = c.chunk_candidates;
+  options.device.activation_budget_bytes = c.budget;
+  StageResources resources;
+  resources.config = &config;
+  resources.options = &options;
+  const ChunkPlanner planner(resources);
+  return planner.PlanCandidates(c.n, c.seq_len);
+}
+
+PlannerCase RandomPlannerCase(Rng& rng) {
+  PlannerCase c;
+  c.n = 1 + rng.NextBelow(80);
+  c.seq_len = 8 + rng.NextBelow(120);
+  // From starved (forces the floor) to roomy (fits everything).
+  c.budget = static_cast<int64_t>(1) << (10 + rng.NextBelow(16));
+  if (rng.NextDouble() < 0.2) {
+    c.chunk_candidates = 1 + rng.NextBelow(16);
+  }
+  return c;
+}
+
+TEST(PlannerPropertyTest, PlanRespectsBoundsBudgetAndFloor) {
+  const ModelConfig config = TestModel();
+  Rng rng(kSuiteSeed);
+  for (int i = 0; i < kCases; ++i) {
+    const PlannerCase c = RandomPlannerCase(rng);
+    const size_t plan = Plan(config, c);
+    SCOPED_TRACE(::testing::Message() << "case " << i << ": n=" << c.n << " seq_len="
+                                      << c.seq_len << " budget=" << c.budget
+                                      << " chunk_candidates=" << c.chunk_candidates);
+    ASSERT_GE(plan, 1u);
+    ASSERT_LE(plan, c.n);
+    if (c.chunk_candidates > 0) {
+      ASSERT_EQ(plan, std::min(c.chunk_candidates, c.n));
+      continue;
+    }
+    // Budget floor of 2: the plan never goes below min(2, n) however starved
+    // the budget is.
+    ASSERT_GE(plan, std::min<size_t>(2, c.n));
+    // Above the floor, the plan must fit the budget...
+    const int64_t scratch =
+        LayerScratch::BytesFor(config, plan * c.seq_len, c.seq_len);
+    if (plan > std::min<size_t>(2, c.n)) {
+      ASSERT_LE(scratch, c.budget);
+    }
+    // ...and be maximal: one more candidate must not also fit.
+    if (plan < c.n) {
+      ASSERT_GT(LayerScratch::BytesFor(config, (plan + 1) * c.seq_len, c.seq_len), c.budget);
+    }
+  }
+}
+
+TEST(PlannerPropertyTest, PlanIsDeterministicAndUnchunkedPassesThrough) {
+  const ModelConfig config = TestModel();
+  Rng rng(kSuiteSeed + 1);
+  for (int i = 0; i < kCases; ++i) {
+    PlannerCase c = RandomPlannerCase(rng);
+    ASSERT_EQ(Plan(config, c), Plan(config, c)) << "case " << i;
+    c.chunked = false;
+    ASSERT_EQ(Plan(config, c), c.n) << "case " << i;
+  }
+}
+
+// --- DecidePrune ----------------------------------------------------------
+
+std::vector<float> RandomScores(Rng& rng, size_t m) {
+  std::vector<float> scores(m);
+  for (float& s : scores) {
+    s = static_cast<float>(rng.NextGaussian());
+  }
+  // Duplicates exercise tie handling in clustering and ranking.
+  if (m >= 2 && rng.NextDouble() < 0.3) {
+    scores[rng.NextBelow(m)] = scores[rng.NextBelow(m)];
+  }
+  return scores;
+}
+
+TEST(PrunerPropertyTest, DecisionPartitionsActiveSet) {
+  Rng rng(kSuiteSeed + 2);
+  for (int i = 0; i < kCases; ++i) {
+    const size_t m = 1 + rng.NextBelow(40);
+    const std::vector<float> scores = RandomScores(rng, m);
+    const size_t remaining_k = 1 + rng.NextBelow(m);
+    PrunerOptions options;
+    options.dispersion_threshold = static_cast<float>(rng.NextUniform(0.0, 1.2));
+    options.prune_winners = rng.NextDouble() < 0.8;
+    options.seed = MixSeed(kSuiteSeed, static_cast<uint64_t>(i));
+    const PruneDecision decision = DecidePrune(scores, remaining_k, options);
+
+    SCOPED_TRACE(::testing::Message() << "case " << i << ": m=" << m << " k=" << remaining_k
+                                      << " threshold=" << options.dispersion_threshold
+                                      << " prune_winners=" << options.prune_winners);
+    // The three lists partition [0, m): the kept set (selected ∪ deferred)
+    // plus dropped covers every candidate exactly once — nothing invented,
+    // nothing lost.
+    std::set<size_t> seen;
+    for (const auto* list : {&decision.selected, &decision.dropped, &decision.deferred}) {
+      for (size_t idx : *list) {
+        ASSERT_LT(idx, m);
+        ASSERT_TRUE(seen.insert(idx).second) << "index " << idx << " in two lists";
+      }
+    }
+    ASSERT_EQ(seen.size(), m);
+    ASSERT_LE(decision.selected.size(), remaining_k);
+    // The remaining_k-th ranked candidate is never dropped when winners are
+    // pruned (it defines the boundary cluster).
+    if (options.prune_winners) {
+      std::vector<size_t> order(m);
+      for (size_t j = 0; j < m; ++j) {
+        order[j] = j;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+      const size_t kth = order[remaining_k - 1];
+      ASSERT_EQ(std::count(decision.dropped.begin(), decision.dropped.end(), kth), 0)
+          << "k-th ranked candidate " << kth << " was dropped";
+    }
+    // Termination implies every remaining slot is accounted for.
+    if (decision.terminate) {
+      ASSERT_TRUE(decision.deferred.empty());
+      ASSERT_LE(decision.selected.size(), remaining_k);
+    }
+  }
+}
+
+TEST(PrunerPropertyTest, DecisionIsDeterministicForFixedSeed) {
+  Rng rng(kSuiteSeed + 3);
+  for (int i = 0; i < kCases; ++i) {
+    const size_t m = 2 + rng.NextBelow(30);
+    const std::vector<float> scores = RandomScores(rng, m);
+    const size_t remaining_k = 1 + rng.NextBelow(m);
+    PrunerOptions options;
+    options.dispersion_threshold = 0.1f;  // Trigger clustering often.
+    options.seed = MixSeed(kSuiteSeed, static_cast<uint64_t>(i));
+    const PruneDecision first = DecidePrune(scores, remaining_k, options);
+    const PruneDecision second = DecidePrune(scores, remaining_k, options);
+    ASSERT_EQ(first.triggered, second.triggered) << "case " << i;
+    ASSERT_EQ(first.terminate, second.terminate) << "case " << i;
+    ASSERT_EQ(first.selected, second.selected) << "case " << i;
+    ASSERT_EQ(first.dropped, second.dropped) << "case " << i;
+    ASSERT_EQ(first.deferred, second.deferred) << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace prism

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -84,6 +86,146 @@ TEST(RequestQueueTest, PopsInAdmissionOrder) {
   for (auto& pending : rest) {
     pending.promise.set_value(RerankResult{});
   }
+}
+
+TEST(RequestQueueTest, PriorityThenFifoOrder) {
+  RequestQueue queue;
+  const ModelConfig config = TestModel();
+  std::vector<RerankRequest> requests = MakeRequests(config, 6);
+  // Tickets 0..5; priorities: 0, 2, 1, 2, 0, 1.
+  const int priorities[] = {0, 2, 1, 2, 0, 1};
+  std::vector<std::future<RerankResult>> futures;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].priority = priorities[i];
+    futures.push_back(queue.Push(requests[i]));
+  }
+  // Expected pop order: priority desc, ticket asc → 1, 3 (pri 2); 2, 5
+  // (pri 1); 0, 4 (pri 0).
+  const uint64_t expected[] = {1, 3, 2, 5, 0, 4};
+  std::vector<RequestQueue::Pending> batch = queue.PopBatch(6);
+  ASSERT_EQ(batch.size(), 6u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].ticket, expected[i]) << "position " << i;
+  }
+  for (auto& pending : batch) {
+    pending.promise.set_value(RerankResult{});
+  }
+}
+
+TEST(RequestQueueTest, ExpiredEntriesAreShedWithErrorResult) {
+  RequestQueue queue;
+  const ModelConfig config = TestModel();
+  std::vector<RerankRequest> requests = MakeRequests(config, 3);
+  requests[0].deadline_ms = 0.01;
+  requests[2].deadline_ms = 0.01;  // requests[1] has no deadline.
+  std::vector<std::future<RerankResult>> futures;
+  for (const RerankRequest& request : requests) {
+    futures.push_back(queue.Push(request));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<RequestQueue::Pending> batch = queue.PopBatch(4);
+  ASSERT_EQ(batch.size(), 1u);  // Only the undeadlined entry survives.
+  EXPECT_EQ(batch[0].ticket, 1u);
+  batch[0].promise.set_value(RerankResult{});
+  EXPECT_EQ(queue.shed_count(), 2u);
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    const RerankResult shed = futures[i].get();
+    EXPECT_EQ(shed.status.code(), StatusCode::kDeadlineExceeded) << "request " << i;
+    EXPECT_TRUE(shed.topk.empty());
+  }
+  EXPECT_TRUE(futures[1].get().status.ok());
+}
+
+TEST(RequestQueueTest, SixteenThreadStressKeepsPriorityThenFifoSemantics) {
+  // 16 producers hammer the queue with mixed priorities and deadlines while
+  // one consumer drains it. Invariants: every popped batch is sorted by
+  // (priority desc, ticket asc); within a priority class tickets dispatch
+  // in strictly increasing (FIFO) order across the whole run; every future
+  // resolves — served requests with OK, shed requests with
+  // kDeadlineExceeded; nothing is lost or double-delivered.
+  constexpr size_t kThreads = 16;
+  constexpr size_t kPerThread = 8;
+  constexpr size_t kTotal = kThreads * kPerThread;
+  const ModelConfig config = TestModel();
+  const RerankRequest base = TestRequest(config, 8, 2);
+
+  RequestQueue queue;
+  std::atomic<size_t> served{0};
+  std::map<int, std::vector<uint64_t>> popped_by_priority;
+  std::thread consumer([&] {
+    for (;;) {
+      std::vector<RequestQueue::Pending> batch = queue.PopBatch(4);
+      if (batch.empty()) {
+        return;  // Closed and drained.
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (i > 0) {
+          const bool ordered =
+              batch[i - 1].priority > batch[i].priority ||
+              (batch[i - 1].priority == batch[i].priority &&
+               batch[i - 1].ticket < batch[i].ticket);
+          EXPECT_TRUE(ordered) << "batch not in (priority desc, ticket asc) order at " << i;
+        }
+        popped_by_priority[batch[i].priority].push_back(batch[i].ticket);
+      }
+      // Stall occasionally so tight deadlines genuinely expire in-queue.
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      for (auto& pending : batch) {
+        RerankResult result;
+        result.scores.push_back(static_cast<float>(pending.ticket));
+        pending.promise.set_value(std::move(result));
+        served.fetch_add(1);
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  std::atomic<size_t> ok_seen{0};
+  std::atomic<size_t> shed_seen{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      std::vector<RerankRequest> mine(kPerThread, base);
+      std::vector<std::future<RerankResult>> futures;
+      for (size_t i = 0; i < kPerThread; ++i) {
+        mine[i].priority = static_cast<int>((t + i) % 4) - 1;
+        if (i % 2 == 1) {
+          mine[i].deadline_ms = 0.05;  // Expires unless popped immediately.
+        }
+        futures.push_back(queue.Push(mine[i]));
+      }
+      for (auto& future : futures) {
+        const RerankResult result = future.get();
+        if (result.status.ok()) {
+          ok_seen.fetch_add(1);
+        } else {
+          EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+          EXPECT_TRUE(result.topk.empty());
+          shed_seen.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  queue.Close();
+  consumer.join();
+
+  EXPECT_EQ(ok_seen.load() + shed_seen.load(), kTotal);
+  EXPECT_EQ(served.load(), ok_seen.load());
+  EXPECT_EQ(queue.shed_count(), shed_seen.load());
+  EXPECT_GT(shed_seen.load(), 0u) << "no deadline expired under a stalling consumer";
+  EXPECT_GT(ok_seen.load(), 0u);
+  // FIFO within a priority class, across the whole run.
+  size_t total_popped = 0;
+  for (const auto& [priority, tickets] : popped_by_priority) {
+    for (size_t i = 1; i < tickets.size(); ++i) {
+      EXPECT_LT(tickets[i - 1], tickets[i])
+          << "priority " << priority << " dispatched out of FIFO order";
+    }
+    total_popped += tickets.size();
+  }
+  EXPECT_EQ(total_popped, ok_seen.load());
 }
 
 TEST(RequestQueueTest, CloseDrainsThenReturnsEmpty) {
