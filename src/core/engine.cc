@@ -2,10 +2,220 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "src/common/check.h"
+#include "src/common/timer.h"
 
 namespace prism {
+
+class PrismCarouselPass;
+
+// One request riding the engine's carousel. Owns the RequestContext; the
+// ticket address is stable (heap-allocated), so the stages can hold onto the
+// context across steps. An abandoned ticket (destroyed before TakeResult —
+// e.g. a fault-injection wrapper killed the request mid-flight) releases its
+// parked spill chunks and deregisters from the pass.
+class PrismCarouselTicket final : public CarouselTicket {
+ public:
+  PrismCarouselTicket(PrismCarouselPass* pass, const RerankRequest& request, uint64_t id)
+      : pass_(pass), ctx_(request, id) {}
+  ~PrismCarouselTicket() override;
+
+  size_t next_layer() const override { return ctx_.next_layer; }
+  bool done() const override { return ctx_.done; }
+  RerankResult TakeResult() override;
+
+  RequestContext& ctx() { return ctx_; }
+
+ private:
+  PrismCarouselPass* pass_;
+  RequestContext ctx_;
+  bool finalized_ = false;
+};
+
+// The engine's cyclic layer pass. Wraps a cyclic LayerStreamer (or the
+// resident layers when streaming is off) and drives the shared stage
+// pipeline one layer at a time. Stall time is charged to the group that
+// waited for the layer; streamed bytes are split across every request still
+// riding the carousel (they all share the cycle). Confined to one driver
+// thread — only Step's compute fan-out is parallel.
+class PrismCarouselPass final : public CarouselPass {
+ public:
+  explicit PrismCarouselPass(PrismEngine* engine) : engine_(engine) {
+    if (engine_->options_.streaming) {
+      std::vector<size_t> schedule;
+      for (size_t layer = 0; layer < engine_->config_.n_layers; ++layer) {
+        schedule.push_back(LayerBlobIndex(layer));
+      }
+      streamer_ = std::make_unique<LayerStreamer>(engine_->reader_.get(), std::move(schedule),
+                                                  /*buffer_count=*/2, engine_->tracker_,
+                                                  /*cyclic=*/true);
+    }
+  }
+
+  ~PrismCarouselPass() override {
+    PRISM_CHECK_MSG(live_.empty(), "carousel pass destroyed with live tickets");
+    if (streamer_ != nullptr && seq_ > 0) {
+      // Stop the prefetcher from fetching layers nobody will consume while
+      // the destructor joins it.
+      streamer_->TruncateSchedule(seq_ - 1);
+    }
+  }
+
+  size_t n_layers() const override { return engine_->config_.n_layers; }
+
+  std::unique_ptr<CarouselTicket> Admit(const RerankRequest& request) override {
+    std::unique_ptr<PrismCarouselTicket> ticket = PlanTicket(request);
+    engine_->embed_stage_->Run(&ticket->ctx());
+    live_.push_back(ticket.get());
+    return ticket;
+  }
+
+  // A boundary's joiners embed in parallel — the carousel is stalled while
+  // they board, so this window is pure time-to-first-layer.
+  std::vector<std::unique_ptr<CarouselTicket>> AdmitBatch(
+      std::span<const RerankRequest* const> requests, ThreadPool* compute_pool) override {
+    std::vector<std::unique_ptr<PrismCarouselTicket>> planned;
+    planned.reserve(requests.size());
+    for (const RerankRequest* request : requests) {
+      planned.push_back(PlanTicket(*request));
+    }
+    if (compute_pool != nullptr && planned.size() > 1) {
+      compute_pool->ParallelFor(0, planned.size(), [&](size_t i) {
+        engine_->embed_stage_->Run(&planned[i]->ctx());
+      });
+    } else {
+      for (auto& ticket : planned) {
+        engine_->embed_stage_->Run(&ticket->ctx());
+      }
+    }
+    std::vector<std::unique_ptr<CarouselTicket>> tickets;
+    tickets.reserve(planned.size());
+    for (auto& ticket : planned) {
+      live_.push_back(ticket.get());
+      tickets.push_back(std::move(ticket));
+    }
+    return tickets;
+  }
+
+  void Step(size_t layer, std::span<CarouselTicket* const> group,
+            ThreadPool* compute_pool) override {
+    PRISM_CHECK_LT(layer, n_layers());
+    PRISM_CHECK_EQ(layer, seq_ % n_layers());  // Layers arrive in cyclic order.
+
+    std::vector<RequestContext*> ctxs;
+    ctxs.reserve(group.size());
+    for (CarouselTicket* ticket : group) {
+      ctxs.push_back(&static_cast<PrismCarouselTicket*>(ticket)->ctx());
+    }
+
+    std::span<const uint8_t> blob;
+    if (streamer_ != nullptr) {
+      const WallTimer stall_timer;
+      blob = streamer_->Acquire(seq_);
+      if (!group.empty()) {
+        const double stall_share =
+            stall_timer.ElapsedMillis() / static_cast<double>(group.size());
+        for (RequestContext* ctx : ctxs) {
+          ctx->result.stats.io_stall_ms += stall_share;
+        }
+      }
+    } else {
+      blob = engine_->resident_layers_[layer];
+    }
+
+    const AnyLayerView view =
+        ParseAnyLayerBlob(engine_->config_, blob, engine_->options_.quantized);
+    const bool last_layer = layer + 1 == n_layers();
+    engine_->layer_loop_->ForwardGroup(ctxs, layer, view, last_layer, compute_pool);
+
+    // The fetch served the whole cycle: split it across everyone riding it.
+    // Resident (non-streaming) layers charge nothing, matching the serial
+    // path. (live_ can be empty when a fault-injection wrapper killed every
+    // resident but still steps the pass to keep the walk aligned.)
+    if (streamer_ != nullptr && !live_.empty()) {
+      const int64_t byte_share =
+          static_cast<int64_t>(blob.size()) / static_cast<int64_t>(live_.size());
+      for (PrismCarouselTicket* ticket : live_) {
+        ticket->ctx().result.stats.bytes_streamed += byte_share;
+      }
+    }
+
+    // Release before settling, as in LayerLoop::Run: the next layer
+    // prefetches into the freed buffer while pruning runs.
+    if (streamer_ != nullptr) {
+      streamer_->Release(seq_);
+    }
+    engine_->layer_loop_->SettleGroup(ctxs, layer, last_layer);
+    ++seq_;
+  }
+
+  void SkipToNextCycle() override {
+    if (seq_ % n_layers() == 0) {
+      return;  // Already at a boundary (e.g. drained exactly at the wrap).
+    }
+    const size_t next_boundary = (seq_ / n_layers() + 1) * n_layers();
+    if (streamer_ != nullptr) {
+      streamer_->SkipTo(next_boundary);
+    }
+    seq_ = next_boundary;
+  }
+
+  // Ticket exit paths (called by PrismCarouselTicket only).
+  void Finalize(PrismCarouselTicket* ticket) {
+    engine_->prune_stage_->Finalize(&ticket->ctx());
+    // Publish the trace like RerankBatch does for its last context: the
+    // most recently finalized request's records are what last_trace()
+    // returns.
+    {
+      std::lock_guard<std::mutex> lock(engine_->trace_mu_);
+      engine_->trace_ = std::move(ticket->ctx().trace);
+    }
+    Deregister(ticket);
+  }
+
+  void Abandon(PrismCarouselTicket* ticket) {
+    ReleaseSpilledChunks(engine_->resources_, &ticket->ctx());
+    Deregister(ticket);
+  }
+
+ private:
+  std::unique_ptr<PrismCarouselTicket> PlanTicket(const RerankRequest& request) {
+    auto ticket = std::make_unique<PrismCarouselTicket>(
+        this, request, engine_->next_request_id_.fetch_add(1, std::memory_order_relaxed));
+    RequestContext& ctx = ticket->ctx();
+    ctx.pruner_options.dispersion_threshold = engine_->dispersion_threshold();
+    ctx.pruner_options.prune_winners = engine_->options_.prune_winners;
+    ctx.pruner_options.kmeans_max_k = engine_->options_.kmeans_max_k;
+    ctx.pruner_options.seed = engine_->options_.seed;
+    engine_->planner_->Begin(&ctx);
+    return ticket;
+  }
+
+  void Deregister(PrismCarouselTicket* ticket) {
+    live_.erase(std::remove(live_.begin(), live_.end(), ticket), live_.end());
+  }
+
+  PrismEngine* engine_;
+  std::unique_ptr<LayerStreamer> streamer_;  // Null when streaming is off.
+  size_t seq_ = 0;                           // Monotonic carousel position.
+  std::vector<PrismCarouselTicket*> live_;   // Admitted, result not yet taken.
+};
+
+PrismCarouselTicket::~PrismCarouselTicket() {
+  if (!finalized_) {
+    pass_->Abandon(this);
+  }
+}
+
+RerankResult PrismCarouselTicket::TakeResult() {
+  PRISM_CHECK_MSG(ctx_.done, "TakeResult before the request finished");
+  PRISM_CHECK_MSG(!finalized_, "TakeResult called twice");
+  finalized_ = true;
+  pass_->Finalize(this);
+  return std::move(ctx_.result);
+}
 
 PrismEngine::PrismEngine(const ModelConfig& config, const std::string& checkpoint_path,
                          PrismOptions options, MemoryTracker* tracker)
@@ -77,6 +287,10 @@ std::vector<LayerTraceEntry> PrismEngine::last_trace() const {
 
 size_t PrismEngine::PlanChunkCandidates(size_t n, size_t seq_len) const {
   return planner_->PlanCandidates(n, seq_len);
+}
+
+std::unique_ptr<CarouselPass> PrismEngine::BeginCarousel() {
+  return std::make_unique<PrismCarouselPass>(this);
 }
 
 RerankResult PrismEngine::Rerank(const RerankRequest& request) {

@@ -53,6 +53,15 @@ class PrismEngine : public BatchRunner {
   std::vector<RerankResult> RerankBatch(std::span<const RerankRequest* const> requests,
                                         ThreadPool* compute_pool = nullptr) override;
 
+  // Opens a cyclic carousel pass over this engine's layer stream: the
+  // CarouselScheduler admits requests at cycle boundaries and steps every
+  // resident request through each arriving layer, with results bit-identical
+  // to serial Rerank per request (pruning stays per-request; only fetch
+  // sharing and admission timing change). The pass and its tickets are
+  // confined to the calling thread; the engine must outlive them.
+  bool SupportsCarousel() const override { return true; }
+  std::unique_ptr<CarouselPass> BeginCarousel() override;
+
   std::string name() const override { return options_.quantized ? "PRISM Quant" : "PRISM"; }
 
   // Trace of the most recent request (trace mode only; meaningful when
@@ -86,6 +95,10 @@ class PrismEngine : public BatchRunner {
   size_t PlanChunkCandidates(size_t n, size_t seq_len) const;
 
  private:
+  // The carousel pass lives in engine.cc and reaches through the engine for
+  // the stage pipeline, request ids, and the live dispersion threshold.
+  friend class PrismCarouselPass;
+
   ModelConfig config_;
   PrismOptions options_;
   MemoryTracker* tracker_;

@@ -31,13 +31,17 @@ RerankResult SerialScheduler::Submit(const RerankRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
   // The budget covers time spent queueing on the mutex: if it ran out while
   // other requests held the runner, answer cheaply instead of running.
-  if (request.deadline_ms > 0.0 && waited.ElapsedMillis() >= request.deadline_ms) {
-    return MakeShedResult(request.deadline_ms, waited.ElapsedMillis());
+  const double waited_ms = waited.ElapsedMillis();
+  if (request.deadline_ms > 0.0 && waited_ms >= request.deadline_ms) {
+    return MakeShedResult(request.deadline_ms, waited_ms);
   }
-  return runner_->Rerank(request);
+  RerankResult result = runner_->Rerank(request);
+  result.stats.queue_wait_ms = waited_ms;
+  return result;
 }
 
-std::future<RerankResult> RequestQueue::Push(const RerankRequest& request) {
+std::future<RerankResult> RequestQueue::Push(const RerankRequest& request,
+                                             const std::atomic<uint64_t>* epoch) {
   std::future<RerankResult> future;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -46,6 +50,10 @@ std::future<RerankResult> RequestQueue::Push(const RerankRequest& request) {
     pending.request = &request;
     pending.ticket = next_ticket_++;
     pending.priority = request.priority;
+    // The snapshot shares the queue mutex with the pops' epoch bump, so an
+    // entry can never observe an admission event that already drained the
+    // queue before it was inserted.
+    pending.tag = epoch != nullptr ? epoch->load(std::memory_order_relaxed) : 0;
     pending.admitted = Clock::now();
     if (request.deadline_ms > 0.0) {
       pending.has_deadline = true;
@@ -65,7 +73,55 @@ std::future<RerankResult> RequestQueue::Push(const RerankRequest& request) {
   return future;
 }
 
-std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch) {
+void RequestQueue::ShedExpiredLocked(std::vector<Pending>* shed) {
+  // Shed every expired entry — wherever it sits in the order; a
+  // low-priority request can expire behind higher classes.
+  const Clock::time_point now = Clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->ExpiredAt(now)) {
+      shed->push_back(std::move(*it));
+      it = queue_.erase(it);
+      ++shed_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<RequestQueue::Pending> RequestQueue::TakeLocked(size_t max_batch) {
+  std::vector<Pending> batch;
+  const size_t take = std::min(max_batch, queue_.size());
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+namespace {
+
+// An admission event: a pop handed out a non-empty batch. Must be called
+// with the queue mutex held so Push's tag snapshots serialize against it.
+void BumpEpochLocked(std::atomic<uint64_t>* epoch, const std::vector<RequestQueue::Pending>& batch) {
+  if (epoch != nullptr && !batch.empty()) {
+    epoch->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void RequestQueue::AnswerShed(std::vector<Pending> shed) {
+  // Fulfil shed promises outside the lock (set_value wakes the caller).
+  for (Pending& pending : shed) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - pending.admitted).count();
+    pending.promise.set_value(MakeShedResult(pending.request->deadline_ms, waited_ms));
+  }
+}
+
+std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch,
+                                                          std::atomic<uint64_t>* epoch) {
   PRISM_CHECK_GT(max_batch, 0u);
   for (;;) {
     std::vector<Pending> shed;
@@ -73,38 +129,64 @@ std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-      // Shed every expired entry — wherever it sits in the order; a
-      // low-priority request can expire behind higher classes.
-      const Clock::time_point now = Clock::now();
-      for (auto it = queue_.begin(); it != queue_.end();) {
-        if (it->ExpiredAt(now)) {
-          shed.push_back(std::move(*it));
-          it = queue_.erase(it);
-          ++shed_;
-        } else {
-          ++it;
-        }
-      }
-      const size_t take = std::min(max_batch, queue_.size());
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      ShedExpiredLocked(&shed);
+      batch = TakeLocked(max_batch);
+      BumpEpochLocked(epoch, batch);
       if (batch.empty() && shed.empty() && closed_) {
         return {};  // Closed and drained.
       }
     }
-    // Fulfil shed promises outside the lock (set_value wakes the caller).
-    for (Pending& pending : shed) {
-      const double waited_ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - pending.admitted).count();
-      pending.promise.set_value(MakeShedResult(pending.request->deadline_ms, waited_ms));
-    }
+    AnswerShed(std::move(shed));
     if (!batch.empty()) {
       return batch;
     }
     // Everything pending was shed; wait for real work (or Close).
+  }
+}
+
+std::vector<RequestQueue::Pending> RequestQueue::TryPopBatch(size_t max_batch,
+                                                             std::atomic<uint64_t>* epoch) {
+  std::vector<Pending> shed;
+  std::vector<Pending> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ShedExpiredLocked(&shed);
+    batch = TakeLocked(max_batch);
+    BumpEpochLocked(epoch, batch);
+  }
+  AnswerShed(std::move(shed));
+  return batch;
+}
+
+std::vector<RequestQueue::Pending> RequestQueue::PopBatchFor(size_t max_batch,
+                                                             std::chrono::milliseconds timeout,
+                                                             std::atomic<uint64_t>* epoch) {
+  PRISM_CHECK_GT(max_batch, 0u);
+  const Clock::time_point give_up = Clock::now() + timeout;
+  for (;;) {
+    std::vector<Pending> shed;
+    std::vector<Pending> batch;
+    bool timed_out = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      timed_out =
+          !cv_.wait_until(lock, give_up, [this] { return closed_ || !queue_.empty(); });
+      ShedExpiredLocked(&shed);
+      batch = TakeLocked(max_batch);
+      BumpEpochLocked(epoch, batch);
+    }
+    AnswerShed(std::move(shed));
+    if (!batch.empty() || timed_out) {
+      return batch;
+    }
+    if (Clock::now() >= give_up) {
+      return {};
+    }
+    // Woken by Close or everything shed; retry within the window.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ && queue_.empty()) {
+      return {};
+    }
   }
 }
 
@@ -154,6 +236,7 @@ void BatchScheduler::DispatchLoop() {
     if (batch.empty()) {
       return;  // Closed and drained.
     }
+    const RequestQueue::Clock::time_point dispatched = RequestQueue::Clock::now();
     std::vector<const RerankRequest*> requests;
     requests.reserve(batch.size());
     for (const RequestQueue::Pending& pending : batch) {
@@ -162,7 +245,164 @@ void BatchScheduler::DispatchLoop() {
     std::vector<RerankResult> results = runner_->RerankBatch(requests, compute_pool_.get());
     PRISM_CHECK_EQ(results.size(), batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
+      results[i].stats.queue_wait_ms =
+          std::chrono::duration<double, std::milli>(dispatched - batch[i].admitted).count();
       batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+CarouselScheduler::CarouselScheduler(BatchRunner* runner, size_t max_inflight,
+                                     size_t compute_threads, std::chrono::milliseconds linger)
+    : runner_(runner), max_inflight_(max_inflight), linger_(linger) {
+  PRISM_CHECK_GT(max_inflight_, 0u);
+  // Fail fast, on the constructing thread, if the runner cannot serve
+  // step-wise execution — not from the dispatcher at first traffic. The
+  // capability query is side-effect-free (no pass, no prefetch).
+  PRISM_CHECK_MSG(runner_->SupportsCarousel(),
+                  "runner does not support carousel execution");
+  if (compute_threads == 0) {
+    // Same sizing rationale as BatchScheduler: a thread per carousel slot
+    // keeps device-wait-heavy requests overlapped even on few cores.
+    compute_threads = std::max<size_t>(std::thread::hardware_concurrency(), max_inflight_);
+  }
+  compute_pool_ = std::make_unique<ThreadPool>(compute_threads);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+CarouselScheduler::~CarouselScheduler() {
+  queue_.Close();
+  dispatcher_.join();
+}
+
+RerankResult CarouselScheduler::Submit(const RerankRequest& request) {
+  // The queue snapshots boundary_seq_ under its mutex, so the dispatcher
+  // can report exactly how many admission events this request waited (its
+  // admission latency in cycle units).
+  return queue_.Push(request, &boundary_seq_).get();
+}
+
+CarouselScheduler::Stats CarouselScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void CarouselScheduler::AdmitBoundary(CarouselPass* pass,
+                                      std::vector<RequestQueue::Pending> batch,
+                                      std::vector<Resident>* residents) {
+  if (batch.empty()) {
+    return;
+  }
+  // The pop that produced this batch already bumped boundary_seq_ inside
+  // the queue mutex; every entry's tag was snapshotted under that same
+  // mutex, so the difference is an exact admission-event count.
+  const uint64_t boundary = boundary_seq_.load(std::memory_order_relaxed);
+  const RequestQueue::Clock::time_point now = RequestQueue::Clock::now();
+  std::vector<const RerankRequest*> requests;
+  requests.reserve(batch.size());
+  for (const RequestQueue::Pending& pending : batch) {
+    requests.push_back(pending.request);
+  }
+  // One AdmitBatch call: the engine fans the joiners' embeds out across the
+  // compute pool instead of serializing them while the carousel stalls.
+  std::vector<std::unique_ptr<CarouselTicket>> tickets =
+      pass->AdmitBatch(requests, compute_pool_.get());
+  PRISM_CHECK_EQ(tickets.size(), batch.size());
+  size_t max_wait = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Resident resident;
+    resident.queue_wait_ms =
+        std::chrono::duration<double, std::milli>(now - batch[i].admitted).count();
+    resident.ticket = std::move(tickets[i]);
+    resident.promise = std::move(batch[i].promise);
+    max_wait = std::max(max_wait, static_cast<size_t>(boundary - batch[i].tag));
+    residents->push_back(std::move(resident));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.admitted += batch.size();
+  stats_.max_boundary_wait = std::max(stats_.max_boundary_wait, max_wait);
+}
+
+void CarouselScheduler::DispatchLoop() {
+  for (;;) {
+    // Idle: block for traffic, then spin the carousel up for one busy
+    // period. It keeps revolving as long as boundary admission finds work.
+    std::vector<RequestQueue::Pending> batch = queue_.PopBatch(max_inflight_, &boundary_seq_);
+    if (batch.empty()) {
+      return;  // Closed and drained.
+    }
+    std::unique_ptr<CarouselPass> pass = runner_->BeginCarousel();
+    PRISM_CHECK_MSG(pass != nullptr, "runner does not support carousel execution");
+    const size_t n_layers = pass->n_layers();
+    PRISM_CHECK_GT(n_layers, 0u);
+
+    std::vector<Resident> residents;
+    residents.reserve(max_inflight_);
+    AdmitBoundary(pass.get(), std::move(batch), &residents);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.passes;
+      ++stats_.cycles;
+    }
+
+    size_t layer = 0;
+    while (!residents.empty()) {
+      // Forward the depth group whose next-needed layer just arrived.
+      std::vector<CarouselTicket*> group;
+      group.reserve(residents.size());
+      for (const Resident& resident : residents) {
+        if (resident.ticket->next_layer() == layer) {
+          group.push_back(resident.ticket.get());
+        }
+      }
+      pass->Step(layer, group, compute_pool_.get());
+
+      // Exit finished requests immediately — no waiting for batchmates.
+      const bool mid_cycle = layer + 1 < n_layers;
+      for (auto it = residents.begin(); it != residents.end();) {
+        if (it->ticket->done()) {
+          RerankResult result = it->ticket->TakeResult();
+          result.stats.queue_wait_ms = it->queue_wait_ms;
+          it->ticket.reset();
+          if (mid_cycle) {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.exited_early;
+          }
+          it->promise.set_value(std::move(result));
+          it = residents.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      layer = (layer + 1) % n_layers;
+      if (layer == 0 || residents.empty()) {
+        // A boundary — either the natural wrap, or an early one because the
+        // carousel drained mid-cycle. Realign first (a no-op at the wrap):
+        // the prefetcher discards the skipped layers and starts warming the
+        // next cycle's head immediately, so whoever joins next starts on
+        // warm weights instead of a cold streamer.
+        pass->SkipToNextCycle();
+        layer = 0;
+        std::vector<RequestQueue::Pending> joiners;
+        if (residents.size() < max_inflight_) {
+          joiners = queue_.TryPopBatch(max_inflight_ - residents.size(), &boundary_seq_);
+        }
+        AdmitBoundary(pass.get(), std::move(joiners), &residents);
+        if (residents.empty()) {
+          // Nothing to ride the next cycle. Linger briefly — pipeline warm,
+          // layer 0 already loading — before tearing the pass down; a
+          // request arriving inside the window skips the cold start.
+          std::vector<RequestQueue::Pending> stragglers =
+              queue_.PopBatchFor(max_inflight_, linger_, &boundary_seq_);
+          if (stragglers.empty()) {
+            break;  // Idle (or closed): end the busy period.
+          }
+          AdmitBoundary(pass.get(), std::move(stragglers), &residents);
+        }
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.cycles;
+      }
     }
   }
 }

@@ -17,6 +17,19 @@
 //                      a worker pool. Admission order, not thread timing,
 //                      determines batch composition, and per-request pruning
 //                      keeps every result bit-identical to a serial run.
+//   CarouselScheduler — continuous batching: the dispatcher rides a cyclic
+//                      layer pass (BatchRunner::BeginCarousel) that never
+//                      ends while traffic flows. At each arriving layer k it
+//                      forwards every resident request whose next-needed
+//                      layer is k; new requests are admitted at the next
+//                      layer-0 boundary (worst-case wait one cycle, not one
+//                      full batch pass), and a request that terminates —
+//                      pruned to completion or failed — exits and answers
+//                      its caller immediately instead of waiting for
+//                      batchmates. When the carousel drains mid-cycle with
+//                      work queued, it skips the rest of the cycle (the
+//                      layers nobody needs are never fetched) and wraps
+//                      early. Results stay bit-identical to serial.
 //
 // Admission order is priority-then-FIFO: within a priority class, tickets
 // (monotonic admission sequence numbers) decide; a higher class always
@@ -28,6 +41,7 @@
 #ifndef PRISM_SRC_CORE_SCHEDULER_H_
 #define PRISM_SRC_CORE_SCHEDULER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -87,6 +101,12 @@ class RequestQueue {
     std::promise<RerankResult> promise;
     uint64_t ticket = 0;
     int priority = 0;
+    // Snapshot of the caller's epoch counter, taken inside the queue mutex
+    // at push time (the CarouselScheduler's admission-boundary counter; the
+    // pops bump the same counter inside the mutex, so "epoch at admission
+    // minus tag" counts admission events between enqueue and dispatch
+    // race-free).
+    uint64_t tag = 0;
     Clock::time_point admitted;
     // Absolute expiry; only meaningful when has_deadline.
     Clock::time_point deadline;
@@ -95,8 +115,27 @@ class RequestQueue {
     bool ExpiredAt(Clock::time_point now) const { return has_deadline && now >= deadline; }
   };
 
-  std::future<RerankResult> Push(const RerankRequest& request);
-  std::vector<Pending> PopBatch(size_t max_batch);
+  // All pop variants share the epoch protocol: when `epoch` is non-null, a
+  // pop that returns a non-empty batch increments it while holding the
+  // queue mutex, and Push snapshots it (same mutex) into Pending::tag. An
+  // entry therefore observes exactly the admission events that could have
+  // taken it: with free capacity, epoch-at-admission − tag == 1, always.
+
+  std::future<RerankResult> Push(const RerankRequest& request,
+                                 const std::atomic<uint64_t>* epoch = nullptr);
+  std::vector<Pending> PopBatch(size_t max_batch, std::atomic<uint64_t>* epoch = nullptr);
+
+  // Non-blocking PopBatch: sheds expired entries, then returns up to
+  // `max_batch` pending requests — possibly none. Never waits; used by the
+  // carousel to admit whatever is queued at a cycle boundary.
+  std::vector<Pending> TryPopBatch(size_t max_batch, std::atomic<uint64_t>* epoch = nullptr);
+
+  // PopBatch that gives up after `timeout`: returns an empty batch when no
+  // unexpired request arrived in time (or the queue closed). The carousel's
+  // linger window — a drained pass waits warm for the next arrival instead
+  // of tearing its prefetch pipeline down.
+  std::vector<Pending> PopBatchFor(size_t max_batch, std::chrono::milliseconds timeout,
+                                   std::atomic<uint64_t>* epoch = nullptr);
 
   // Wakes PopBatch; subsequent pushes are rejected (CHECK). Entries still
   // queued are drained by subsequent PopBatch calls.
@@ -108,6 +147,13 @@ class RequestQueue {
   size_t shed_count() const;
 
  private:
+  // Both require mu_ held: move expired entries into `shed`, then up to
+  // `max_batch` survivors into the returned batch.
+  void ShedExpiredLocked(std::vector<Pending>* shed);
+  std::vector<Pending> TakeLocked(size_t max_batch);
+  // Fulfils shed promises (outside the lock).
+  static void AnswerShed(std::vector<Pending> shed);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   // Kept sorted: priority descending, ticket ascending. Push inserts from
@@ -140,6 +186,71 @@ class BatchScheduler : public Scheduler {
   size_t max_inflight_;
   RequestQueue queue_;
   std::unique_ptr<ThreadPool> compute_pool_;
+  std::thread dispatcher_;
+};
+
+// Continuous batching over a cyclic layer pass (see file comment). The
+// dispatcher owns one CarouselPass per busy period: it admits up to
+// `max_inflight` resident requests at each layer-0 boundary (priority-then-
+// FIFO, deadline shedding via RequestQueue), steps every arriving layer's
+// depth group, and answers each request the moment it finishes.
+class CarouselScheduler : public Scheduler {
+ public:
+  // Progress counters, mainly for tests and benches. `max_boundary_wait` is
+  // the most admission events any request saw between enqueue and
+  // admission, counted race-free through the queue's epoch protocol: with
+  // free capacity it is exactly 1 (a request enqueued mid-cycle is admitted
+  // at the very next boundary), which is the "worst-case wait one cycle"
+  // admission-latency guarantee; each capacity-bound skip adds 1.
+  struct Stats {
+    size_t passes = 0;     // Busy periods (carousel spin-ups).
+    size_t cycles = 0;     // Layer-0 admission boundaries crossed.
+    size_t admitted = 0;   // Requests that reached the carousel.
+    size_t exited_early = 0;  // Finished before their admission cycle ended.
+    size_t max_boundary_wait = 0;
+  };
+
+  // `compute_threads` sizes the per-depth-group fan-out pool (0 = one per
+  // core, at least one per carousel slot). `linger` is how long a drained
+  // pass waits — prefetch pipeline warm, next cycle's first layers already
+  // loading — for new traffic before tearing down; arrivals inside the
+  // window start on warm weights instead of a cold streamer.
+  CarouselScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads = 0,
+                    std::chrono::milliseconds linger = std::chrono::milliseconds(200));
+  ~CarouselScheduler() override;
+
+  CarouselScheduler(const CarouselScheduler&) = delete;
+  CarouselScheduler& operator=(const CarouselScheduler&) = delete;
+
+  RerankResult Submit(const RerankRequest& request) override;
+  std::string name() const override { return "carousel"; }
+
+  size_t max_inflight() const { return max_inflight_; }
+  Stats stats() const;
+
+ private:
+  struct Resident {
+    std::unique_ptr<CarouselTicket> ticket;
+    std::promise<RerankResult> promise;
+    double queue_wait_ms = 0.0;
+  };
+
+  void DispatchLoop();
+  // Admits `batch` into `pass` at a layer-0 boundary, bumping the boundary
+  // counter and the admission stats.
+  void AdmitBoundary(CarouselPass* pass, std::vector<RequestQueue::Pending> batch,
+                     std::vector<Resident>* residents);
+
+  BatchRunner* runner_;
+  size_t max_inflight_;
+  std::chrono::milliseconds linger_;
+  RequestQueue queue_;
+  std::unique_ptr<ThreadPool> compute_pool_;
+  // Admission events so far — bumped by the queue pops (inside the queue
+  // mutex) and snapshotted by Push into each entry's tag.
+  std::atomic<uint64_t> boundary_seq_{0};
+  mutable std::mutex stats_mu_;
+  Stats stats_;
   std::thread dispatcher_;
 };
 

@@ -53,13 +53,35 @@ double ServiceStats::LatencyPercentileMs(double p) const {
   return sorted[index];
 }
 
+SchedulerKind SchedulerKindByName(const std::string& name) {
+  if (name == "auto") {
+    return SchedulerKind::kAuto;
+  }
+  if (name == "serial") {
+    return SchedulerKind::kSerial;
+  }
+  if (name == "batch") {
+    return SchedulerKind::kBatch;
+  }
+  if (name == "carousel") {
+    return SchedulerKind::kCarousel;
+  }
+  PRISM_CHECK_MSG(false, ("unknown scheduler: " + name).c_str());
+  return SchedulerKind::kAuto;
+}
+
 RerankService::RerankService(const ModelConfig& config, const std::string& checkpoint_path,
                              ServiceOptions options, MemoryTracker* tracker)
     : config_(config) {
   engine_ = std::make_unique<PrismEngine>(config, checkpoint_path, options.engine, tracker);
+  SchedulerKind kind = options.scheduler;
+  if (kind == SchedulerKind::kAuto) {
+    kind = options.max_inflight > 1 ? SchedulerKind::kBatch : SchedulerKind::kSerial;
+  }
   if (options.online_calibration) {
-    PRISM_CHECK_MSG(options.max_inflight <= 1,
-                    "online calibration samples through a serial log; use max_inflight == 1");
+    PRISM_CHECK_MSG(kind == SchedulerKind::kSerial,
+                    "online calibration samples through a serial log; use the serial scheduler "
+                    "(max_inflight == 1)");
     PRISM_CHECK_MSG(options.runner_override == nullptr,
                     "runner_override would bypass the calibrator's sample log");
     PrismOptions reference_options = options.engine;
@@ -76,13 +98,26 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
   }
   BatchRunner* target =
       options.runner_override != nullptr ? options.runner_override : engine_.get();
-  if (options.max_inflight > 1) {
-    scheduler_ = std::make_unique<BatchScheduler>(target, options.max_inflight,
-                                                  options.compute_threads);
-  } else {
-    Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
-                                            : static_cast<Runner*>(target);
-    scheduler_ = std::make_unique<SerialScheduler>(runner);
+  const size_t inflight = std::max<size_t>(options.max_inflight, 1);
+  switch (kind) {
+    case SchedulerKind::kBatch:
+      scheduler_ = std::make_unique<BatchScheduler>(target, inflight, options.compute_threads);
+      break;
+    case SchedulerKind::kCarousel:
+      scheduler_ = std::make_unique<CarouselScheduler>(
+          target, inflight, options.compute_threads,
+          std::chrono::milliseconds(
+              static_cast<int64_t>(std::max(0.0, options.carousel_linger_ms))));
+      break;
+    case SchedulerKind::kSerial: {
+      Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
+                                              : static_cast<Runner*>(target);
+      scheduler_ = std::make_unique<SerialScheduler>(runner);
+      break;
+    }
+    case SchedulerKind::kAuto:
+      PRISM_CHECK_MSG(false, "kAuto resolved above");
+      break;
   }
 }
 

@@ -25,15 +25,41 @@
 
 namespace prism {
 
+// How concurrent Rerank calls reach the engine (src/core/scheduler.h):
+//   kSerial   — one request at a time (mutex).
+//   kBatch    — fixed coalesced batches of up to max_inflight requests; one
+//               terminating layer pass per batch with a barrier at the end.
+//   kCarousel — continuous batching: a cyclic layer pass admits requests at
+//               layer-0 boundaries and answers each the moment it finishes.
+//   kAuto     — serial when max_inflight == 1, batch otherwise (the
+//               pre-knob behaviour; default).
+// All three produce bit-identical per-request results; they differ only in
+// fetch sharing and admission/exit timing.
+enum class SchedulerKind { kAuto, kSerial, kBatch, kCarousel };
+
+// Parses "serial" / "batch" / "carousel" / "auto" (CHECK on anything else);
+// the benches expose it as --scheduler.
+SchedulerKind SchedulerKindByName(const std::string& name);
+
 struct ServiceOptions {
   PrismOptions engine;
-  // Maximum requests admitted into one coalesced engine batch. 1 (default)
+  // Admission policy; see SchedulerKind. kAuto preserves the historical
+  // max_inflight semantics.
+  SchedulerKind scheduler = SchedulerKind::kAuto;
+  // Maximum requests admitted into one coalesced engine batch (kBatch) or
+  // resident on the carousel at once (kCarousel). 1 (default) with kAuto
   // keeps the serial scheduler: existing callers see identical behaviour.
   size_t max_inflight = 1;
   // Worker threads for per-request compute fan-out when max_inflight > 1.
   // 0 = max(hardware cores, max_inflight): a thread per batch slot lets
   // device-wait-heavy requests overlap even on few cores.
   size_t compute_threads = 0;
+  // kCarousel only: how long a drained carousel lingers — prefetch pipeline
+  // warm, the next cycle's first layers already loading — before tearing
+  // down. Arrivals inside the window skip the cold streamer start. The
+  // cost of a longer window is up to two layer blobs held resident while
+  // idle.
+  double carousel_linger_ms = 200.0;
   // When set, a pruning-disabled twin engine is created and every Nth request
   // is sampled for idle-time calibration toward `target_precision`. The
   // calibrator's sample log is serial-only, so this requires

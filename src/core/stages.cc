@@ -37,6 +37,18 @@ void StowChunkHidden(const StageResources& res, RequestContext* ctx, size_t chun
   }
 }
 
+void ReleaseSpilledChunks(const StageResources& res, RequestContext* ctx) {
+  if (res.spill == nullptr) {
+    return;
+  }
+  for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
+    if (ctx->chunks[ci].spilled) {
+      res.spill->Drop(ctx->SpillKey(ci));
+      ctx->chunks[ci].spilled = false;
+    }
+  }
+}
+
 size_t ChunkPlanner::PlanCandidates(size_t n, size_t seq_len) const {
   const PrismOptions& options = *res_.options;
   if (!options.chunked) {
@@ -232,14 +244,7 @@ bool PruneStage::AfterLayer(RequestContext* ctx, size_t layer, bool last_layer) 
 void PruneStage::Finalize(RequestContext* ctx) const {
   // Early termination can leave chunks parked on disk; release their pool
   // entries so a long-running service stays bounded.
-  if (res_.spill != nullptr) {
-    for (size_t ci = 0; ci < ctx->chunks.size(); ++ci) {
-      if (ctx->chunks[ci].spilled) {
-        res_.spill->Drop(ctx->SpillKey(ci));
-        ctx->chunks[ci].spilled = false;
-      }
-    }
-  }
+  ReleaseSpilledChunks(res_, ctx);
 
   // Fill any remaining top-K slots from the still-active candidates by final
   // provisional score.
@@ -294,6 +299,57 @@ void LayerLoop::ForwardOneLayer(RequestContext* ctx, const AnyLayerView& view,
   }
 }
 
+void LayerLoop::ForwardGroup(std::span<RequestContext* const> group, size_t layer,
+                             const AnyLayerView& view, bool last_layer,
+                             ThreadPool* compute_pool) const {
+  // The depth invariant: every context in the group must need exactly this
+  // layer next. Layers are strictly sequential per request, so this is what
+  // guarantees no request is ever forwarded outside its plan.
+  for (RequestContext* ctx : group) {
+    PRISM_CHECK_MSG(!ctx->done, "ForwardGroup on a finished context");
+    PRISM_CHECK_EQ(ctx->next_layer, layer);
+    if (layer == 0) {
+      // The request's first layer is about to run (its weights are already
+      // acquired): everything since admission — embed, queueing behind
+      // batchmates, a cold layer-0 fetch — is its time-to-first-layer.
+      ctx->result.stats.first_layer_ms = ctx->timer.ElapsedMillis();
+    }
+  }
+
+  // Forward every grouped request's chunks through this layer. Contexts are
+  // independent, so the group fans out across pool threads; results are
+  // bit-identical to the serial order.
+  if (compute_pool != nullptr && group.size() > 1) {
+    compute_pool->ParallelFor(0, group.size(), [&](size_t i) {
+      ForwardOneLayer(group[i], view, last_layer);
+    });
+  } else {
+    for (RequestContext* ctx : group) {
+      ForwardOneLayer(ctx, view, last_layer);
+    }
+  }
+}
+
+void LayerLoop::SettleGroup(std::span<RequestContext* const> group, size_t layer,
+                            bool last_layer) const {
+  // Between-layer bookkeeping and pruning, per request in admission order.
+  for (RequestContext* ctx : group) {
+    ctx->result.stats.candidate_layers += static_cast<int64_t>(ctx->active.size());
+    ctx->result.stats.layers_until_done = layer + 1;
+    ctx->next_layer = layer + 1;
+    if (prune_.AfterLayer(ctx, layer, last_layer) || last_layer) {
+      ctx->done = true;
+    }
+  }
+}
+
+void LayerLoop::StepLayer(std::span<RequestContext* const> group, size_t layer,
+                          const AnyLayerView& view, bool last_layer,
+                          ThreadPool* compute_pool) const {
+  ForwardGroup(group, layer, view, last_layer, compute_pool);
+  SettleGroup(group, layer, last_layer);
+}
+
 void LayerLoop::Run(std::span<RequestContext* const> ctxs, ThreadPool* compute_pool) const {
   const ModelConfig& config = *res_.config;
   const PrismOptions& options = *res_.options;
@@ -333,31 +389,14 @@ void LayerLoop::Run(std::span<RequestContext* const> ctxs, ThreadPool* compute_p
     }
     const AnyLayerView view = ParseAnyLayerBlob(config, blob, options.quantized);
 
-    // Forward every live request's chunks through this layer. Contexts are
-    // independent, so the batch fans out across pool threads; results are
-    // bit-identical to the serial order.
     const bool last_layer = layer + 1 == config.n_layers;
-    if (compute_pool != nullptr && live.size() > 1) {
-      compute_pool->ParallelFor(0, live.size(), [&](size_t i) {
-        ForwardOneLayer(live[i], view, last_layer);
-      });
-    } else {
-      for (RequestContext* ctx : live) {
-        ForwardOneLayer(ctx, view, last_layer);
-      }
-    }
+    ForwardGroup(live, layer, view, last_layer, compute_pool);
+    // Release before settling: pruning runs while the prefetcher pulls the
+    // next layer into the freed buffer.
     if (streamer != nullptr) {
       streamer->Release(layer);
     }
-
-    // Between-layer bookkeeping and pruning, per request in admission order.
-    for (RequestContext* ctx : live) {
-      ctx->result.stats.candidate_layers += static_cast<int64_t>(ctx->active.size());
-      ctx->result.stats.layers_until_done = layer + 1;
-      if (prune_.AfterLayer(ctx, layer, last_layer) || last_layer) {
-        ctx->done = true;
-      }
-    }
+    SettleGroup(live, layer, last_layer);
 
     bool all_done = true;
     for (RequestContext* ctx : ctxs) {

@@ -144,6 +144,13 @@ struct RequestContext {
   RerankResult result;
   WallTimer timer;
 
+  // Depth tag: the next layer this context must be forwarded through.
+  // LayerLoop::StepLayer CHECKs it against the arriving layer, so a context
+  // can never run a layer outside its plan (layers are strictly sequential
+  // from 0 until `done`). The carousel groups co-resident contexts by this
+  // tag.
+  size_t next_layer = 0;
+
   size_t n() const { return request->docs.size(); }
 
   // Spill keys are namespaced by request id so concurrent requests sharing
@@ -160,6 +167,11 @@ struct RequestContext {
 Tensor TakeChunkHidden(const StageResources& res, RequestContext* ctx, size_t chunk_index);
 void StowChunkHidden(const StageResources& res, RequestContext* ctx, size_t chunk_index,
                      Tensor hidden, bool more_layers);
+
+// Drops every chunk the context still has parked in the spill pool (no-op
+// without one). Called by PruneStage::Finalize and by carousel tickets that
+// are abandoned mid-flight, so neither path can leak pool entries.
+void ReleaseSpilledChunks(const StageResources& res, RequestContext* ctx);
 
 // Stage 1 — geometry. Validates the request, chooses the common sequence
 // length, plans the chunk size against the activation budget (§4.3), builds
@@ -219,11 +231,34 @@ class PruneStage {
 // pass: each layer's weights are fetched once for all in-flight requests,
 // and per-context forwarding fans out on `compute_pool` when provided.
 // Streamed-bytes / stall stats are split evenly across the batch.
+//
+// Run() drives a whole terminating pass (BatchScheduler / direct engine
+// calls). StepLayer() is the carousel's entry point: it advances one
+// depth-tagged group of contexts through one already-acquired layer, letting
+// an external driver own the (cyclic) weight stream and interleave admission
+// and exit between layers.
 class LayerLoop {
  public:
   explicit LayerLoop(const StageResources& res) : res_(res), prune_(res) {}
 
   void Run(std::span<RequestContext* const> ctxs, ThreadPool* compute_pool) const;
+
+  // One layer step = ForwardGroup (needs the weights) then SettleGroup
+  // (does not): drivers release the layer's streamer buffer in between, so
+  // the prefetcher pulls the next blob while pruning runs — the same
+  // overlap the monolithic loop had.
+  //
+  // ForwardGroup forwards every context in `group` through `layer` (weights
+  // already parsed into `view`). CHECKs that each context's next_layer tag
+  // equals `layer` — no context is ever forwarded through a layer outside
+  // its plan. SettleGroup runs the between-layer prune bookkeeping, marking
+  // contexts done when they terminate or `last_layer` is set. StepLayer is
+  // the composed convenience for drivers with no buffer to release.
+  void ForwardGroup(std::span<RequestContext* const> group, size_t layer,
+                    const AnyLayerView& view, bool last_layer, ThreadPool* compute_pool) const;
+  void SettleGroup(std::span<RequestContext* const> group, size_t layer, bool last_layer) const;
+  void StepLayer(std::span<RequestContext* const> group, size_t layer, const AnyLayerView& view,
+                 bool last_layer, ThreadPool* compute_pool) const;
 
  private:
   void ForwardOneLayer(RequestContext* ctx, const AnyLayerView& view, bool last_layer) const;

@@ -20,6 +20,7 @@
 #define PRISM_SRC_RUNTIME_RUNNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -56,6 +57,15 @@ struct RerankStats {
   double embed_ms = 0.0;
   double compute_ms = 0.0;
   double io_stall_ms = 0.0;   // Compute-visible I/O waits.
+  // Admission latency: time between entering a scheduler's queue and the
+  // first engine work on the request's behalf (planning/embedding). Filled
+  // by the schedulers; 0 for direct engine use.
+  double queue_wait_ms = 0.0;
+  // Time from engine admission until this request's first layer forward
+  // begins — embed plus the wait for layer 0's weights (a cold streamer
+  // start shows up here; a carousel wrap's warm prefetch does not).
+  // queue_wait_ms + first_layer_ms is the request's time-to-first-layer.
+  double first_layer_ms = 0.0;
   int64_t candidate_layers = 0;  // Σ over layers of active candidates (work).
   int64_t bytes_streamed = 0;
   double embed_cache_hit_rate = -1.0;  // <0 when no cache in use.
@@ -79,6 +89,80 @@ class Runner {
   virtual std::string name() const = 0;
 };
 
+// One request riding a carousel pass (see CarouselPass). A ticket is the
+// per-request handle the CarouselScheduler holds between admission and exit:
+// it reports which layer the request needs next, whether the request has
+// finished (terminated by pruning, ran out of layers, or failed), and —
+// exactly once, after done() — yields the final RerankResult.
+//
+// Threading: tickets are confined to the thread driving their pass; only
+// Step's internal compute fan-out is parallel. A ticket must not outlive its
+// pass. Destroying a ticket before TakeResult abandons the request: the
+// implementation must release any per-request resources it parked (e.g.
+// spilled hidden-state chunks), so an abandoned ticket never leaks.
+class CarouselTicket {
+ public:
+  virtual ~CarouselTicket() = default;
+
+  // The next layer this request must be forwarded through. Meaningless once
+  // done().
+  virtual size_t next_layer() const = 0;
+  virtual bool done() const = 0;
+
+  // Finalizes and returns the request's result (status, topk, scores,
+  // stats). Call exactly once, only after done().
+  virtual RerankResult TakeResult() = 0;
+};
+
+// A cyclic layer pass shared by every in-flight request — the layer
+// carousel. The driver admits requests, then calls Step for layers
+// 0, 1, …, L-1, 0, 1, … in order; at each arriving layer it passes the group
+// of tickets whose next_layer() matches. One weight fetch per step serves
+// the whole group, and the implementation's prefetcher keeps the next
+// layers warm across the wrap, so a pass that stays populated never pays a
+// cold start between cycles (unlike one RerankBatch pass per batch).
+//
+// Threading: a pass and its tickets belong to one driver thread; Step may
+// fan per-ticket compute out across `compute_pool`.
+class CarouselPass {
+ public:
+  virtual ~CarouselPass() = default;
+
+  virtual size_t n_layers() const = 0;
+
+  // Plans and embeds the request; the returned ticket needs layer 0 next.
+  // Admit only at a cycle boundary (before stepping layer 0).
+  virtual std::unique_ptr<CarouselTicket> Admit(const RerankRequest& request) = 0;
+
+  // Admits a whole boundary's joiners at once. Implementations may fan the
+  // per-request planning/embedding out across `compute_pool` (the engine
+  // does — a boundary with N joiners should not serialize N embeds while
+  // the carousel stalls); the default just loops Admit. tickets[i]
+  // corresponds to requests[i].
+  virtual std::vector<std::unique_ptr<CarouselTicket>> AdmitBatch(
+      std::span<const RerankRequest* const> requests, ThreadPool* compute_pool) {
+    (void)compute_pool;
+    std::vector<std::unique_ptr<CarouselTicket>> tickets;
+    tickets.reserve(requests.size());
+    for (const RerankRequest* request : requests) {
+      tickets.push_back(Admit(*request));
+    }
+    return tickets;
+  }
+
+  // Forwards every ticket in `group` through `layer` (all must report
+  // next_layer() == layer and not be done). The group may be empty — the
+  // pass still consumes the scheduled position so the walk stays aligned.
+  // Layers must be stepped in cyclic order from 0.
+  virtual void Step(size_t layer, std::span<CarouselTicket* const> group,
+                    ThreadPool* compute_pool) = 0;
+
+  // Abandons the rest of the current cycle and realigns the walk at the next
+  // cycle's layer 0 (used when every resident request exited mid-cycle but
+  // new ones are queued — their layers need not be fetched).
+  virtual void SkipToNextCycle() = 0;
+};
+
 // A runner that can additionally serve several requests as one coalesced
 // pass. BatchScheduler drives this interface, which is what lets tests slot
 // a fault-injection wrapper (tests/fault_injection.h) between the scheduler
@@ -90,6 +174,16 @@ class BatchRunner : public Runner {
  public:
   virtual std::vector<RerankResult> RerankBatch(std::span<const RerankRequest* const> requests,
                                                 ThreadPool* compute_pool = nullptr) = 0;
+
+  // Carousel capability (continuous batching, CarouselScheduler). A runner
+  // that returns true from SupportsCarousel must return a non-null pass
+  // from BeginCarousel; results must stay bit-identical to serial Rerank
+  // per request — only fetch sharing and admission timing may differ.
+  // CarouselScheduler refuses an unsupporting runner at construction (the
+  // capability query is side-effect-free, unlike opening a pass, which may
+  // start prefetching).
+  virtual bool SupportsCarousel() const { return false; }
+  virtual std::unique_ptr<CarouselPass> BeginCarousel() { return nullptr; }
 };
 
 }  // namespace prism

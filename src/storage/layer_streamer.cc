@@ -1,16 +1,19 @@
 #include "src/storage/layer_streamer.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/timer.h"
 
 namespace prism {
 
 LayerStreamer::LayerStreamer(BlobFileReader* reader, std::vector<size_t> schedule,
-                             size_t buffer_count, MemoryTracker* tracker)
-    : reader_(reader), schedule_(std::move(schedule)), tracker_(tracker) {
+                             size_t buffer_count, MemoryTracker* tracker, bool cyclic)
+    : reader_(reader), schedule_(std::move(schedule)), tracker_(tracker), cyclic_(cyclic) {
   PRISM_CHECK_GE(buffer_count, 2u);
+  PRISM_CHECK_GT(schedule_.size(), 0u);
   buffers_.resize(buffer_count);
-  schedule_end_ = schedule_.size();
+  schedule_end_ = cyclic_ ? SIZE_MAX : schedule_.size();
   prefetcher_ = std::thread([this] { PrefetchLoop(); });
 }
 
@@ -23,10 +26,28 @@ LayerStreamer::~LayerStreamer() {
   prefetcher_.join();
 }
 
+StreamerCycleStats& LayerStreamer::CycleSlotLocked(size_t seq) {
+  const size_t cycle =
+      std::min(seq / schedule_.size(), StreamerStats::kMaxTrackedCycles - 1);
+  if (stats_.per_cycle.size() <= cycle) {
+    stats_.per_cycle.resize(cycle + 1);
+  }
+  return stats_.per_cycle[cycle];
+}
+
+void LayerStreamer::FreeBufferLocked(Buffer* buf) {
+  buf->seq = SIZE_MAX;
+  buf->ready = false;
+  buf->bytes.clear();
+  buf->bytes.shrink_to_fit();
+  buf->claim.ReleaseNow();
+}
+
 std::span<const uint8_t> LayerStreamer::Acquire(size_t seq) {
   const int64_t start = NowMicros();
   std::unique_lock<std::mutex> lock(mu_);
   PRISM_CHECK_LT(seq, schedule_end_);
+  PRISM_CHECK_GE(seq, release_floor_);  // Released or skipped positions are gone.
   Buffer* hit = nullptr;
   cv_.wait(lock, [&] {
     for (auto& buf : buffers_) {
@@ -37,7 +58,9 @@ std::span<const uint8_t> LayerStreamer::Acquire(size_t seq) {
     }
     return false;
   });
-  stats_.stall_micros += NowMicros() - start;
+  const int64_t stalled = NowMicros() - start;
+  stats_.stall_micros += stalled;
+  CycleSlotLocked(seq).stall_micros += stalled;
   return {hit->bytes.data(), hit->bytes.size()};
 }
 
@@ -47,11 +70,7 @@ void LayerStreamer::Release(size_t seq) {
     bool found = false;
     for (auto& buf : buffers_) {
       if (buf.seq == seq) {
-        buf.seq = SIZE_MAX;
-        buf.ready = false;
-        buf.bytes.clear();
-        buf.bytes.shrink_to_fit();
-        buf.claim.ReleaseNow();
+        FreeBufferLocked(&buf);
         found = true;
         break;
       }
@@ -66,6 +85,24 @@ void LayerStreamer::TruncateSchedule(size_t last_seq) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     schedule_end_ = std::min(schedule_end_, last_seq + 1);
+  }
+  cv_.notify_all();
+}
+
+void LayerStreamer::SkipTo(size_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PRISM_CHECK_GE(seq, release_floor_);
+    release_floor_ = seq;
+    next_to_load_ = std::max(next_to_load_, seq);
+    for (auto& buf : buffers_) {
+      // Ready buffers below the new floor are dead weight; free them now. A
+      // buffer still loading (seq set, !ready) is being written outside the
+      // lock — the prefetcher frees it on completion instead.
+      if (buf.seq != SIZE_MAX && buf.seq < seq && buf.ready) {
+        FreeBufferLocked(&buf);
+      }
+    }
   }
   cv_.notify_all();
 }
@@ -106,7 +143,7 @@ void LayerStreamer::PrefetchLoop() {
         return;
       }
       seq = next_to_load_++;
-      blob_index = schedule_[seq];
+      blob_index = schedule_[seq % schedule_.size()];
       target->seq = seq;
       target->ready = false;
       const int64_t size = reader_->BlobSize(blob_index);
@@ -119,9 +156,18 @@ void LayerStreamer::PrefetchLoop() {
     PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
     {
       std::lock_guard<std::mutex> lock(mu_);
-      target->ready = true;
       stats_.bytes_loaded += static_cast<int64_t>(target->bytes.size());
       ++stats_.blobs_loaded;
+      StreamerCycleStats& cycle = CycleSlotLocked(target->seq);
+      cycle.bytes_loaded += static_cast<int64_t>(target->bytes.size());
+      ++cycle.blobs_loaded;
+      if (target->seq < release_floor_) {
+        // The position was skipped while the read was in flight; the bytes
+        // were paid for (counted above) but nobody will consume them.
+        FreeBufferLocked(target);
+      } else {
+        target->ready = true;
+      }
     }
     cv_.notify_all();
   }

@@ -1,12 +1,29 @@
 // Overlapped layer streaming (paper §4.2).
 //
 // Keeps at most `buffer_count` (default two) blobs resident: the one being
-// consumed and the one being prefetched. A background thread walks a fixed
-// blob schedule; Acquire(i) blocks only if the prefetch has not caught up —
-// the stall time is recorded so the ablation bench (Fig 16) can report the
+// consumed and the one being prefetched. A background thread walks a blob
+// schedule; Acquire(i) blocks only if the prefetch has not caught up — the
+// stall time is recorded so the ablation bench (Fig 16) can report the
 // latency overhead when pruning shrinks the compute window below the load
 // time. Releasing blob i immediately frees its buffer and lets the prefetcher
 // pull blob i+buffer_count.
+//
+// Two schedule modes:
+//   - terminating (default): the schedule is consumed once, front to back.
+//   - cyclic: the schedule wraps — sequence position `seq` maps to blob
+//     `schedule[seq % schedule.size()]` and the walk never ends on its own
+//     (1..L, 1..L, …). This is the layer carousel the continuous-batching
+//     scheduler rides: every in-flight request shares the same endless layer
+//     stream, and the prefetcher keeps the next cycle's first layers warm
+//     while the current cycle's tail computes.
+//
+// Sequence positions stay monotonic in both modes, so TruncateSchedule keeps
+// its exact semantics under wrap-around: it caps the monotonic sequence
+// space, not a layer index — truncating at seq 17 of a 6-blob cyclic
+// schedule stops the prefetcher partway through the third cycle. SkipTo
+// discards unconsumed positions below a point (e.g. the rest of a drained
+// cycle) without tearing the streamer down, so a carousel that emptied at
+// layer 3 can jump straight to the next cycle's layer 0.
 #ifndef PRISM_SRC_STORAGE_LAYER_STREAMER_H_
 #define PRISM_SRC_STORAGE_LAYER_STREAMER_H_
 
@@ -22,25 +39,45 @@
 
 namespace prism {
 
+// Per-cycle slice of the streamer counters (cycle = one full walk of the
+// schedule; a terminating schedule is exactly one cycle). Lets the carousel
+// report how each revolution amortised its fetches.
+struct StreamerCycleStats {
+  int64_t bytes_loaded = 0;
+  int64_t stall_micros = 0;
+  int64_t blobs_loaded = 0;
+};
+
 struct StreamerStats {
+  // A long-lived cyclic streamer revolves indefinitely; bounding the
+  // per-cycle ledger keeps stats() O(1) in service lifetime. Cycles at and
+  // beyond the cap aggregate into the last slot.
+  static constexpr size_t kMaxTrackedCycles = 256;
+
   int64_t bytes_loaded = 0;
   int64_t stall_micros = 0;    // Time Acquire spent waiting on I/O.
   int64_t blobs_loaded = 0;
+  // Indexed by min(seq / schedule_size, kMaxTrackedCycles - 1); entries
+  // exist up to the furthest position touched. Totals above are exact sums
+  // of this vector.
+  std::vector<StreamerCycleStats> per_cycle;
 };
 
 class LayerStreamer {
  public:
   // `schedule` lists blob indices in consumption order (e.g. layer blobs
-  // 1..L). The streamer starts prefetching immediately.
+  // 1..L). The streamer starts prefetching immediately. With `cyclic`, the
+  // schedule wraps instead of terminating (see file comment).
   LayerStreamer(BlobFileReader* reader, std::vector<size_t> schedule, size_t buffer_count = 2,
-                MemoryTracker* tracker = &MemoryTracker::Global());
+                MemoryTracker* tracker = &MemoryTracker::Global(), bool cyclic = false);
   ~LayerStreamer();
 
   LayerStreamer(const LayerStreamer&) = delete;
   LayerStreamer& operator=(const LayerStreamer&) = delete;
 
   // Blocks until the `seq`-th scheduled blob is resident; returns its bytes.
-  // The span stays valid until Release(seq).
+  // The span stays valid until Release(seq). Positions must be consumed in
+  // increasing order; skipped positions (SkipTo) may not be acquired.
   std::span<const uint8_t> Acquire(size_t seq);
 
   // Frees the buffer of the `seq`-th blob (must be acquired, in order).
@@ -48,8 +85,20 @@ class LayerStreamer {
 
   // Stops prefetching beyond the given sequence point (early termination by
   // pruning). In-flight loads complete; subsequent Acquire calls must not
-  // exceed `last_seq`.
+  // exceed `last_seq`. Sequence points are monotonic even in cyclic mode, so
+  // this truncates mid-cycle exactly like mid-schedule.
   void TruncateSchedule(size_t last_seq);
+
+  // Discards every unconsumed position below `seq` without stopping the
+  // walk: ready buffers holding skipped positions are freed now, in-flight
+  // loads are freed on completion, and prefetching resumes from `seq`. The
+  // carousel uses this to wrap early — jumping from a drained cycle's middle
+  // to the next cycle's first layer — instead of fetching layers nobody
+  // needs. `seq` must not precede a position already consumed.
+  void SkipTo(size_t seq);
+
+  bool cyclic() const { return cyclic_; }
+  size_t cycle_length() const { return schedule_.size(); }
 
   StreamerStats stats() const;
 
@@ -62,16 +111,20 @@ class LayerStreamer {
   };
 
   void PrefetchLoop();
+  // Both require mu_ held.
+  StreamerCycleStats& CycleSlotLocked(size_t seq);
+  void FreeBufferLocked(Buffer* buf);
 
   BlobFileReader* reader_;
   std::vector<size_t> schedule_;
   MemoryTracker* tracker_;
+  bool cyclic_ = false;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Buffer> buffers_;
   size_t next_to_load_ = 0;      // Next schedule position the prefetcher fills.
-  size_t release_floor_ = 0;     // All seq < floor have been released.
+  size_t release_floor_ = 0;     // All seq < floor have been released/skipped.
   size_t schedule_end_ = 0;      // Exclusive end (may shrink via Truncate).
   bool shutting_down_ = false;
   StreamerStats stats_;

@@ -1,0 +1,271 @@
+// CarouselScheduler and CarouselPass mechanics: continuous batching over the
+// cyclic layer stream must keep every result bit-identical to serial
+// execution while admitting at layer-0 boundaries, exiting finished requests
+// mid-cycle, and reusing streamer buffers across wrap-arounds. Runs in the
+// TSan and concurrency-stress CI lanes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/scheduler.h"
+#include "src/core/service.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+class CarouselTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TestModel();
+    ckpt_ = TestCheckpoint(config_);
+    for (size_t i = 0; i < 8; ++i) {
+      requests_.push_back(TestRequest(config_, 10 + i % 4, 3, i));
+    }
+  }
+
+  PrismOptions EngineOptions() const {
+    PrismOptions options;
+    options.device = FastDevice();
+    return options;
+  }
+
+  std::vector<RerankResult> SerialReference() {
+    MemoryTracker tracker;
+    PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
+    std::vector<RerankResult> results;
+    for (const RerankRequest& request : requests_) {
+      results.push_back(engine.Rerank(request));
+    }
+    return results;
+  }
+
+  ModelConfig config_;
+  std::string ckpt_;
+  std::vector<RerankRequest> requests_;
+};
+
+TEST_F(CarouselTest, SchedulerMatchesSerialBitIdentically) {
+  const std::vector<RerankResult> reference = SerialReference();
+
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
+  CarouselScheduler scheduler(&engine, /*max_inflight=*/3, /*compute_threads=*/2);
+
+  std::vector<RerankResult> results(requests_.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    clients.emplace_back([&, i] { results[i] = scheduler.Submit(requests_[i]); });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << "request " << i;
+    EXPECT_EQ(results[i].topk, reference[i].topk) << "request " << i;
+    EXPECT_EQ(results[i].scores, reference[i].scores) << "request " << i;
+    // The carousel runs exactly the layers the serial plan ran — no request
+    // is forwarded outside its plan (also CHECKed inside StepLayer).
+    EXPECT_EQ(results[i].stats.layers_until_done, reference[i].stats.layers_until_done)
+        << "request " << i;
+    EXPECT_EQ(results[i].stats.candidate_layers, reference[i].stats.candidate_layers)
+        << "request " << i;
+  }
+
+  const CarouselScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.admitted, requests_.size());
+  EXPECT_GE(stats.passes, 1u);
+  EXPECT_GE(stats.cycles, stats.passes);
+
+  // A request whose serial plan terminated before the last layer must have
+  // exited the carousel mid-cycle instead of waiting for the wrap.
+  size_t early_in_serial = 0;
+  for (const RerankResult& result : reference) {
+    if (result.stats.layers_until_done < config_.n_layers) {
+      ++early_in_serial;
+    }
+  }
+  if (early_in_serial > 0) {
+    EXPECT_GE(stats.exited_early, 1u);
+  }
+}
+
+TEST_F(CarouselTest, LingerKeepsOnePassWarmAcrossSequentialRequests) {
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
+  MemoryTracker ref_tracker;
+  PrismEngine reference(config_, ckpt_, EngineOptions(), &ref_tracker);
+  // Reference results up front so nothing but the inter-submit gap is on
+  // the clock against the linger window.
+  std::vector<RerankResult> expected;
+  for (size_t round = 0; round < 3; ++round) {
+    expected.push_back(reference.Rerank(requests_[round]));
+  }
+  CarouselScheduler scheduler(&engine, /*max_inflight=*/2, /*compute_threads=*/2,
+                              std::chrono::milliseconds(2000));
+
+  // Sequential submissions land inside the linger window: the drained pass
+  // waits warm and serves every request from one busy period.
+  for (size_t round = 0; round < 3; ++round) {
+    const RerankResult result = scheduler.Submit(requests_[round]);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.topk, expected[round].topk) << "round " << round;
+  }
+  const CarouselScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_GE(stats.cycles, 3u);
+}
+
+TEST_F(CarouselTest, ZeroLingerSpinsUpOnePassPerBusyPeriod) {
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
+  MemoryTracker ref_tracker;
+  PrismEngine reference(config_, ckpt_, EngineOptions(), &ref_tracker);
+  CarouselScheduler scheduler(&engine, /*max_inflight=*/2, /*compute_threads=*/2,
+                              std::chrono::milliseconds(0));
+
+  // Without a linger window each sequential submission finds the carousel
+  // torn down and must spin it up again. (The gap between submissions gives
+  // the dispatcher time to observe the empty queue and end the pass.)
+  for (size_t round = 0; round < 3; ++round) {
+    const RerankResult result = scheduler.Submit(requests_[round]);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.topk, reference.Rerank(requests_[round]).topk) << "round " << round;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(scheduler.stats().passes, 3u);
+}
+
+TEST_F(CarouselTest, PassWrapAroundServesLateJoinerBitIdentically) {
+  // Drive a CarouselPass by hand: admit A and B together, but hold B back
+  // from every group of the first cycle (a late joiner riding the next
+  // revolution). B's layers arrive from the *wrapped* schedule — the cyclic
+  // streamer's second cycle — and its result must still be bit-identical.
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
+  MemoryTracker ref_tracker;
+  PrismEngine reference(config_, ckpt_, EngineOptions(), &ref_tracker);
+  const RerankResult expected_a = reference.Rerank(requests_[0]);
+  const RerankResult expected_b = reference.Rerank(requests_[1]);
+
+  std::unique_ptr<CarouselPass> pass = engine.BeginCarousel();
+  ASSERT_NE(pass, nullptr);
+  ASSERT_EQ(pass->n_layers(), config_.n_layers);
+  std::unique_ptr<CarouselTicket> a = pass->Admit(requests_[0]);
+  std::unique_ptr<CarouselTicket> b = pass->Admit(requests_[1]);
+
+  // Cycle 0: A only. B stays parked at depth 0.
+  size_t steps = 0;
+  std::vector<CarouselTicket*> group;
+  for (size_t layer = 0; layer < config_.n_layers && !a->done(); ++layer) {
+    group.assign(1, a.get());
+    pass->Step(layer, group, /*compute_pool=*/nullptr);
+    ++steps;
+  }
+  ASSERT_TRUE(a->done());
+  const RerankResult result_a = a->TakeResult();
+  a.reset();
+
+  // Realign at the next boundary if A terminated mid-cycle.
+  if (steps % config_.n_layers != 0) {
+    pass->SkipToNextCycle();
+  }
+
+  // Cycle 1: B rides the wrapped schedule from layer 0.
+  EXPECT_EQ(b->next_layer(), 0u);
+  for (size_t layer = 0; layer < config_.n_layers && !b->done(); ++layer) {
+    group.assign(1, b.get());
+    pass->Step(layer, group, /*compute_pool=*/nullptr);
+  }
+  ASSERT_TRUE(b->done());
+  const RerankResult result_b = b->TakeResult();
+  b.reset();
+
+  EXPECT_EQ(result_a.topk, expected_a.topk);
+  EXPECT_EQ(result_a.scores, expected_a.scores);
+  EXPECT_EQ(result_b.topk, expected_b.topk);
+  EXPECT_EQ(result_b.scores, expected_b.scores);
+}
+
+TEST_F(CarouselTest, AbandonedTicketReleasesSpilledChunks) {
+  PrismOptions options = EngineOptions();
+  options.offload_hidden = true;
+  options.chunk_candidates = 3;
+  options.pruning = false;  // Keep the request alive past its first layer.
+  MemoryTracker tracker;
+  PrismEngine engine(config_, ckpt_, options, &tracker);
+  ASSERT_NE(engine.spill_pool(), nullptr);
+
+  std::unique_ptr<CarouselPass> pass = engine.BeginCarousel();
+  std::unique_ptr<CarouselTicket> ticket = pass->Admit(requests_[0]);
+  std::vector<CarouselTicket*> group{ticket.get()};
+  pass->Step(0, group, nullptr);  // Chunks now parked in the spill pool.
+  ASSERT_FALSE(ticket->done());
+  EXPECT_GT(engine.spill_pool()->live_entries(), 0u);
+  ticket.reset();  // Abandon mid-flight (what a fault wrapper does).
+  EXPECT_EQ(engine.spill_pool()->live_entries(), 0u);
+  // The pass is still usable for other requests afterwards.
+  pass->SkipToNextCycle();
+  std::unique_ptr<CarouselTicket> next = pass->Admit(requests_[1]);
+  for (size_t layer = 0; layer < config_.n_layers && !next->done(); ++layer) {
+    group.assign(1, next.get());
+    pass->Step(layer, group, nullptr);
+  }
+  ASSERT_TRUE(next->done());
+  EXPECT_TRUE(next->TakeResult().status.ok());
+  next.reset();
+  EXPECT_EQ(engine.spill_pool()->live_entries(), 0u);
+}
+
+TEST(RequestQueueTryPopTest, NonBlockingPopShedsAndDrains) {
+  RequestQueue queue;
+  const ModelConfig config = TestModel();
+  EXPECT_TRUE(queue.TryPopBatch(4).empty());  // Empty queue: returns, no block.
+
+  std::vector<RerankRequest> requests;
+  for (size_t i = 0; i < 3; ++i) {
+    requests.push_back(TestRequest(config, 8, 2, i));
+  }
+  requests[1].deadline_ms = 0.01;
+  std::vector<std::future<RerankResult>> futures;
+  for (const RerankRequest& request : requests) {
+    futures.push_back(queue.Push(request));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<RequestQueue::Pending> batch = queue.TryPopBatch(2);
+  ASSERT_EQ(batch.size(), 2u);  // Entry 1 shed, entries 0 and 2 popped.
+  EXPECT_EQ(batch[0].ticket, 0u);
+  EXPECT_EQ(batch[1].ticket, 2u);
+  EXPECT_EQ(queue.shed_count(), 1u);
+  EXPECT_EQ(futures[1].get().status.code(), StatusCode::kDeadlineExceeded);
+  for (auto& pending : batch) {
+    pending.promise.set_value(RerankResult{});
+  }
+  EXPECT_TRUE(queue.TryPopBatch(2).empty());
+}
+
+TEST(RequestQueueTryPopTest, EpochSnapshotsAndBumpsThroughQueue) {
+  RequestQueue queue;
+  const ModelConfig config = TestModel();
+  const RerankRequest request = TestRequest(config, 8, 2);
+  std::atomic<uint64_t> epoch{41};
+  auto future = queue.Push(request, &epoch);
+  // Empty pops are not admission events: no bump.
+  EXPECT_TRUE(queue.TryPopBatch(0, &epoch).empty());
+  EXPECT_EQ(epoch.load(), 41u);
+  std::vector<RequestQueue::Pending> batch = queue.TryPopBatch(1, &epoch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].tag, 41u);     // Snapshot at push...
+  EXPECT_EQ(epoch.load(), 42u);     // ...bumped by the non-empty pop.
+  EXPECT_EQ(epoch.load() - batch[0].tag, 1u);  // Exactly one admission event.
+  batch[0].promise.set_value(RerankResult{});
+  future.get();
+}
+
+}  // namespace
+}  // namespace prism

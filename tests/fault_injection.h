@@ -9,10 +9,16 @@
 // reproducible. The tests built on it pin down the error contract: a failing
 // request must not poison its batchmates, wedge the dispatcher, or leak
 // SpillPool entries.
+//
+// The carousel composes through the same seam: BeginCarousel wraps the inner
+// pass, and a doomed request's ticket fails during its first Step — i.e.
+// mid-cycle, while the carousel is revolving with other requests resident —
+// abandoning the inner ticket so the engine releases its parked state.
 #ifndef PRISM_TESTS_FAULT_INJECTION_H_
 #define PRISM_TESTS_FAULT_INJECTION_H_
 
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -71,6 +77,21 @@ class FlakyRunner : public BatchRunner {
     return results;
   }
 
+  // Carousel seam: wraps the inner runner's pass. Doomed requests (decided
+  // at admission, same plan/ordinal accounting as the batch path) carry a
+  // live inner ticket until their first Step, where the injected error
+  // fires: the wrapper abandons the inner ticket mid-cycle — exercising the
+  // engine's abandoned-ticket cleanup — and surfaces kIoError to exactly
+  // that caller. Survivors forward untouched.
+  bool SupportsCarousel() const override { return inner_->SupportsCarousel(); }
+  std::unique_ptr<CarouselPass> BeginCarousel() override {
+    std::unique_ptr<CarouselPass> inner = inner_->BeginCarousel();
+    if (inner == nullptr) {
+      return nullptr;
+    }
+    return std::make_unique<FlakyCarouselPass>(this, std::move(inner));
+  }
+
   std::string name() const override { return "flaky(" + inner_->name() + ")"; }
 
   size_t injected_failures() const {
@@ -83,6 +104,98 @@ class FlakyRunner : public BatchRunner {
   }
 
  private:
+  class FlakyCarouselTicket : public CarouselTicket {
+   public:
+    FlakyCarouselTicket(std::unique_ptr<CarouselTicket> inner, size_t n_docs,
+                        std::optional<size_t> fail_ordinal)
+        : inner_(std::move(inner)), n_docs_(n_docs), fail_ordinal_(fail_ordinal) {}
+
+    size_t next_layer() const override { return failed_ ? 0 : inner_->next_layer(); }
+    bool done() const override { return failed_ || inner_->done(); }
+    RerankResult TakeResult() override {
+      return failed_ ? std::move(error_) : inner_->TakeResult();
+    }
+
+    bool doomed() const { return fail_ordinal_.has_value() && !failed_; }
+    CarouselTicket* inner() { return inner_.get(); }
+
+    // Fires the injected fault: the inner ticket is abandoned (its engine
+    // must release any parked per-request state) and this ticket finishes
+    // with an error result.
+    void Fail() {
+      error_.status = Status::IoError("injected device read failure (request #" +
+                                      std::to_string(*fail_ordinal_) + ")");
+      error_.scores.assign(n_docs_, std::numeric_limits<float>::quiet_NaN());
+      failed_ = true;
+      inner_.reset();
+    }
+
+   private:
+    std::unique_ptr<CarouselTicket> inner_;
+    size_t n_docs_;
+    std::optional<size_t> fail_ordinal_;
+    bool failed_ = false;
+    RerankResult error_;
+  };
+
+  class FlakyCarouselPass : public CarouselPass {
+   public:
+    FlakyCarouselPass(FlakyRunner* owner, std::unique_ptr<CarouselPass> inner)
+        : owner_(owner), inner_(std::move(inner)) {}
+
+    size_t n_layers() const override { return inner_->n_layers(); }
+
+    std::unique_ptr<CarouselTicket> Admit(const RerankRequest& request) override {
+      return std::make_unique<FlakyCarouselTicket>(inner_->Admit(request),
+                                                   request.docs.size(),
+                                                   owner_->NextFailure());
+    }
+
+    std::vector<std::unique_ptr<CarouselTicket>> AdmitBatch(
+        std::span<const RerankRequest* const> requests, ThreadPool* compute_pool) override {
+      // Draw failure ordinals in request order first (matching the batch
+      // path's sequencing), then let the inner pass admit — possibly with
+      // its embeds fanned out.
+      std::vector<std::optional<size_t>> ordinals;
+      ordinals.reserve(requests.size());
+      for (size_t i = 0; i < requests.size(); ++i) {
+        ordinals.push_back(owner_->NextFailure());
+      }
+      std::vector<std::unique_ptr<CarouselTicket>> inner =
+          inner_->AdmitBatch(requests, compute_pool);
+      std::vector<std::unique_ptr<CarouselTicket>> tickets;
+      tickets.reserve(inner.size());
+      for (size_t i = 0; i < inner.size(); ++i) {
+        tickets.push_back(std::make_unique<FlakyCarouselTicket>(
+            std::move(inner[i]), requests[i]->docs.size(), ordinals[i]));
+      }
+      return tickets;
+    }
+
+    void Step(size_t layer, std::span<CarouselTicket* const> group,
+              ThreadPool* compute_pool) override {
+      std::vector<CarouselTicket*> forwarded;
+      forwarded.reserve(group.size());
+      for (CarouselTicket* ticket : group) {
+        auto* flaky = static_cast<FlakyCarouselTicket*>(ticket);
+        if (flaky->doomed()) {
+          flaky->Fail();
+        } else {
+          forwarded.push_back(flaky->inner());
+        }
+      }
+      // Step the inner pass even when every grouped request just failed —
+      // the walk must stay aligned for the other residents.
+      inner_->Step(layer, forwarded, compute_pool);
+    }
+
+    void SkipToNextCycle() override { inner_->SkipToNextCycle(); }
+
+   private:
+    FlakyRunner* owner_;
+    std::unique_ptr<CarouselPass> inner_;
+  };
+
   // Returns this request's ordinal if it should fail, nullopt otherwise.
   std::optional<size_t> NextFailure() {
     std::lock_guard<std::mutex> lock(mu_);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/core/service.h"
 #include "tests/test_util.h"
 
 namespace prism {
@@ -32,6 +33,10 @@ std::string GoldenPath() {
   return std::string(PRISM_TEST_DATA_DIR) + "/golden/rerank_default.txt";
 }
 
+std::string CarouselGoldenPath() {
+  return std::string(PRISM_TEST_DATA_DIR) + "/golden/rerank_carousel.txt";
+}
+
 struct GoldenRecord {
   std::vector<size_t> topk;
   std::vector<float> scores;
@@ -39,9 +44,10 @@ struct GoldenRecord {
 
 // Scores are serialized as hexfloats (bit-exact round trip) with a decimal
 // rendering alongside for human diffs.
-std::string Serialize(const GoldenRecord& record) {
+std::string Serialize(const GoldenRecord& record, const std::string& variant) {
   std::ostringstream out;
-  out << "# Canonical RerankResult: TestModel, wikipedia query 0, 12 candidates, k=3.\n";
+  out << "# Canonical RerankResult (" << variant
+      << "): TestModel, wikipedia query 0, 12 candidates, k=3.\n";
   out << "# Regenerate with PRISM_UPDATE_GOLDEN=1 ./build/tests/golden_test\n";
   out << "topk";
   for (size_t id : record.topk) {
@@ -99,19 +105,34 @@ GoldenRecord ComputeCanonical() {
   return GoldenRecord{result.topk, result.scores};
 }
 
-TEST(GoldenTest, DefaultConfigMatchesFixture) {
-  const GoldenRecord actual = ComputeCanonical();
+// The same canonical request served through the carousel scheduler (the
+// ServiceOptions knob, so the whole service path is on the hook).
+GoldenRecord ComputeCanonicalViaCarousel() {
+  const ModelConfig config = TestModel();
+  const std::string ckpt = TestCheckpoint(config);
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  options.scheduler = SchedulerKind::kCarousel;
+  options.max_inflight = 2;
+  MemoryTracker tracker;
+  RerankService service(config, ckpt, options, &tracker);
+  const RerankResult result = service.Rerank(TestRequest(config));
+  EXPECT_TRUE(result.status.ok());
+  return GoldenRecord{result.topk, result.scores};
+}
 
+void CompareToFixture(const GoldenRecord& actual, const std::string& path,
+                      const std::string& variant) {
   if (std::getenv("PRISM_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(GoldenPath());
-    ASSERT_TRUE(out) << "cannot write " << GoldenPath();
-    out << Serialize(actual);
-    GTEST_SKIP() << "rewrote " << GoldenPath();
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << Serialize(actual, variant);
+    GTEST_SKIP() << "rewrote " << path;
   }
 
   GoldenRecord expected;
-  ASSERT_TRUE(ParseGolden(GoldenPath(), &expected))
-      << "missing fixture " << GoldenPath()
+  ASSERT_TRUE(ParseGolden(path, &expected))
+      << "missing fixture " << path
       << " — generate it with PRISM_UPDATE_GOLDEN=1 ./build/tests/golden_test";
 
   EXPECT_EQ(actual.topk, expected.topk) << "top-K order changed";
@@ -126,6 +147,32 @@ TEST(GoldenTest, DefaultConfigMatchesFixture) {
         << std::hexfloat << static_cast<double>(expected.scores[i]) << "), got "
         << std::defaultfloat << actual.scores[i] << " (hex " << std::hexfloat
         << static_cast<double>(actual.scores[i]) << ")";
+  }
+}
+
+TEST(GoldenTest, DefaultConfigMatchesFixture) {
+  CompareToFixture(ComputeCanonical(), GoldenPath(), "serial engine path");
+}
+
+// The carousel path must reproduce the canonical hexfloat result exactly —
+// continuous batching changes fetch sharing and admission timing, never
+// numerics. Its fixture is byte-for-byte the same record as the serial one
+// (only the header comment differs), and both are pinned independently so a
+// carousel-only numeric drift cannot hide behind the serial fixture.
+TEST(GoldenTest, CarouselPathMatchesFixture) {
+  CompareToFixture(ComputeCanonicalViaCarousel(), CarouselGoldenPath(), "carousel scheduler");
+}
+
+TEST(GoldenTest, CarouselAndSerialFixturesAgree) {
+  GoldenRecord serial;
+  GoldenRecord carousel;
+  ASSERT_TRUE(ParseGolden(GoldenPath(), &serial));
+  ASSERT_TRUE(ParseGolden(CarouselGoldenPath(), &carousel));
+  EXPECT_EQ(serial.topk, carousel.topk);
+  ASSERT_EQ(serial.scores.size(), carousel.scores.size());
+  for (size_t i = 0; i < serial.scores.size(); ++i) {
+    const bool both_nan = std::isnan(serial.scores[i]) && std::isnan(carousel.scores[i]);
+    EXPECT_TRUE(both_nan || serial.scores[i] == carousel.scores[i]) << "score " << i;
   }
 }
 

@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/pruner.h"
+#include "src/core/service.h"
 #include "src/core/stages.h"
 #include "src/model/layer.h"
 #include "tests/test_util.h"
@@ -154,6 +156,77 @@ TEST(PrunerPropertyTest, DecisionPartitionsActiveSet) {
     if (decision.terminate) {
       ASSERT_TRUE(decision.deferred.empty());
       ASSERT_LE(decision.selected.size(), remaining_k);
+    }
+  }
+}
+
+// --- Carousel plan adherence ----------------------------------------------
+
+// Invariant: the carousel never forwards a request through a layer outside
+// its plan. A request's plan is exactly the layer sequence 0..d-1 the serial
+// engine runs for it (d = layers_until_done, cut short by pruning), and each
+// layer contributes the active candidate count to candidate_layers. If the
+// carousel ever stepped a request through an extra, missing, or out-of-order
+// layer, at least one of {layers_until_done, candidate_layers, scores}
+// would diverge from serial — and the depth-tag CHECK inside
+// LayerLoop::StepLayer would abort the binary outright. Randomized request
+// shapes, priorities, and carousel capacities; seeded for replay.
+TEST(CarouselPropertyTest, NoRequestForwardedOutsideItsPlan) {
+  constexpr int kRounds = 6;
+  constexpr size_t kRequestsPerRound = 6;
+  const ModelConfig config = TestModel();
+  const std::string ckpt = TestCheckpoint(config);
+  Rng rng(kSuiteSeed + 4);
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<RerankRequest> requests;
+    requests.reserve(kRequestsPerRound);
+    for (size_t i = 0; i < kRequestsPerRound; ++i) {
+      const size_t n = 4 + rng.NextBelow(10);
+      const size_t k = 1 + rng.NextBelow(n);
+      requests.push_back(
+          TestRequest(config, n, k, rng.NextBelow(16), i % 2 == 0 ? "wikipedia" : "lotte"));
+      requests.back().priority = static_cast<int>(rng.NextBelow(3));
+    }
+
+    MemoryTracker serial_tracker;
+    ServiceOptions serial_options;
+    serial_options.engine.device = FastDevice();
+    RerankService serial(config, ckpt, serial_options, &serial_tracker);
+    std::vector<RerankResult> reference;
+    reference.reserve(requests.size());
+    for (const RerankRequest& request : requests) {
+      reference.push_back(serial.Rerank(request));
+    }
+
+    MemoryTracker tracker;
+    ServiceOptions options;
+    options.engine.device = FastDevice();
+    options.scheduler = SchedulerKind::kCarousel;
+    options.max_inflight = 2 + static_cast<size_t>(round % 3);
+    options.compute_threads = 2;
+    RerankService service(config, ckpt, options, &tracker);
+    std::vector<RerankResult> results(requests.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      clients.emplace_back([&, i] { results[i] = service.Rerank(requests[i]); });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << "round " << round << " request " << i << " n=" << requests[i].docs.size()
+                   << " k=" << requests[i].k << " max_inflight=" << options.max_inflight);
+      ASSERT_TRUE(results[i].status.ok());
+      // Same layer plan, layer for layer…
+      ASSERT_EQ(results[i].stats.layers_until_done, reference[i].stats.layers_until_done);
+      ASSERT_LE(results[i].stats.layers_until_done, config.n_layers);
+      ASSERT_EQ(results[i].stats.candidate_layers, reference[i].stats.candidate_layers);
+      // …and bit-identical numerics on top.
+      ASSERT_EQ(results[i].topk, reference[i].topk);
+      ASSERT_EQ(results[i].scores, reference[i].scores);
     }
   }
 }

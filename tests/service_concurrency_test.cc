@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/core/scheduler.h"
 #include "src/core/service.h"
 #include "tests/test_util.h"
@@ -339,6 +340,122 @@ TEST_F(ServiceConcurrencyTest, OffloadAndSpillSafeAcrossConcurrentRequests) {
     EXPECT_EQ(results[i].topk, reference[i].topk) << "request " << i;
     EXPECT_EQ(results[i].scores, reference[i].scores) << "request " << i;
   }
+}
+
+// The carousel equivalence net (ISSUE 4): a seeded multi-client run with
+// mixed priorities, deadlines, and staggered arrivals through the carousel
+// scheduler must produce, for every served request, a result bit-identical
+// to the SerialScheduler's for the same request. Deadlined requests may
+// legitimately be shed instead — but then they must carry exactly
+// kDeadlineExceeded and no ranking. CI's concurrency-stress lane fails if
+// this test is skipped.
+TEST_F(ServiceConcurrencyTest, CarouselServiceMatchesSerialBitIdentically) {
+  constexpr size_t kRequests = 18;
+  Rng rng(0xCA805E1u);
+  std::vector<RerankRequest> requests;
+  requests.reserve(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    requests.push_back(TestRequest(config_, 8 + rng.NextBelow(6), 2 + rng.NextBelow(3), i));
+    requests.back().priority = static_cast<int>(rng.NextBelow(3)) - 1;
+    if (i % 5 == 4) {
+      // A generous deadline: long enough to be served on a sane host, but a
+      // legitimate shed (kDeadlineExceeded, empty topk) is also accepted.
+      requests.back().deadline_ms = 2000.0;
+    }
+  }
+
+  // Serial reference (no deadlines so every reference result is served).
+  std::vector<RerankResult> reference(requests.size());
+  {
+    MemoryTracker tracker;
+    ServiceOptions options;
+    options.engine.device = FastDevice();
+    RerankService serial(config_, ckpt_, options, &tracker);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      RerankRequest plain = requests[i];
+      plain.deadline_ms = 0.0;
+      reference[i] = serial.Rerank(plain);
+    }
+  }
+
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  options.scheduler = SchedulerKind::kCarousel;
+  options.max_inflight = 4;
+  options.compute_threads = 4;
+  RerankService service(config_, ckpt_, options, &tracker);
+
+  std::vector<RerankResult> results(requests.size());
+  std::vector<std::thread> clients;
+  clients.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    clients.emplace_back([&, i] {
+      // Staggered arrivals: later clients reach the queue while the carousel
+      // is mid-cycle, exercising boundary admission.
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * i));
+      results[i] = service.Rerank(requests[i]);
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+
+  size_t served = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (results[i].status.ok()) {
+      ++served;
+      EXPECT_EQ(results[i].topk, reference[i].topk) << "request " << i;
+      EXPECT_EQ(results[i].scores, reference[i].scores) << "request " << i;
+      EXPECT_EQ(results[i].stats.layers_until_done, reference[i].stats.layers_until_done)
+          << "request " << i;
+    } else {
+      EXPECT_EQ(results[i].status.code(), StatusCode::kDeadlineExceeded) << "request " << i;
+      EXPECT_TRUE(results[i].topk.empty()) << "request " << i;
+    }
+  }
+  EXPECT_GT(served, 0u);
+
+  const auto& carousel = dynamic_cast<const CarouselScheduler&>(service.scheduler());
+  const CarouselScheduler::Stats stats = carousel.stats();
+  EXPECT_EQ(stats.admitted, served);
+  EXPECT_GE(stats.cycles, stats.passes);
+}
+
+// Admission latency: a request that arrives while the carousel is busy is
+// admitted at the next layer-0 boundary — it waits at most one cycle
+// interval, not a full pass. Measured in boundary units (admission-event
+// counts through the queue's race-free epoch protocol), so the assertion is
+// immune to wall-clock noise: with free capacity every request sees exactly
+// one admission event between enqueue and admission.
+TEST_F(ServiceConcurrencyTest, CarouselAdmitsWithinOneCycleBoundary) {
+  MemoryTracker tracker;
+  ServiceOptions options;
+  options.engine.device = FastDevice();
+  options.scheduler = SchedulerKind::kCarousel;
+  options.max_inflight = 8;  // More slots than clients: capacity never binds.
+  options.compute_threads = 4;
+  RerankService service(config_, ckpt_, options, &tracker);
+
+  constexpr size_t kClients = 6;
+  std::vector<RerankResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      std::this_thread::sleep_for(std::chrono::microseconds(300 * i));
+      results[i] = service.Rerank(requests_[i % requests_.size()]);
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (size_t i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << "request " << i;
+    EXPECT_GE(results[i].stats.queue_wait_ms, 0.0) << "request " << i;
+  }
+  const auto& carousel = dynamic_cast<const CarouselScheduler&>(service.scheduler());
+  EXPECT_LE(carousel.stats().max_boundary_wait, 1u);
+  EXPECT_EQ(carousel.stats().admitted, kClients);
 }
 
 TEST_F(ServiceConcurrencyTest, StatsAggregateUnderConcurrency) {

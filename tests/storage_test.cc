@@ -219,6 +219,121 @@ TEST_F(StreamerTest, TruncateStopsPrefetch) {
   EXPECT_LE(streamer.stats().blobs_loaded, 2);
 }
 
+TEST_F(StreamerTest, CyclicDeliversWrapAroundOrder) {
+  // Three full revolutions: position seq must deliver blob schedule[seq % 6],
+  // and buffers released in one cycle are reused by the next.
+  MemoryTracker tracker;
+  LayerStreamer streamer(reader_.get(), {0, 1, 2, 3, 4, 5}, 2, &tracker, /*cyclic=*/true);
+  EXPECT_TRUE(streamer.cyclic());
+  EXPECT_EQ(streamer.cycle_length(), 6u);
+  for (size_t seq = 0; seq < 18; ++seq) {
+    const auto bytes = streamer.Acquire(seq);
+    const auto& expected = blobs_[seq % 6];
+    ASSERT_EQ(bytes.size(), expected.size()) << "seq " << seq;
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), expected.begin())) << "seq " << seq;
+    streamer.Release(seq);
+  }
+  const StreamerStats stats = streamer.stats();
+  EXPECT_GE(stats.blobs_loaded, 18);
+  ASSERT_GE(stats.per_cycle.size(), 3u);
+  for (size_t cycle = 0; cycle < 3; ++cycle) {
+    EXPECT_EQ(stats.per_cycle[cycle].blobs_loaded, 6) << "cycle " << cycle;
+  }
+}
+
+TEST_F(StreamerTest, CyclicKeepsAtMostTwoBlobsResidentAcrossCycles) {
+  // The Release-then-reuse discipline must hold across the wrap: two
+  // revolutions never hold more than the two largest blobs at once.
+  MemoryTracker tracker;
+  LayerStreamer streamer(reader_.get(), {0, 1, 2, 3, 4, 5}, 2, &tracker, /*cyclic=*/true);
+  int64_t max_weights = 0;
+  for (size_t seq = 0; seq < 12; ++seq) {
+    streamer.Acquire(seq);
+    max_weights = std::max(max_weights, tracker.PeakBytes(MemCategory::kWeights));
+    streamer.Release(seq);
+  }
+  std::vector<int64_t> sizes;
+  for (const auto& blob : blobs_) {
+    sizes.push_back(static_cast<int64_t>(blob.size()));
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  EXPECT_LE(max_weights, sizes[0] + sizes[1]);
+  streamer.TruncateSchedule(11);  // Walk over; stop the prefetcher fetching cycle 3.
+}
+
+TEST_F(StreamerTest, CyclicTruncateMidCycleStopsPrefetch) {
+  // TruncateSchedule caps the monotonic sequence space, so truncating at
+  // seq 8 — layer 2 of the second revolution — behaves exactly like a
+  // mid-schedule truncation: in-flight loads finish, nothing past the cap
+  // starts, destruction does not hang.
+  MemoryTracker tracker;
+  LayerStreamer streamer(reader_.get(), {0, 1, 2, 3, 4, 5}, 2, &tracker, /*cyclic=*/true);
+  for (size_t seq = 0; seq <= 8; ++seq) {
+    streamer.Acquire(seq);
+    if (seq == 8) {
+      streamer.TruncateSchedule(8);
+    }
+    streamer.Release(seq);
+  }
+  // Everything consumed plus at most buffer_count in-flight/prefetched.
+  EXPECT_LE(streamer.stats().blobs_loaded, 8 + 1 + 2);
+}
+
+TEST_F(StreamerTest, CyclicSkipToRealignsAtNextCycle) {
+  // A carousel that drains at layer 1 skips the rest of the cycle: SkipTo
+  // the next boundary must discard the unconsumed positions (freeing their
+  // buffers) and deliver the next cycle's layer 0 correctly.
+  MemoryTracker tracker;
+  LayerStreamer streamer(reader_.get(), {0, 1, 2, 3, 4, 5}, 2, &tracker, /*cyclic=*/true);
+  for (size_t seq = 0; seq < 2; ++seq) {
+    const auto bytes = streamer.Acquire(seq);
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), blobs_[seq].begin()));
+    streamer.Release(seq);
+  }
+  streamer.SkipTo(6);
+  for (size_t seq = 6; seq < 12; ++seq) {
+    const auto bytes = streamer.Acquire(seq);
+    const auto& expected = blobs_[seq % 6];
+    ASSERT_EQ(bytes.size(), expected.size()) << "seq " << seq;
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), expected.begin())) << "seq " << seq;
+    streamer.Release(seq);
+  }
+  streamer.TruncateSchedule(11);
+  // Positions 2..5 were never consumed; at most the prefetcher's look-ahead
+  // (2 buffers) of them may have been fetched before the skip landed.
+  const StreamerStats stats = streamer.stats();
+  EXPECT_LE(stats.blobs_loaded, 2 + 2 + 6 + 2);
+  // Skipped-but-fetched bytes are still accounted (they were real I/O).
+  int64_t cycle_sum = 0;
+  for (const auto& cycle : stats.per_cycle) {
+    cycle_sum += cycle.bytes_loaded;
+  }
+  EXPECT_EQ(cycle_sum, stats.bytes_loaded);
+}
+
+TEST_F(StreamerTest, StallAccountingIsMonotonic) {
+  // Snapshots taken between acquires must never decrease: stall, bytes, and
+  // blob counters only accumulate (per-cycle totals always sum to them).
+  MemoryTracker tracker;
+  LayerStreamer streamer(reader_.get(), {0, 1, 2, 3, 4, 5}, 2, &tracker, /*cyclic=*/true);
+  StreamerStats last = streamer.stats();
+  for (size_t seq = 0; seq < 12; ++seq) {
+    streamer.Acquire(seq);
+    streamer.Release(seq);
+    const StreamerStats now = streamer.stats();
+    EXPECT_GE(now.stall_micros, last.stall_micros) << "seq " << seq;
+    EXPECT_GE(now.bytes_loaded, last.bytes_loaded) << "seq " << seq;
+    EXPECT_GE(now.blobs_loaded, last.blobs_loaded) << "seq " << seq;
+    int64_t stall_sum = 0;
+    for (const auto& cycle : now.per_cycle) {
+      stall_sum += cycle.stall_micros;
+    }
+    EXPECT_EQ(stall_sum, now.stall_micros) << "seq " << seq;
+    last = now;
+  }
+  streamer.TruncateSchedule(11);
+}
+
 TEST(SpillPoolTest, SpillTakeRoundTrip) {
   MemoryTracker tracker;
   SpillPool pool(Unthrottled(), &tracker);
