@@ -17,12 +17,9 @@ int Main(int argc, char** argv) {
   const size_t queries = static_cast<size_t>(flags.GetInt("queries", 1));
   const size_t candidates = static_cast<size_t>(flags.GetInt("candidates", 20));
   std::vector<float> thresholds;
-  {
-    std::stringstream ss(flags.GetString("thresholds", "0.08,0.15,0.25,0.40,0.60"));
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      thresholds.push_back(std::stof(item));
-    }
+  for (const std::string& item :
+       SplitCsv(flags.GetString("thresholds", "0.08,0.15,0.25,0.40,0.60"))) {
+    thresholds.push_back(std::stof(item));
   }
 
   PrintHeader("Figure 10 — dispersion-threshold sweep (" + device.name + ", wikipedia)");

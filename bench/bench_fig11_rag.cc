@@ -18,14 +18,7 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const size_t queries = static_cast<size_t>(flags.GetInt("queries", 3));
   const size_t background = static_cast<size_t>(flags.GetInt("corpus", 300));
-  std::vector<std::string> devices;
-  {
-    std::stringstream ss(flags.GetString("devices", "nvidia,apple"));
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      devices.push_back(item);
-    }
-  }
+  const std::vector<std::string> devices = SplitCsv(flags.GetString("devices", "nvidia,apple"));
 
   PrintHeader("Figure 11 — RAG pipeline: latency, accuracy, memory");
 

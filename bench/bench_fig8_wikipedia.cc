@@ -18,12 +18,8 @@ int Main(int argc, char** argv) {
   const size_t queries = static_cast<size_t>(flags.GetInt("queries", 1));
   const size_t candidates = static_cast<size_t>(flags.GetInt("candidates", 20));
   std::vector<size_t> ks;
-  {
-    std::stringstream ss(flags.GetString("ks", "1,5,10"));
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      ks.push_back(static_cast<size_t>(std::stoul(item)));
-    }
+  for (const std::string& item : SplitCsv(flags.GetString("ks", "1,5,10"))) {
+    ks.push_back(static_cast<size_t>(std::stoul(item)));
   }
 
   PrintHeader("Figure 8 — Wikipedia dataset detail (" + device.name + ", " +

@@ -1,0 +1,401 @@
+// Multi-client scenario traffic over the serving stack — the end-to-end
+// apps-over-service bench, and the first entries of the perf trajectory.
+//
+// For each application scenario (file_search, rag, agent_memory, lcs) the
+// bench measures a single-client serial baseline (per-query selection
+// signatures + unloaded service time), then sweeps
+// {scheduler × pool_size × arrival mode} with N concurrent clients and
+// Zipf-skewed query popularity, checking every served request's selection
+// against the baseline: 0 mismatches means no scheduler/pool combination
+// ever changed a decision. A final 2× overload phase per scenario runs with
+// deadlines and verifies the serving layer degrades the right way — shed
+// fraction rises while served-only p99 stays within one batch interval of
+// the unloaded run (only observable since ServiceStats keeps shed requests
+// out of the percentiles).
+//
+// A machine-readable JSON summary is printed to stdout after the human
+// table (and optionally written to --json=PATH).
+//
+// Flags: --model=Qwen3-Reranker-0.6B --device=nvidia|apple --threshold=0.40
+//        --scenarios=all|comma-list --schedulers=serial,batch,carousel
+//        --pool_sizes=1,2 --clients=6 --requests=24 --warmup=4
+//        --n_queries=8 --max_inflight=4 --zipf=0.9 --rates=0.7
+//        --ssd_mbps=12 (0 = device profile default) --overload=true
+//        --json=PATH
+//        --smoke: tiny config (test model, unthrottled device, one scenario
+//        per scheduler, closed loop only, no overload phase) for CI —
+//        exits nonzero on any mismatch.
+#include <cstdio>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/service_pool.h"
+#include "src/serving/workload.h"
+
+namespace prism {
+namespace {
+
+// One serving stack (a single service or a pool) behind a Runner*.
+struct Stack {
+  std::unique_ptr<RerankService> service;
+  std::unique_ptr<ServicePool> pool;
+
+  Runner* runner() { return pool != nullptr ? static_cast<Runner*>(pool.get())
+                                            : static_cast<Runner*>(service.get()); }
+  ServiceStats Stats() const {
+    return pool != nullptr ? pool->stats().aggregate : service->stats();
+  }
+};
+
+struct StackSpec {
+  ModelConfig model;
+  std::string checkpoint;
+  DeviceProfile device;
+  float threshold = kThresholdHigh;
+  size_t max_inflight = 4;
+  size_t total_threads = 4;
+};
+
+Stack MakeStack(const StackSpec& spec, SchedulerKind kind, size_t pool_size) {
+  MemoryTracker::Global().Reset();
+  ServiceOptions options;
+  options.engine.device = spec.device;
+  options.engine.dispersion_threshold = spec.threshold;
+  options.scheduler = kind;
+  options.max_inflight = kind == SchedulerKind::kSerial ? 1 : spec.max_inflight;
+  options.compute_threads = std::max<size_t>(1, spec.total_threads / pool_size);
+  Stack stack;
+  if (pool_size == 1) {
+    stack.service = std::make_unique<RerankService>(spec.model, spec.checkpoint, options);
+  } else {
+    ServicePoolOptions pool_options;
+    pool_options.service = options;
+    pool_options.pool_size = pool_size;
+    pool_options.balancer = LoadBalancePolicy::kLeastLoaded;
+    stack.pool = std::make_unique<ServicePool>(spec.model, spec.checkpoint, pool_options);
+  }
+  return stack;
+}
+
+struct RunRecord {
+  std::string scenario;
+  std::string scheduler;
+  size_t pool_size = 1;
+  std::string mode;  // "closed" | "open" | "overload"
+  size_t clients = 0;
+  double arrival_hz = 0.0;
+  double deadline_ms = 0.0;
+  WorkloadReport report;
+  double work_fraction = 0.0;
+};
+
+void PrintRow(const RunRecord& r) {
+  const std::string name = r.scenario + " " + r.scheduler + "x" +
+                           std::to_string(r.pool_size) + " " + r.mode;
+  // The throughput column is the *served* rate: shed requests turn around
+  // in ~0 ms, so counting them would make overload rows look faster.
+  std::printf("%-36s %8.2f %9.2f %9.2f %7.0f%% %8.2f %9.2f %6zu\n", name.c_str(),
+              r.report.served_per_sec, r.report.p50_ms, r.report.p99_ms,
+              100.0 * r.report.shed_fraction, r.report.mean_quality, r.work_fraction,
+              r.report.mismatches);
+}
+
+void JsonRun(FILE* out, const RunRecord& r, bool last) {
+  std::fprintf(out,
+               "    {\"scenario\": \"%s\", \"scheduler\": \"%s\", \"pool_size\": %zu, "
+               "\"mode\": \"%s\", \"clients\": %zu, \"arrival_hz\": %.6g, "
+               "\"deadline_ms\": %.6g, \"requests\": %zu, \"served\": %zu, \"shed\": %zu, "
+               "\"errors\": %zu, \"req_per_sec\": %.6g, \"served_per_sec\": %.6g, "
+               "\"p50_ms\": %.6g, \"p99_ms\": %.6g, "
+               "\"mean_ms\": %.6g, \"shed_fraction\": %.6g, \"slo_attainment\": %.6g, "
+               "\"mean_quality\": %.6g, \"mean_queue_wait_ms\": %.6g, "
+               "\"work_fraction\": %.6g, \"mismatches\": %zu}%s\n",
+               r.scenario.c_str(), r.scheduler.c_str(), r.pool_size, r.mode.c_str(), r.clients,
+               r.arrival_hz, r.deadline_ms, r.report.requests, r.report.served, r.report.shed,
+               r.report.errors, r.report.requests_per_sec, r.report.served_per_sec,
+               r.report.p50_ms, r.report.p99_ms,
+               r.report.mean_ms, r.report.shed_fraction, r.report.slo_attainment,
+               r.report.mean_quality, r.report.mean_queue_wait_ms, r.work_fraction,
+               r.report.mismatches, last ? "" : ",");
+}
+
+struct OverloadCheck {
+  std::string scenario;
+  double shed_fraction = 0.0;
+  double unloaded_shed_fraction = 0.0;
+  double p99_ms = 0.0;
+  double bound_ms = 0.0;
+  bool ok = false;
+};
+
+void EmitJson(FILE* out, const std::string& model, const std::string& device, bool smoke,
+              const std::vector<RunRecord>& runs, const std::vector<OverloadCheck>& overloads,
+              size_t total_mismatches, bool ok) {
+  std::fprintf(out, "{\n  \"model\": \"%s\",\n  \"device\": \"%s\",\n  \"smoke\": %s,\n",
+               model.c_str(), device.c_str(), smoke ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    JsonRun(out, runs[i], i + 1 == runs.size());
+  }
+  std::fprintf(out, "  ],\n  \"overload\": [\n");
+  for (size_t i = 0; i < overloads.size(); ++i) {
+    const OverloadCheck& o = overloads[i];
+    std::fprintf(out,
+                 "    {\"scenario\": \"%s\", \"shed_fraction\": %.6g, "
+                 "\"unloaded_shed_fraction\": %.6g, \"p99_ms\": %.6g, \"bound_ms\": %.6g, "
+                 "\"ok\": %s}%s\n",
+                 o.scenario.c_str(), o.shed_fraction, o.unloaded_shed_fraction, o.p99_ms,
+                 o.bound_ms, o.ok ? "true" : "false", i + 1 == overloads.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ],\n  \"total_mismatches\": %zu,\n  \"ok\": %s\n}\n", total_mismatches,
+               ok ? "true" : "false");
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+
+  ModelConfig model;
+  DeviceProfile device;
+  if (smoke) {
+    model = TestModel();
+    device = DeviceByName("nvidia");
+    device.ssd.throttle = false;
+    device.compute_slowdown = 1.0;
+  } else {
+    model = ModelByName(flags.GetString("model", "Qwen3-Reranker-0.6B"));
+    device = DeviceByName(flags.GetString("device", "nvidia"));
+    // Same rationale as bench_pool: the paper's regime is SSD-bound (large
+    // checkpoints dwarf this zoo's compute), so the sweep defaults to a
+    // slowed device. 0 = profile default.
+    const double ssd_mbps = flags.GetDouble("ssd_mbps", 12.0);
+    if (ssd_mbps > 0.0) {
+      device.ssd.bandwidth_bytes_per_sec = ssd_mbps * 1024.0 * 1024.0;
+    }
+  }
+
+  std::vector<ScenarioKind> scenarios;
+  const std::string scenario_csv = flags.GetString("scenarios", "all");
+  if (scenario_csv == "all") {
+    scenarios = AllScenarios();
+  } else {
+    for (const std::string& name : SplitCsv(scenario_csv)) {
+      scenarios.push_back(ScenarioKindByName(name));
+    }
+  }
+  std::vector<SchedulerKind> schedulers;
+  for (const std::string& name :
+       SplitCsv(flags.GetString("schedulers", "serial,batch,carousel"))) {
+    schedulers.push_back(SchedulerKindByName(name));
+  }
+  std::vector<size_t> pool_sizes;
+  for (const std::string& p : SplitCsv(flags.GetString("pool_sizes", "1,2"))) {
+    pool_sizes.push_back(static_cast<size_t>(std::stoul(p)));
+  }
+  std::vector<double> rate_factors;  // Open-loop offered load vs serial capacity.
+  for (const std::string& r : SplitCsv(flags.GetString("rates", "0.7"))) {
+    rate_factors.push_back(std::stod(r));
+  }
+
+  const size_t clients = static_cast<size_t>(flags.GetInt("clients", smoke ? 3 : 6));
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests", smoke ? 8 : 24));
+  const size_t warmup = static_cast<size_t>(flags.GetInt("warmup", smoke ? 2 : 4));
+  const size_t n_queries = static_cast<size_t>(flags.GetInt("n_queries", smoke ? 4 : 8));
+  const double zipf = flags.GetDouble("zipf", 0.9);
+  const bool overload = !smoke && flags.GetBool("overload", true);
+
+  StackSpec spec;
+  spec.model = model;
+  spec.device = device;
+  spec.threshold = static_cast<float>(flags.GetDouble("threshold", kThresholdHigh));
+  spec.max_inflight = static_cast<size_t>(flags.GetInt("max_inflight", smoke ? 2 : 4));
+  spec.total_threads =
+      std::max<size_t>(std::thread::hardware_concurrency(), spec.max_inflight);
+  spec.checkpoint = EnsureCheckpoint(model, kBenchSeed, /*quantized=*/false);
+
+  PrintHeader("Scenario serving sweep — " + model.name + " on " + device.name + ", " +
+              std::to_string(clients) + " clients, " + std::to_string(requests) +
+              " requests (" + std::to_string(warmup) + " warmup), zipf " +
+              std::to_string(zipf));
+  std::printf("%-36s %8s %9s %9s %8s %8s %9s %6s\n", "scenario config", "req/s", "p50 ms",
+              "p99 ms", "shed", "quality", "workfrac", "misms");
+
+  std::vector<RunRecord> runs;
+  std::vector<OverloadCheck> overloads;
+  size_t total_mismatches = 0;
+
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const ScenarioKind kind = scenarios[s];
+    ScenarioOptions sopts;
+    sopts.n_queries = n_queries;
+    const ScenarioHarness harness(kind, model, sopts);
+
+    // --- Single-client serial baseline: selections + unloaded timing. ----
+    std::vector<std::vector<size_t>> baseline;
+    WorkloadReport serial_unloaded;
+    {
+      Stack stack = MakeStack(spec, SchedulerKind::kSerial, 1);
+      baseline = BaselineSelections(harness, stack.runner());
+      WorkloadOptions wopts;
+      wopts.clients = 1;
+      wopts.requests = std::max<size_t>(requests / 2, harness.n_queries());
+      wopts.warmup = std::min<size_t>(warmup, 2);
+      wopts.zipf_skew = zipf;
+      serial_unloaded = RunWorkload(harness, stack.runner(), wopts, &baseline);
+    }
+    const double serial_ms = std::max(serial_unloaded.mean_ms, 1e-3);
+    const double slo_ms = 3.0 * serial_ms;
+
+    // In smoke mode each scenario runs one scheduler (i-th scenario gets the
+    // i%3-rd scheduler) so all four apps and all three schedulers are
+    // covered end to end in a handful of runs.
+    std::vector<SchedulerKind> scenario_schedulers = schedulers;
+    if (smoke && !schedulers.empty()) {
+      scenario_schedulers = {schedulers[s % schedulers.size()]};
+    }
+
+    // Unloaded reference for the overload bound: prefer the batch x1
+    // closed-loop run; fall back to the single-client serial run when the
+    // sweep has no pool_size-1 config (e.g. --pool_sizes=2).
+    double unloaded_p99 = serial_unloaded.p99_ms;
+    double unloaded_shed_fraction = 0.0;
+    for (const SchedulerKind sched : scenario_schedulers) {
+      const char* sched_name = sched == SchedulerKind::kSerial    ? "serial"
+                               : sched == SchedulerKind::kBatch   ? "batch"
+                                                                  : "carousel";
+      for (const size_t pool_size : pool_sizes) {
+        // Closed loop.
+        {
+          Stack stack = MakeStack(spec, sched, pool_size);
+          WorkloadOptions wopts;
+          wopts.clients = clients;
+          wopts.requests = requests;
+          wopts.warmup = warmup;
+          wopts.zipf_skew = zipf;
+          wopts.slo_ms = slo_ms;
+          RunRecord record;
+          record.scenario = harness.name();
+          record.scheduler = sched_name;
+          record.pool_size = pool_size;
+          record.mode = "closed";
+          record.clients = clients;
+          record.report = RunWorkload(harness, stack.runner(), wopts, &baseline);
+          record.work_fraction = stack.Stats().WorkFraction(model.n_layers);
+          total_mismatches += record.report.mismatches;
+          if (pool_size == 1 && sched == SchedulerKind::kBatch) {
+            unloaded_p99 = record.report.p99_ms;
+            unloaded_shed_fraction = record.report.shed_fraction;
+          }
+          PrintRow(record);
+          runs.push_back(std::move(record));
+        }
+        // Open loop (Poisson) at each offered-load factor of the measured
+        // serial capacity.
+        if (!smoke) {
+          for (const double factor : rate_factors) {
+            Stack stack = MakeStack(spec, sched, pool_size);
+            WorkloadOptions wopts;
+            wopts.clients = clients;
+            wopts.requests = requests;
+            wopts.warmup = warmup;
+            wopts.zipf_skew = zipf;
+            wopts.slo_ms = slo_ms;
+            wopts.arrival_hz = factor * serial_unloaded.requests_per_sec;
+            RunRecord record;
+            record.scenario = harness.name();
+            record.scheduler = sched_name;
+            record.pool_size = pool_size;
+            record.mode = "open";
+            record.clients = clients;
+            record.arrival_hz = wopts.arrival_hz;
+            record.report = RunWorkload(harness, stack.runner(), wopts, &baseline);
+            record.work_fraction = stack.Stats().WorkFraction(model.n_layers);
+            total_mismatches += record.report.mismatches;
+            PrintRow(record);
+            runs.push_back(std::move(record));
+          }
+        }
+      }
+    }
+
+    // --- 2x overload phase: deadlines on, twice the closed-loop clients. --
+    if (overload) {
+      Stack stack = MakeStack(spec, SchedulerKind::kBatch, 1);
+      WorkloadOptions wopts;
+      wopts.clients = clients * 2;
+      wopts.requests = requests;
+      wopts.warmup = warmup;
+      wopts.zipf_skew = zipf;
+      wopts.slo_ms = slo_ms;
+      // Tighter than one dispatch cycle (cf. bench_pool): anything still
+      // queued when the in-flight batch completes has expired and sheds.
+      wopts.deadline_ms = 1.2 * serial_ms;
+      RunRecord record;
+      record.scenario = harness.name();
+      record.scheduler = "batch";
+      record.pool_size = 1;
+      record.mode = "overload";
+      record.clients = wopts.clients;
+      record.deadline_ms = wopts.deadline_ms;
+      // Under overload a high-priority class keeps its service: the leading
+      // quarter of clients submits priority-1 requests.
+      wopts.high_fraction = 0.25;
+      record.report = RunWorkload(harness, stack.runner(), wopts, &baseline);
+      record.work_fraction = stack.Stats().WorkFraction(model.n_layers);
+      total_mismatches += record.report.mismatches;
+      PrintRow(record);
+
+      OverloadCheck check;
+      check.scenario = harness.name();
+      check.shed_fraction = record.report.shed_fraction;
+      check.unloaded_shed_fraction = unloaded_shed_fraction;
+      check.p99_ms = record.report.p99_ms;
+      // Served-only p99 may exceed the unloaded run's by at most one batch
+      // interval: shedding happens the next time the dispatcher looks at
+      // the queue. (Before the stats fix, shed ~0 ms latencies dragged the
+      // overload percentiles *below* the unloaded ones.)
+      check.bound_ms = unloaded_p99 + serial_ms * static_cast<double>(spec.max_inflight);
+      check.ok = check.shed_fraction > check.unloaded_shed_fraction &&
+                 record.report.p99_ms <= check.bound_ms;
+      std::printf("  overload check: shed %.0f%% (unloaded %.0f%%), served p99 %.2f ms "
+                  "(bound %.2f ms) -> %s\n",
+                  100.0 * check.shed_fraction, 100.0 * check.unloaded_shed_fraction,
+                  check.p99_ms, check.bound_ms, check.ok ? "ok" : "FAIL");
+      overloads.push_back(check);
+      runs.push_back(std::move(record));
+    }
+  }
+
+  bool ok = total_mismatches == 0;
+  for (const OverloadCheck& check : overloads) {
+    ok = ok && check.ok;
+  }
+
+  std::printf("\ntotal selection mismatches vs single-client serial: %zu (expected 0)\n",
+              total_mismatches);
+  std::printf("\nJSON summary:\n");
+  EmitJson(stdout, model.name, device.name, smoke, runs, overloads, total_mismatches, ok);
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out != nullptr) {
+      EmitJson(out, model.name, device.name, smoke, runs, overloads, total_mismatches, ok);
+      std::fclose(out);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("could not open %s for writing\n", json_path.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

@@ -36,9 +36,7 @@ int Main(int argc, char** argv) {
 
   std::vector<ModelConfig> models;
   if (flags.Has("models")) {
-    std::stringstream ss(flags.GetString("models", ""));
-    std::string name;
-    while (std::getline(ss, name, ',')) {
+    for (const std::string& name : SplitCsv(flags.GetString("models", ""))) {
       models.push_back(ModelByName(name));
     }
   } else {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include <sstream>
+
 #include "src/model/layer.h"
 #include "src/model/pair_encoder.h"
 
@@ -92,6 +94,18 @@ BenchRun RunCases(Runner* runner, const std::vector<BenchCase>& cases) {
 }
 
 double MiB(int64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> items;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+  }
+  return items;
+}
 
 void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");

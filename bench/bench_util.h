@@ -74,6 +74,9 @@ BenchRun RunCases(Runner* runner, const std::vector<BenchCase>& cases);
 
 double MiB(int64_t bytes);
 
+// Splits a comma-separated flag value, skipping empty items ("a,,b" → a, b).
+std::vector<std::string> SplitCsv(const std::string& csv);
+
 // Resets the global tracker, then builds the runner, so construction-time
 // claims (resident weights, embedding table/cache) are part of the measured
 // footprint. Never reset the tracker while a runner is alive — its

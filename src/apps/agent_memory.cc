@@ -100,73 +100,86 @@ AgentMemoryApp::AgentMemoryApp(AgentWorkloadProfile profile, const ModelConfig& 
     traj.description = draw(profile_.text.doc_terms);
     memory_.push_back(std::move(traj));
   }
+  // Retrieval index over memory descriptions. Built once: memory is
+  // immutable for the app's lifetime, and a shared read-only index is what
+  // lets concurrent clients replay tasks without synchronization.
+  for (const Trajectory& traj : memory_) {
+    index_.Add(traj.description);
+  }
 }
 
-AgentRunResult AgentMemoryApp::Run(Runner* runner) {
-  AgentRunResult result;
-  // Retrieval index over memory descriptions (rebuilt per run: the memory is
-  // small and the cost is charged to the rerank stage like the paper's).
-  Bm25Index index;
-  for (const Trajectory& traj : memory_) {
-    index.Add(traj.description);
-  }
-
-  Rng rng(MixSeed(seed_, 0xA7));
-  size_t successes = 0;
-  double total_ms = 0.0;
-  for (const Trajectory& task : tasks_) {
-    const WallTimer task_timer;
-    bool ok = true;
-    for (size_t step = 0; step < profile_.steps_per_task; ++step) {
-      if (runner == nullptr) {
-        // Memory disabled: every step is a VLM decision.
-        const WallTimer timer;
-        vlm_.Generate(profile_.vlm_prompt_tokens, profile_.vlm_new_tokens);
-        result.inference_ms += timer.ElapsedMillis();
-      } else {
-        const WallTimer timer;
-        std::vector<RetrievalHit> hits = index.Search(task.description, profile_.candidates);
-        RerankRequest request;
-        request.query = task.description;
-        request.k = 1;
-        std::vector<size_t> candidate_ids;
-        for (const RetrievalHit& hit : hits) {
-          const Trajectory& traj = memory_[hit.doc_id];
-          candidate_ids.push_back(hit.doc_id);
-          request.docs.push_back(traj.description);
-          const float grade = traj.task_type == task.task_type ? 0.85f : 0.15f;
-          Rng noise(MixSeed(seed_, MixSeed(hit.doc_id, task.task_type + step)));
-          const double r = grade + profile_.text.grade_noise * noise.NextGaussian();
-          request.planted_r.push_back(static_cast<float>(std::clamp(r, 0.0, 1.0)));
-        }
-        const RerankResult reranked = runner->Rerank(request);
-        result.rerank_ms += timer.ElapsedMillis();
-        const bool have_pick = !reranked.topk.empty();
-        const Trajectory* pick =
-            have_pick ? &memory_[candidate_ids[reranked.topk[0]]] : nullptr;
-        if (pick != nullptr && pick->task_type == task.task_type) {
-          // Cache hit: replay the cached action (env step only, below).
-        } else if (pick != nullptr && pick->task_type != SIZE_MAX &&
-                   pick->task_type != task.task_type) {
-          ok = false;  // Replayed a wrong trajectory.
-        } else {
-          // No usable trajectory: fall back to the VLM.
-          const WallTimer vlm_timer;
-          vlm_.Generate(profile_.vlm_prompt_tokens, profile_.vlm_new_tokens);
-          result.inference_ms += vlm_timer.ElapsedMillis();
-        }
+AgentTaskResult AgentMemoryApp::RunTask(size_t task_idx, Runner* runner) const {
+  PRISM_CHECK_LT(task_idx, tasks_.size());
+  const Trajectory& task = tasks_[task_idx];
+  AgentTaskResult result;
+  const WallTimer task_timer;
+  for (size_t step = 0; step < profile_.steps_per_task; ++step) {
+    if (runner == nullptr) {
+      // Memory disabled: every step is a VLM decision.
+      const WallTimer timer;
+      vlm_.Generate(profile_.vlm_prompt_tokens, profile_.vlm_new_tokens);
+      result.inference_ms += timer.ElapsedMillis();
+      result.picks.push_back(SIZE_MAX);
+    } else {
+      const WallTimer timer;
+      std::vector<RetrievalHit> hits = index_.Search(task.description, profile_.candidates);
+      RerankRequest request;
+      request.query = task.description;
+      request.k = 1;
+      std::vector<size_t> candidate_ids;
+      for (const RetrievalHit& hit : hits) {
+        const Trajectory& traj = memory_[hit.doc_id];
+        candidate_ids.push_back(hit.doc_id);
+        request.docs.push_back(traj.description);
+        const float grade = traj.task_type == task.task_type ? 0.85f : 0.15f;
+        Rng noise(MixSeed(seed_, MixSeed(hit.doc_id, task.task_type + step)));
+        const double r = grade + profile_.text.grade_noise * noise.NextGaussian();
+        request.planted_r.push_back(static_cast<float>(std::clamp(r, 0.0, 1.0)));
       }
-      // Environment action (UI click etc.).
-      {
-        const WallTimer timer;
-        MemClaim env_claim(&MemoryTracker::Global(), MemCategory::kScratch, 600 * 1024);
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(profile_.env_step_ms / 1000.0));
-        result.env_ms += timer.ElapsedMillis();
+      const RerankResult reranked = runner->Rerank(request);
+      result.rerank_ms += timer.ElapsedMillis();
+      result.rerank_ok = result.rerank_ok && reranked.status.ok();
+      const bool have_pick = !reranked.topk.empty();
+      const Trajectory* pick =
+          have_pick ? &memory_[candidate_ids[reranked.topk[0]]] : nullptr;
+      result.picks.push_back(have_pick ? candidate_ids[reranked.topk[0]] : SIZE_MAX);
+      if (pick != nullptr && pick->task_type == task.task_type) {
+        // Cache hit: replay the cached action (env step only, below).
+      } else if (pick != nullptr && pick->task_type != SIZE_MAX &&
+                 pick->task_type != task.task_type) {
+        result.success = false;  // Replayed a wrong trajectory.
+      } else {
+        // No usable trajectory (including a shed rerank): fall back to the
+        // VLM.
+        const WallTimer vlm_timer;
+        vlm_.Generate(profile_.vlm_prompt_tokens, profile_.vlm_new_tokens);
+        result.inference_ms += vlm_timer.ElapsedMillis();
       }
     }
-    successes += ok ? 1 : 0;
-    total_ms += task_timer.ElapsedMillis();
+    // Environment action (UI click etc.).
+    {
+      const WallTimer timer;
+      MemClaim env_claim(&MemoryTracker::Global(), MemCategory::kScratch, 600 * 1024);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(profile_.env_step_ms / 1000.0));
+      result.env_ms += timer.ElapsedMillis();
+    }
+  }
+  result.task_ms = task_timer.ElapsedMillis();
+  return result;
+}
+
+AgentRunResult AgentMemoryApp::Run(Runner* runner) const {
+  AgentRunResult result;
+  size_t successes = 0;
+  double total_ms = 0.0;
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const AgentTaskResult task = RunTask(t, runner);
+    successes += task.success ? 1 : 0;
+    total_ms += task.task_ms;
+    result.rerank_ms += task.rerank_ms;
+    result.inference_ms += task.inference_ms;
+    result.env_ms += task.env_ms;
   }
   const auto n = static_cast<double>(tasks_.size());
   result.avg_task_latency_ms = total_ms / n;

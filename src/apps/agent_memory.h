@@ -14,6 +14,7 @@
 
 #include "src/apps/sim_llm.h"
 #include "src/data/dataset.h"
+#include "src/retrieval/bm25.h"
 #include "src/runtime/runner.h"
 
 namespace prism {
@@ -44,12 +45,36 @@ struct AgentRunResult {
   double env_ms = 0.0;        // Mean per task.
 };
 
+// One task driven end to end (the serving-layer request unit: a workload
+// client replays whole tasks, not isolated reranks).
+struct AgentTaskResult {
+  bool success = true;     // False only when a wrong trajectory was replayed.
+  bool rerank_ok = true;   // Every rerank this task issued was served.
+  double task_ms = 0.0;
+  double rerank_ms = 0.0;
+  double inference_ms = 0.0;  // VLM decisions (fallback or memory-disabled).
+  double env_ms = 0.0;
+  // Per-step decision signature: the picked memory entry, or SIZE_MAX when
+  // the step fell back to the VLM. Deterministic in (seed, task) for served
+  // reranks, which is what the scenario mismatch checks compare.
+  std::vector<size_t> picks;
+};
+
 class AgentMemoryApp {
  public:
   AgentMemoryApp(AgentWorkloadProfile profile, const ModelConfig& model, uint64_t seed);
 
+  size_t n_tasks() const { return tasks_.size(); }
+
+  // Replays one task. Thread-safe: memory, index, and ground truth are
+  // immutable after construction and the per-step relevance noise is seeded
+  // by (seed, doc, task, step), so concurrent clients can replay tasks
+  // against one shared (thread-safe) runner. `runner` == nullptr sends
+  // every step to the VLM.
+  AgentTaskResult RunTask(size_t task_idx, Runner* runner) const;
+
   // `runner` == nullptr disables agent memory (every step goes to the VLM).
-  AgentRunResult Run(Runner* runner);
+  AgentRunResult Run(Runner* runner) const;
 
  private:
   struct Trajectory {
@@ -61,6 +86,7 @@ class AgentMemoryApp {
   uint64_t seed_;
   std::vector<Trajectory> memory_;
   std::vector<Trajectory> tasks_;  // task_type is the ground truth.
+  Bm25Index index_;                // Over memory descriptions; built once.
   SimulatedLlm vlm_;
 };
 

@@ -33,6 +33,9 @@ class FileSearchApp {
                 uint64_t seed = 0xF5);
 
   // Runs one query end to end; `runner` performs the semantic selection.
+  // Thread-safe: both indexes and the encoder are immutable after
+  // construction, so concurrent clients can share one app instance against
+  // one (thread-safe) runner.
   FileSearchResult Search(size_t query_idx, size_t k, Runner* runner) const;
 
   const SearchCorpus& corpus() const { return *corpus_; }

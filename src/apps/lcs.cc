@@ -13,7 +13,7 @@ namespace prism {
 LcsApp::LcsApp(LcsOptions options, const ModelConfig& model, uint64_t seed)
     : options_(options), model_(model), seed_(seed), llm_(options.llm) {}
 
-LcsResult LcsApp::Answer(size_t question_idx, Runner* runner) {
+LcsResult LcsApp::Answer(size_t question_idx, Runner* runner) const {
   const WallTimer total_timer;
   LcsResult result;
 
@@ -78,6 +78,7 @@ LcsResult LcsApp::Answer(size_t question_idx, Runner* runner) {
     prompt_tokens += segments[s].size();
   }
   result.prompt_tokens = prompt_tokens;
+  result.chosen = std::move(chosen);
   {
     const WallTimer timer;
     llm_.Generate(prompt_tokens, answer_tokens);

@@ -37,6 +37,7 @@ struct LcsResult {
   double total_ms = 0.0;
   double precision = 0.0;
   size_t prompt_tokens = 0;
+  std::vector<size_t> chosen;  // Segment indices fed to the LLM, best first.
 };
 
 class LcsApp {
@@ -44,8 +45,10 @@ class LcsApp {
   LcsApp(LcsOptions options, const ModelConfig& model, uint64_t seed);
 
   // `runner` == nullptr → No-Reranker baseline (leading segments, longer
-  // distracted decode).
-  LcsResult Answer(size_t question_idx, Runner* runner);
+  // distracted decode). Thread-safe: the context is rebuilt per call from
+  // (seed, question_idx) and the generator is stateless, so concurrent
+  // clients can share one app instance.
+  LcsResult Answer(size_t question_idx, Runner* runner) const;
 
  private:
   LcsOptions options_;

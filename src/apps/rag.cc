@@ -19,7 +19,7 @@ RagPipeline::RagPipeline(const SearchCorpus* corpus, RagOptions options, uint64_
   dense_.Train();
 }
 
-RagResult RagPipeline::Query(size_t query_idx, Runner* runner) {
+RagResult RagPipeline::Query(size_t query_idx, Runner* runner) const {
   const WallTimer total_timer;
   RagResult result;
   const CorpusQuery& query = corpus_->queries()[query_idx];

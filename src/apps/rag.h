@@ -43,7 +43,10 @@ class RagPipeline {
  public:
   RagPipeline(const SearchCorpus* corpus, RagOptions options, uint64_t seed = 0x4A6);
 
-  RagResult Query(size_t query_idx, Runner* runner);
+  // Thread-safe: indexes and encoder are immutable after construction and
+  // the generator is stateless, so N client threads can share one pipeline
+  // against one (thread-safe) runner, e.g. a RerankService or ServicePool.
+  RagResult Query(size_t query_idx, Runner* runner) const;
 
  private:
   const SearchCorpus* corpus_;

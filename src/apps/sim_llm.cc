@@ -7,7 +7,7 @@
 
 namespace prism {
 
-SimLlmResult SimulatedLlm::Generate(size_t prompt_tokens, size_t max_new_tokens) {
+SimLlmResult SimulatedLlm::Generate(size_t prompt_tokens, size_t max_new_tokens) const {
   SimLlmResult result;
   result.generated_tokens = max_new_tokens;
   const WallTimer timer;

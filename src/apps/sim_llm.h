@@ -35,8 +35,10 @@ class SimulatedLlm {
   explicit SimulatedLlm(SimLlmConfig config, MemoryTracker* tracker = &MemoryTracker::Global())
       : config_(config), tracker_(tracker) {}
 
-  // Blocks for the modelled generation time.
-  SimLlmResult Generate(size_t prompt_tokens, size_t max_new_tokens);
+  // Blocks for the modelled generation time. Thread-safe (the generator
+  // holds no mutable state; the tracker is internally synchronized), so one
+  // simulated server can serve many concurrent pipeline clients.
+  SimLlmResult Generate(size_t prompt_tokens, size_t max_new_tokens) const;
 
   const SimLlmConfig& config() const { return config_; }
 

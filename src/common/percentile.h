@@ -1,0 +1,30 @@
+// Shared percentile convention for latency reporting.
+//
+// Every surface that quotes a pXX (ServiceStats, the workload driver's
+// report) must use the same definition or their numbers stop being
+// comparable; this is the single implementation they share.
+#ifndef PRISM_SRC_COMMON_PERCENTILE_H_
+#define PRISM_SRC_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace prism {
+
+// Ceil-rank percentile (p in [0, 100]) over an ascending-sorted sample:
+// the smallest element whose rank covers p% of the sample. 0 when empty.
+inline double PercentileOverSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const size_t index =
+      rank <= 1.0 ? 0 : std::min(sorted.size() - 1, static_cast<size_t>(rank) - 1);
+  return sorted[index];
+}
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_PERCENTILE_H_

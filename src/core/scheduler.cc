@@ -23,6 +23,11 @@ RerankResult MakeShedResult(double deadline_ms, double waited_ms) {
       "request shed: waited " + std::to_string(waited_ms) + " ms against a " +
       std::to_string(deadline_ms) + " ms deadline");
   result.stats.latency_ms = waited_ms;
+  // A shed request's entire life was queue wait — it never reached an
+  // engine. All three schedulers shed through here (SerialScheduler's
+  // inline mutex path and the RequestQueue expiry path alike), so the
+  // admission-latency accounting stays exact under overload.
+  result.stats.queue_wait_ms = waited_ms;
   return result;
 }
 

@@ -70,7 +70,9 @@ class Scheduler {
 
 // The result handed to a caller whose request was shed after waiting
 // `waited_ms` against `deadline_ms`. topk stays empty; scores are not
-// filled (the request never reached an engine).
+// filled (the request never reached an engine). stats.queue_wait_ms and
+// stats.latency_ms both carry `waited_ms`: a shed request's whole life was
+// queue wait.
 RerankResult MakeShedResult(double deadline_ms, double waited_ms);
 
 // Mutex-serialised pass-through to a Runner.

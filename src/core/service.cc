@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/percentile.h"
 #include "src/common/timer.h"
 
 namespace prism {
@@ -16,6 +17,13 @@ void ServiceStats::Observe(const RerankRequest& request, const RerankResult& res
     } else {
       ++errors;
     }
+    // A shed or failed request never ran, so its ~0 ms latency must not
+    // enter the ring, mean, or max: feeding it in would *improve* p50/p99
+    // exactly when overload should degrade them. It is already counted in
+    // shed/errors above; any bytes a failing request did stream are still
+    // real device traffic.
+    bytes_streamed += result.stats.bytes_streamed;
+    return;
   }
   total_latency_ms += observed_ms;
   max_latency_ms = std::max(max_latency_ms, observed_ms);
@@ -43,14 +51,9 @@ void ServiceStats::Merge(const ServiceStats& other) {
 }
 
 double ServiceStats::LatencyPercentileMs(double p) const {
-  if (latency_ring.empty()) {
-    return 0.0;
-  }
   std::vector<double> sorted(latency_ring);
   std::sort(sorted.begin(), sorted.end());
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-  const size_t index = rank <= 1.0 ? 0 : std::min(sorted.size() - 1, static_cast<size_t>(rank) - 1);
-  return sorted[index];
+  return PercentileOverSorted(sorted, p);
 }
 
 SchedulerKind SchedulerKindByName(const std::string& name) {

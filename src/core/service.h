@@ -76,9 +76,14 @@ struct ServiceOptions {
 
 // Rolling service statistics. RerankService accumulates these under a mutex
 // and hands out snapshots; latencies are client-observed (queueing included)
-// so concurrent-mode percentiles mean what an operator expects.
+// so concurrent-mode percentiles mean what an operator expects. All latency
+// aggregates (ring, mean, max) cover *served* requests only: a shed or
+// failed request's ~0 ms turnaround is accounted in `shed`/`errors`, never
+// in the percentiles — otherwise overload would improve p50/p99 exactly
+// when it should degrade them.
 struct ServiceStats {
-  // Latencies (ms) of the most recent requests, for percentile tracking.
+  // Latencies (ms) of the most recent served requests, for percentile
+  // tracking.
   static constexpr size_t kLatencyRingCapacity = 1024;
 
   size_t requests = 0;
@@ -86,11 +91,11 @@ struct ServiceStats {
   // non-ok status. Served requests are `requests - shed - errors`.
   size_t shed = 0;
   size_t errors = 0;
-  double total_latency_ms = 0.0;
-  double max_latency_ms = 0.0;
-  int64_t total_candidate_layers = 0;
-  int64_t total_candidates = 0;
-  int64_t bytes_streamed = 0;
+  double total_latency_ms = 0.0;  // Served requests only.
+  double max_latency_ms = 0.0;    // Served requests only.
+  int64_t total_candidate_layers = 0;  // Served requests only.
+  int64_t total_candidates = 0;        // Served requests only.
+  int64_t bytes_streamed = 0;          // All requests (failed ones still read).
   std::vector<double> latency_ring;
   size_t ring_next = 0;
 
@@ -102,29 +107,41 @@ struct ServiceStats {
   // percentile queries below.
   void Merge(const ServiceStats& other);
 
+  size_t served() const { return requests - shed - errors; }
+
+  // Mean client-observed latency over served requests.
   double MeanLatencyMs() const {
-    return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);
+    return served() == 0 ? 0.0 : total_latency_ms / static_cast<double>(served());
   }
 
-  // Latency percentile (p in [0, 100]) over the ring window; 0 when empty.
+  // Served-only latency percentile (p in [0, 100]) over the ring window; 0
+  // when empty.
   double LatencyPercentileMs(double p) const;
   double P50LatencyMs() const { return LatencyPercentileMs(50.0); }
   double P99LatencyMs() const { return LatencyPercentileMs(99.0); }
 
-  // Fraction of full-inference work actually executed (1.0 = no pruning win).
+  // Fraction of full-inference work actually executed on served requests
+  // (1.0 = no pruning win). Shed requests burned no layers and contribute
+  // to neither numerator nor denominator.
   double WorkFraction(size_t n_layers) const {
     const auto full = static_cast<double>(total_candidates) * static_cast<double>(n_layers);
     return full == 0.0 ? 0.0 : static_cast<double>(total_candidate_layers) / full;
   }
 };
 
-class RerankService {
+// RerankService is itself a Runner: any call site that drives a raw engine
+// (the application pipelines in src/apps/ foremost) can be pointed at a
+// service — and so at any scheduler — without changing the call site.
+// Unlike most Runner implementations, Rerank here is thread-safe.
+class RerankService : public Runner {
  public:
   RerankService(const ModelConfig& config, const std::string& checkpoint_path,
                 ServiceOptions options, MemoryTracker* tracker = &MemoryTracker::Global());
 
   // Thread-safe; blocks until the request has been served.
-  RerankResult Rerank(const RerankRequest& request);
+  RerankResult Rerank(const RerankRequest& request) override;
+
+  std::string name() const override { return "service:" + scheduler_->name(); }
 
   // Idle hook: runs one online-calibration cycle if enabled (no-op
   // otherwise). Returns the measured agreement or NaN. Thread-safe — the

@@ -115,6 +115,10 @@ ServicePool::ServicePool(std::vector<std::unique_ptr<RerankService>> replicas,
   admitted_ = std::make_unique<std::atomic<size_t>[]>(replicas_.size());
 }
 
+std::string ServicePool::name() const {
+  return "pool:" + balancer_->name() + "x" + std::to_string(replicas_.size());
+}
+
 RerankResult ServicePool::Rerank(const RerankRequest& request) {
   // Snapshot in-flight counts for the balancer; slightly stale is fine (the
   // point is a cheap wait-free read on the hot path).

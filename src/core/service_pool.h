@@ -68,7 +68,9 @@ struct PoolStats {
   std::vector<size_t> replica_inflight;   // In flight per replica, snapshot.
 };
 
-class ServicePool {
+// Like RerankService, the pool is a Runner, so an application pipeline can
+// be served by one replica or a whole pool through the same pointer.
+class ServicePool : public Runner {
  public:
   // Builds `pool_size` replicas of (config, checkpoint, options.service).
   ServicePool(const ModelConfig& config, const std::string& checkpoint_path,
@@ -78,7 +80,9 @@ class ServicePool {
   ServicePool(std::vector<std::unique_ptr<RerankService>> replicas, ServicePoolOptions options);
 
   // Thread-safe; routes to a replica and blocks until served (or shed).
-  RerankResult Rerank(const RerankRequest& request);
+  RerankResult Rerank(const RerankRequest& request) override;
+
+  std::string name() const override;
 
   size_t pool_size() const { return replicas_.size(); }
   const LoadBalancer& balancer() const { return *balancer_; }

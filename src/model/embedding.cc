@@ -77,10 +77,13 @@ void EmbeddingCache::Lookup(uint32_t token, std::span<float> dest) {
 }
 
 void EmbeddingCache::PrefetchTokens(const std::vector<uint32_t>& tokens) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Unique missing tokens.
+  // Snapshot the unique missing tokens under the lock, but perform the
+  // batched device read with it released: holding mu_ across the SSD wait
+  // would block every concurrent Lookup — hits included — for the whole
+  // read, the same lock discipline Lookup documents for its miss path.
   std::vector<uint32_t> missing;
   {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<uint32_t> unique(tokens);
     std::sort(unique.begin(), unique.end());
     unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
@@ -109,10 +112,18 @@ void EmbeddingCache::PrefetchTokens(const std::vector<uint32_t>& tokens) {
   }
   const Status status = reader_->ReadBlobRanges(EmbeddingBlobIndex(), ranges);
   PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  // The device read happened either way, so it counts as misses even for
+  // rows that lose the insert race below.
   stats_.misses += static_cast<int64_t>(missing.size());
   stats_.miss_bytes += static_cast<int64_t>(missing.size() * row_bytes);
   for (size_t i = 0; i < missing.size(); ++i) {
-    InsertRowLocked(missing[i], std::move(rows[i]));
+    // Re-check: a concurrent Lookup miss (or another prefetch) may have
+    // inserted the token while the lock was released. The competing row is
+    // bit-identical, so dropping ours is safe.
+    if (map_.find(missing[i]) == map_.end()) {
+      InsertRowLocked(missing[i], std::move(rows[i]));
+    }
   }
 }
 

@@ -1,0 +1,348 @@
+#include "src/serving/workload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/percentile.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/common/zipf.h"
+#include "src/data/dataset.h"
+
+namespace prism {
+
+namespace {
+
+// Captures per-request rerank status and admission wait without changing
+// the result the pipeline sees. One instance per ScenarioHarness::Run call,
+// so no synchronization is needed.
+class StatusProbe final : public Runner {
+ public:
+  explicit StatusProbe(Runner* inner) : inner_(inner) {}
+
+  RerankResult Rerank(const RerankRequest& request) override {
+    RerankResult result = inner_->Rerank(request);
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      shed_ = true;
+    } else if (!result.status.ok()) {
+      error_ = true;
+    }
+    queue_wait_ms_ = std::max(queue_wait_ms_, result.stats.queue_wait_ms);
+    return result;
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+  bool shed() const { return shed_; }
+  bool error() const { return error_; }
+  double queue_wait_ms() const { return queue_wait_ms_; }
+
+ private:
+  Runner* inner_;
+  bool shed_ = false;
+  bool error_ = false;
+  double queue_wait_ms_ = 0.0;
+};
+
+}  // namespace
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kFileSearch:
+      return "file_search";
+    case ScenarioKind::kRag:
+      return "rag";
+    case ScenarioKind::kAgentMemory:
+      return "agent_memory";
+    case ScenarioKind::kLcs:
+      return "lcs";
+  }
+  return "unknown";
+}
+
+ScenarioKind ScenarioKindByName(const std::string& name) {
+  for (ScenarioKind kind : AllScenarios()) {
+    if (name == ScenarioKindName(kind)) {
+      return kind;
+    }
+  }
+  PRISM_CHECK_MSG(false, ("unknown scenario: " + name).c_str());
+  return ScenarioKind::kFileSearch;
+}
+
+std::vector<ScenarioKind> AllScenarios() {
+  return {ScenarioKind::kFileSearch, ScenarioKind::kRag, ScenarioKind::kAgentMemory,
+          ScenarioKind::kLcs};
+}
+
+ScenarioHarness::ScenarioHarness(ScenarioKind kind, const ModelConfig& model,
+                                 ScenarioOptions options)
+    : kind_(kind), options_(options) {
+  PRISM_CHECK_GT(options_.n_queries, 0u);
+  switch (kind_) {
+    case ScenarioKind::kFileSearch: {
+      corpus_ = std::make_unique<SearchCorpus>(DatasetByName("wikipedia"), model,
+                                               options_.n_queries, options_.relevant_per_query,
+                                               options_.background_docs, options_.seed);
+      file_search_ = std::make_unique<FileSearchApp>(corpus_.get(), /*per_source=*/10,
+                                                     /*embed_dim=*/48, options_.seed);
+      n_queries_ = corpus_->queries().size();
+      break;
+    }
+    case ScenarioKind::kRag: {
+      corpus_ = std::make_unique<SearchCorpus>(DatasetByName("beir-nq"), model,
+                                               options_.n_queries, options_.relevant_per_query,
+                                               options_.background_docs, options_.seed);
+      RagOptions rag_options;
+      rag_options.k = options_.k;
+      rag_options.llm = options_.llm;
+      rag_ = std::make_unique<RagPipeline>(corpus_.get(), rag_options, options_.seed);
+      n_queries_ = corpus_->queries().size();
+      break;
+    }
+    case ScenarioKind::kAgentMemory: {
+      AgentWorkloadProfile profile = VideoWorkload();
+      profile.n_tasks = options_.n_queries;
+      profile.steps_per_task = options_.agent_steps_per_task;
+      profile.env_step_ms = options_.agent_env_step_ms;
+      profile.vlm_prompt_tokens = options_.agent_vlm_prompt_tokens;
+      profile.vlm_new_tokens = options_.agent_vlm_new_tokens;
+      agent_ = std::make_unique<AgentMemoryApp>(profile, model, options_.seed);
+      n_queries_ = agent_->n_tasks();
+      break;
+    }
+    case ScenarioKind::kLcs: {
+      LcsOptions lcs_options;
+      lcs_options.n_segments = options_.lcs_segments;
+      lcs_options.relevant_segments = options_.lcs_relevant;
+      lcs_options.k = options_.k;
+      lcs_options.llm = options_.llm;
+      lcs_ = std::make_unique<LcsApp>(lcs_options, model, options_.seed);
+      n_queries_ = options_.n_queries;
+      break;
+    }
+  }
+  PRISM_CHECK_GT(n_queries_, 0u);
+}
+
+ScenarioOutcome ScenarioHarness::Run(size_t query_idx, Runner* runner) const {
+  StatusProbe probe(runner);
+  const size_t q = query_idx % n_queries_;
+  ScenarioOutcome outcome;
+  switch (kind_) {
+    case ScenarioKind::kFileSearch: {
+      const FileSearchResult result = file_search_->Search(q, options_.k, &probe);
+      outcome.selection = result.top_docs;
+      outcome.quality = result.precision;
+      outcome.rerank_ms = result.rerank_ms;
+      break;
+    }
+    case ScenarioKind::kRag: {
+      const RagResult result = rag_->Query(q, &probe);
+      outcome.selection = result.context_docs;
+      outcome.quality = result.accuracy;
+      outcome.rerank_ms = result.rerank_ms;
+      break;
+    }
+    case ScenarioKind::kAgentMemory: {
+      const AgentTaskResult result = agent_->RunTask(q, &probe);
+      outcome.selection = result.picks;
+      outcome.quality = result.success ? 1.0 : 0.0;
+      outcome.rerank_ms = result.rerank_ms;
+      break;
+    }
+    case ScenarioKind::kLcs: {
+      const LcsResult result = lcs_->Answer(q, &probe);
+      outcome.selection = result.chosen;
+      outcome.quality = result.precision;
+      outcome.rerank_ms = result.rerank_ms;
+      break;
+    }
+  }
+  outcome.shed = probe.shed();
+  outcome.error = probe.error();
+  outcome.served = !probe.shed() && !probe.error();
+  outcome.queue_wait_ms = probe.queue_wait_ms();
+  return outcome;
+}
+
+RerankResult TaggingRunner::Rerank(const RerankRequest& request) {
+  RerankRequest tagged = request;
+  tagged.priority = priority_;
+  tagged.deadline_ms = deadline_ms_;
+  return inner_->Rerank(tagged);
+}
+
+std::vector<std::vector<size_t>> BaselineSelections(const ScenarioHarness& scenario,
+                                                    Runner* runner) {
+  std::vector<std::vector<size_t>> selections;
+  selections.reserve(scenario.n_queries());
+  for (size_t q = 0; q < scenario.n_queries(); ++q) {
+    ScenarioOutcome outcome = scenario.Run(q, runner);
+    PRISM_CHECK_MSG(outcome.served, "baseline request was not served");
+    selections.push_back(std::move(outcome.selection));
+  }
+  return selections;
+}
+
+WorkloadReport RunWorkload(const ScenarioHarness& scenario, Runner* runner,
+                           const WorkloadOptions& options,
+                           const std::vector<std::vector<size_t>>* baseline) {
+  PRISM_CHECK_GT(options.clients, 0u);
+  PRISM_CHECK_GT(options.requests, 0u);
+  if (baseline != nullptr) {
+    PRISM_CHECK_EQ(baseline->size(), scenario.n_queries());
+  }
+  using Clock = std::chrono::steady_clock;
+  const size_t total = options.warmup + options.requests;
+
+  struct Record {
+    size_t qid = 0;
+    bool served = false;
+    bool shed = false;
+    double latency_ms = 0.0;
+    double quality = 0.0;
+    double queue_wait_ms = 0.0;
+    std::vector<size_t> selection;
+  };
+  std::vector<Record> records(total);
+
+  // Open loop: one aggregate Poisson arrival process, scheduled up front so
+  // the timeline is deterministic in the seed (requests are claimed in
+  // arrival order through the shared counter below).
+  std::vector<double> arrival_ms;
+  if (options.arrival_hz > 0.0) {
+    arrival_ms.resize(total);
+    Rng rng(MixSeed(options.seed, 0xA221));
+    const double mean_gap_ms = 1000.0 / options.arrival_hz;
+    double t = 0.0;
+    for (size_t i = 0; i < total; ++i) {
+      // Inverse-CDF exponential; NextDouble is in [0, 1), so 1 - u > 0.
+      t += -mean_gap_ms * std::log(1.0 - rng.NextDouble());
+      arrival_ms[i] = t;
+    }
+  }
+
+  const ZipfSampler popularity(scenario.n_queries(), options.zipf_skew);
+  const size_t high_clients = static_cast<size_t>(
+      std::lround(options.high_fraction * static_cast<double>(options.clients)));
+
+  std::atomic<size_t> next{0};
+  const Clock::time_point start = Clock::now();
+  std::atomic<int64_t> measure_start_micros{options.warmup == 0 ? 0 : -1};
+
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(MixSeed(options.seed, 0xC11E47 + c));
+      const int priority = c < high_clients ? options.high_priority : 0;
+      TaggingRunner tagged(runner, priority, options.deadline_ms);
+      size_t i;
+      while ((i = next.fetch_add(1)) < total) {
+        Clock::time_point issue = Clock::now();
+        if (!arrival_ms.empty()) {
+          const Clock::time_point scheduled =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(arrival_ms[i]));
+          std::this_thread::sleep_until(scheduled);
+          // Open-loop latency runs from the *scheduled* arrival: time spent
+          // waiting for a free client thread is queueing delay, not a
+          // measurement artifact to hide.
+          issue = scheduled;
+        }
+        if (i == options.warmup) {
+          measure_start_micros.store(
+              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+                  .count(),
+              std::memory_order_relaxed);
+        }
+        Record& record = records[i];
+        record.qid = static_cast<size_t>(popularity.Sample(rng));
+        ScenarioOutcome outcome = scenario.Run(record.qid, &tagged);
+        record.latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - issue).count();
+        record.served = outcome.served;
+        record.shed = outcome.shed;
+        record.quality = outcome.quality;
+        record.queue_wait_ms = outcome.queue_wait_ms;
+        record.selection = std::move(outcome.selection);
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  const double wall_micros =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                                start)
+                              .count());
+
+  WorkloadReport report;
+  report.requests = options.requests;
+  report.selections.resize(scenario.n_queries());
+  std::vector<double> served_latencies;
+  served_latencies.reserve(options.requests);
+  double quality_sum = 0.0;
+  double queue_wait_sum = 0.0;
+  size_t within_slo = 0;
+  for (size_t i = options.warmup; i < total; ++i) {
+    const Record& record = records[i];
+    queue_wait_sum += record.queue_wait_ms;
+    if (record.shed) {
+      ++report.shed;
+      continue;
+    }
+    if (!record.served) {
+      ++report.errors;
+      continue;
+    }
+    ++report.served;
+    served_latencies.push_back(record.latency_ms);
+    report.max_ms = std::max(report.max_ms, record.latency_ms);
+    report.mean_ms += record.latency_ms;
+    quality_sum += record.quality;
+    if (options.slo_ms <= 0.0 || record.latency_ms <= options.slo_ms) {
+      ++within_slo;
+    }
+    // Mismatch check: against the supplied baseline when given, otherwise
+    // against the first served occurrence of the same query id.
+    const std::vector<size_t>* reference = nullptr;
+    if (baseline != nullptr) {
+      reference = &(*baseline)[record.qid];
+    } else if (!report.selections[record.qid].empty()) {
+      reference = &report.selections[record.qid];
+    }
+    if (reference != nullptr && record.selection != *reference) {
+      ++report.mismatches;
+    }
+    if (report.selections[record.qid].empty()) {
+      report.selections[record.qid] = record.selection;
+    }
+  }
+  const int64_t measure_start =
+      std::max<int64_t>(0, measure_start_micros.load(std::memory_order_relaxed));
+  report.wall_seconds = std::max(1e-9, (wall_micros - static_cast<double>(measure_start)) / 1e6);
+  report.requests_per_sec = static_cast<double>(options.requests) / report.wall_seconds;
+  report.served_per_sec = static_cast<double>(report.served) / report.wall_seconds;
+  report.shed_fraction =
+      static_cast<double>(report.shed) / static_cast<double>(options.requests);
+  report.mean_queue_wait_ms = queue_wait_sum / static_cast<double>(options.requests);
+  if (report.served > 0) {
+    report.mean_ms /= static_cast<double>(report.served);
+    report.mean_quality = quality_sum / static_cast<double>(report.served);
+    report.slo_attainment =
+        static_cast<double>(within_slo) / static_cast<double>(report.served);
+    std::sort(served_latencies.begin(), served_latencies.end());
+    report.p50_ms = PercentileOverSorted(served_latencies, 50.0);
+    report.p99_ms = PercentileOverSorted(served_latencies, 99.0);
+  }
+  return report;
+}
+
+}  // namespace prism

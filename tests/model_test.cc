@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <thread>
 
+#include "src/common/timer.h"
 #include "src/model/config.h"
 #include "src/model/embedding.h"
 #include "src/model/layer.h"
@@ -241,6 +243,53 @@ TEST(EmbeddingTest, ConcurrentLookupsMatchTableBitExactly) {
   const EmbeddingCacheStats stats = cache.stats();
   EXPECT_GT(stats.misses, 0);
   EXPECT_LE(cache.resident_rows(), 16u);
+}
+
+TEST(EmbeddingTest, LookupHitsProceedWhilePrefetchReadsDevice) {
+  // PrefetchTokens must not hold the cache mutex across its batched device
+  // read: a prefetch of many missing rows on a slow SSD takes hundreds of
+  // milliseconds, and concurrent Lookup *hits* — pure memory copies — must
+  // not wait behind it. (This is the regression test for the lock-holding
+  // bug: with the lock held across ReadBlobRanges, the hit below blocked
+  // for the whole device wait.)
+  const ModelConfig config = TestModel();
+  const std::string path = TestCheckpoint(config);
+  SsdConfig slow;
+  slow.throttle = true;
+  // 128 B rows at 16 KiB/s: a 48-row prefetch models ~375 ms of device
+  // time; a single warm-up row miss ~8 ms.
+  slow.bandwidth_bytes_per_sec = 16.0 * 1024;
+  slow.latency_micros = 200;
+  auto reader = BlobFileReader::Open(path, slow);
+  ASSERT_TRUE(reader.ok());
+  MemoryTracker tracker;
+  EmbeddingCache cache(config, reader.value().get(), 64, &tracker);
+  std::vector<float> buf(config.hidden);
+  cache.Lookup(7, buf);  // Warm one row (pays a single slow row read).
+
+  std::vector<uint32_t> missing;
+  for (uint32_t t = 100; t < 148; ++t) {
+    missing.push_back(t);
+  }
+  const WallTimer prefetch_timer;
+  std::thread prefetcher([&] { cache.PrefetchTokens(missing); });
+  // Land the hits inside the prefetch's device window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  double max_hit_ms = 0.0;
+  std::vector<float> hit(config.hidden);
+  for (int i = 0; i < 20; ++i) {
+    const WallTimer timer;
+    cache.Lookup(7, hit);
+    max_hit_ms = std::max(max_hit_ms, timer.ElapsedMillis());
+  }
+  EXPECT_EQ(hit, buf);
+  prefetcher.join();
+  const double prefetch_ms = prefetch_timer.ElapsedMillis();
+  // The prefetch spent its life on the device; the hits never touched it.
+  // Bound generous enough for TSan, still far below the device read.
+  EXPECT_GT(prefetch_ms, 200.0);
+  EXPECT_LT(max_hit_ms, 100.0);
+  EXPECT_EQ(cache.resident_rows(), 49u);  // 48 prefetched + the warm row.
 }
 
 TEST(PairEncoderTest, FixedLengthWithMarkers) {

@@ -579,5 +579,78 @@ TEST(ServiceStatsTest, RingEvictsOldestBeyondCapacity) {
   EXPECT_DOUBLE_EQ(stats.LatencyPercentileMs(0.0), 100.0);
 }
 
+// A runner that just sleeps: lets the shed tests hold a scheduler busy for
+// a known duration without an engine.
+class SleepyRunner : public BatchRunner {
+ public:
+  explicit SleepyRunner(double sleep_ms) : sleep_ms_(sleep_ms) {}
+
+  RerankResult Rerank(const RerankRequest& request) override {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sleep_ms_));
+    RerankResult result;
+    result.topk.resize(std::min(request.k, request.docs.size()));
+    return result;
+  }
+
+  std::vector<RerankResult> RerankBatch(std::span<const RerankRequest* const> requests,
+                                        ThreadPool* /*compute_pool*/) override {
+    std::vector<RerankResult> results;
+    results.reserve(requests.size());
+    for (const RerankRequest* request : requests) {
+      results.push_back(Rerank(*request));
+    }
+    return results;
+  }
+
+  std::string name() const override { return "sleepy"; }
+
+ private:
+  double sleep_ms_;
+};
+
+TEST(ShedQueueWaitTest, MakeShedResultCarriesQueueWait) {
+  // A shed request's entire life was queue wait; the result must say so.
+  const RerankResult shed = MakeShedResult(/*deadline_ms=*/5.0, /*waited_ms=*/7.5);
+  EXPECT_EQ(shed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(shed.stats.queue_wait_ms, 7.5);
+  EXPECT_DOUBLE_EQ(shed.stats.latency_ms, 7.5);
+}
+
+TEST(ShedQueueWaitTest, SerialSchedulerInlineShedCarriesWait) {
+  // The serial scheduler sheds inline, at mutex acquisition: a request with
+  // an (effectively) 0 ms deadline that queued behind a slow one must
+  // report the time it spent waiting, not 0.
+  SleepyRunner runner(80.0);
+  SerialScheduler scheduler(&runner);
+  RerankRequest slow;
+  std::thread holder([&] { scheduler.Submit(slow); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // Holder owns the mutex.
+  RerankRequest tight;
+  tight.deadline_ms = 0.01;
+  const RerankResult shed = scheduler.Submit(tight);
+  holder.join();
+  ASSERT_EQ(shed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(shed.stats.queue_wait_ms, 0.0);
+  // It waited at least the remainder of the holder's 80 ms pass.
+  EXPECT_GE(shed.stats.queue_wait_ms, 10.0);
+}
+
+TEST(ShedQueueWaitTest, RequestQueueShedCarriesWait) {
+  // Batch/carousel shed path: an expired entry answered by the queue's
+  // expiry sweep reports its full queue residence as queue wait.
+  SleepyRunner runner(80.0);
+  BatchScheduler scheduler(&runner, /*max_inflight=*/1, /*compute_threads=*/1);
+  RerankRequest slow;
+  std::thread first([&] { scheduler.Submit(slow); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // Dispatcher is busy.
+  RerankRequest tight;
+  tight.deadline_ms = 0.01;
+  const RerankResult shed = scheduler.Submit(tight);
+  first.join();
+  ASSERT_EQ(shed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(shed.stats.queue_wait_ms, 0.0);
+  EXPECT_DOUBLE_EQ(shed.stats.queue_wait_ms, shed.stats.latency_ms);
+}
+
 }  // namespace
 }  // namespace prism

@@ -153,6 +153,46 @@ TEST(OnlineCalibratorTest, LogIsBounded) {
   EXPECT_EQ(calibrator.pending_samples(), 4u);
 }
 
+TEST(ServiceStatsOverloadTest, ShedRequestsLeavePercentilesUntouched) {
+  // Shed requests turn around in ~0 ms. Before the overload-stats fix those
+  // near-zero latencies entered the ring and mean, so p50/p99/mean
+  // *improved* under overload — exactly when they should degrade. Served
+  // requests alone must define every latency aggregate.
+  ServiceStats stats;
+  RerankRequest request;
+  request.docs.resize(14);
+  RerankResult ok;
+  for (int i = 1; i <= 10; ++i) {
+    stats.Observe(request, ok, 100.0 * i);
+  }
+  const double p50_before = stats.P50LatencyMs();
+  const double p99_before = stats.P99LatencyMs();
+  const double mean_before = stats.MeanLatencyMs();
+  const double max_before = stats.max_latency_ms;
+  const int64_t candidates_before = stats.total_candidates;
+
+  // An overload burst: 100 shed requests answered in ~0 ms, plus one error.
+  for (int i = 0; i < 100; ++i) {
+    stats.Observe(request, MakeShedResult(/*deadline_ms=*/5.0, /*waited_ms=*/5.1), 0.01);
+  }
+  RerankResult failed;
+  failed.status = Status::IoError("injected");
+  stats.Observe(request, failed, 0.02);
+
+  EXPECT_EQ(stats.requests, 111u);
+  EXPECT_EQ(stats.shed, 100u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.served(), 10u);
+  EXPECT_DOUBLE_EQ(stats.P50LatencyMs(), p50_before);
+  EXPECT_DOUBLE_EQ(stats.P99LatencyMs(), p99_before);
+  EXPECT_DOUBLE_EQ(stats.MeanLatencyMs(), mean_before);
+  EXPECT_DOUBLE_EQ(stats.max_latency_ms, max_before);
+  EXPECT_EQ(stats.latency_ring.size(), 10u);
+  // Shed requests burned no engine work: WorkFraction's denominator must
+  // not grow either.
+  EXPECT_EQ(stats.total_candidates, candidates_before);
+}
+
 TEST(NdcgTest, PerfectAndReversedRankings) {
   const std::vector<float> grades = {1.0f, 0.5f, 0.2f, 0.0f};
   EXPECT_DOUBLE_EQ(NdcgAtK({0, 1, 2, 3}, grades, 4), 1.0);

@@ -1,0 +1,191 @@
+// The serving-workload layer: scenario harnesses over the app pipelines and
+// the multi-client driver. Load-bearing properties: (a) RerankService and
+// ServicePool are drop-in Runners for every app pipeline, (b) selections are
+// deterministic per query id no matter which scheduler/pool serves the
+// reranks or how many clients share the pipeline, and (c) the driver's
+// report accounts exactly for served/shed under deadlines. Also a
+// ThreadSanitizer target: many clients share one const pipeline and one
+// service.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/service_pool.h"
+#include "src/serving/workload.h"
+#include "tests/test_util.h"
+
+namespace prism {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TestModel();
+    ckpt_ = TestCheckpoint(config_);
+  }
+
+  ScenarioOptions FastScenario() const {
+    ScenarioOptions options;
+    options.n_queries = 4;
+    return options;
+  }
+
+  ServiceOptions FastService(SchedulerKind kind, size_t max_inflight) const {
+    ServiceOptions options;
+    options.engine.device = FastDevice();
+    options.scheduler = kind;
+    options.max_inflight = max_inflight;
+    options.compute_threads = 4;
+    return options;
+  }
+
+  ModelConfig config_;
+  std::string ckpt_;
+};
+
+TEST_F(WorkloadTest, HarnessSelectionsAreDeterministicPerQuery) {
+  MemoryTracker tracker;
+  PrismOptions eopts;
+  eopts.device = FastDevice();
+  PrismEngine engine(config_, ckpt_, eopts, &tracker);
+  for (ScenarioKind kind : AllScenarios()) {
+    const ScenarioHarness harness(kind, config_, FastScenario());
+    ASSERT_GT(harness.n_queries(), 0u) << ScenarioKindName(kind);
+    for (size_t q = 0; q < harness.n_queries(); ++q) {
+      const ScenarioOutcome a = harness.Run(q, &engine);
+      const ScenarioOutcome b = harness.Run(q, &engine);
+      EXPECT_TRUE(a.served);
+      EXPECT_FALSE(a.selection.empty()) << ScenarioKindName(kind);
+      EXPECT_EQ(a.selection, b.selection) << ScenarioKindName(kind) << " query " << q;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ServiceAndPoolAreDropInRunnersForEveryScenario) {
+  // The same pipeline, served by a raw engine, a batching service, and a
+  // two-replica pool: identical selections everywhere. This is the apps →
+  // Runner → service/pool layering the serving stack promises.
+  MemoryTracker tracker;
+  PrismOptions eopts;
+  eopts.device = FastDevice();
+  PrismEngine engine(config_, ckpt_, eopts, &tracker);
+  RerankService service(config_, ckpt_, FastService(SchedulerKind::kBatch, 3), &tracker);
+  ServicePoolOptions pool_options;
+  pool_options.service = FastService(SchedulerKind::kAuto, 2);
+  pool_options.pool_size = 2;
+  ServicePool pool(config_, ckpt_, pool_options, &tracker);
+  for (ScenarioKind kind : AllScenarios()) {
+    const ScenarioHarness harness(kind, config_, FastScenario());
+    const std::vector<std::vector<size_t>> baseline = BaselineSelections(harness, &engine);
+    for (size_t q = 0; q < harness.n_queries(); ++q) {
+      EXPECT_EQ(harness.Run(q, &service).selection, baseline[q])
+          << ScenarioKindName(kind) << " via " << service.name();
+      EXPECT_EQ(harness.Run(q, &pool).selection, baseline[q])
+          << ScenarioKindName(kind) << " via " << pool.name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ClosedLoopClientsMatchSerialBaseline) {
+  MemoryTracker tracker;
+  RerankService service(config_, ckpt_, FastService(SchedulerKind::kBatch, 4), &tracker);
+  const ScenarioHarness harness(ScenarioKind::kFileSearch, config_, FastScenario());
+  const std::vector<std::vector<size_t>> baseline = BaselineSelections(harness, &service);
+  WorkloadOptions options;
+  options.clients = 4;
+  options.requests = 16;
+  options.warmup = 4;
+  const WorkloadReport report = RunWorkload(harness, &service, options, &baseline);
+  EXPECT_EQ(report.requests, 16u);
+  EXPECT_EQ(report.served, 16u);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_GT(report.requests_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(report.served_per_sec, report.requests_per_sec);  // Nothing shed.
+  EXPECT_LE(report.p50_ms, report.p99_ms);
+  EXPECT_LE(report.p99_ms, report.max_ms);
+  EXPECT_GT(report.mean_quality, 0.0);
+  EXPECT_DOUBLE_EQ(report.slo_attainment, 1.0);  // No SLO set.
+  // Baseline (4 queries) + warmup + measured requests all hit the service.
+  EXPECT_EQ(service.stats().requests, 24u);
+}
+
+TEST_F(WorkloadTest, OpenLoopPoissonArrivalsServeAndMatch) {
+  MemoryTracker tracker;
+  RerankService service(config_, ckpt_, FastService(SchedulerKind::kCarousel, 3), &tracker);
+  const ScenarioHarness harness(ScenarioKind::kLcs, config_, FastScenario());
+  const std::vector<std::vector<size_t>> baseline = BaselineSelections(harness, &service);
+  WorkloadOptions options;
+  options.clients = 3;
+  options.requests = 9;
+  options.warmup = 3;
+  options.arrival_hz = 200.0;  // Brisk but sustainable on the fast device.
+  const WorkloadReport report = RunWorkload(harness, &service, options, &baseline);
+  EXPECT_EQ(report.served, 9u);
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_GT(report.p50_ms, 0.0);
+}
+
+TEST_F(WorkloadTest, DeadlinesShedUnderOverloadAndAreAccountedExactly) {
+  // Many clients, one serial replica, effectively-zero deadlines: most
+  // requests shed. The report and the service stats must agree, shed
+  // requests must carry their queue wait, and the served-only percentiles
+  // must stay self-consistent (no ~0 ms shed turnarounds pulling them
+  // down).
+  MemoryTracker tracker;
+  RerankService service(config_, ckpt_, FastService(SchedulerKind::kSerial, 1), &tracker);
+  const ScenarioHarness harness(ScenarioKind::kFileSearch, config_, FastScenario());
+  WorkloadOptions options;
+  options.clients = 6;
+  options.requests = 18;
+  options.warmup = 0;
+  options.deadline_ms = 0.01;
+  options.high_fraction = 0.5;
+  const WorkloadReport report = RunWorkload(harness, &service, options);
+  EXPECT_EQ(report.served + report.shed + report.errors, 18u);
+  EXPECT_GT(report.shed, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_GT(report.shed_fraction, 0.0);
+  // Shed turnarounds are not delivered throughput.
+  EXPECT_LT(report.served_per_sec, report.requests_per_sec);
+  // Shed requests carried their queue wait into the report.
+  EXPECT_GT(report.mean_queue_wait_ms, 0.0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 18u);
+  EXPECT_EQ(stats.shed, report.shed);
+  EXPECT_EQ(stats.served(), report.served);
+  // Served-only ring: one latency sample per served request, none ~0.
+  EXPECT_EQ(stats.latency_ring.size(), stats.served());
+  if (stats.served() > 0) {
+    EXPECT_GT(stats.LatencyPercentileMs(0.0), 0.5);
+  }
+}
+
+TEST_F(WorkloadTest, TaggingRunnerStampsPriorityAndDeadline) {
+  class CaptureRunner : public Runner {
+   public:
+    RerankResult Rerank(const RerankRequest& request) override {
+      priority = request.priority;
+      deadline_ms = request.deadline_ms;
+      RerankResult result;
+      result.topk.resize(std::min(request.k, request.docs.size()));
+      return result;
+    }
+    std::string name() const override { return "capture"; }
+    int priority = -1;
+    double deadline_ms = -1.0;
+  };
+  CaptureRunner capture;
+  TaggingRunner tagged(&capture, /*priority=*/2, /*deadline_ms=*/33.0);
+  RerankRequest request;
+  request.docs.resize(3);
+  request.k = 2;
+  tagged.Rerank(request);
+  EXPECT_EQ(capture.priority, 2);
+  EXPECT_DOUBLE_EQ(capture.deadline_ms, 33.0);
+}
+
+}  // namespace
+}  // namespace prism
