@@ -1,0 +1,337 @@
+#include "src/common/clock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace prism {
+namespace {
+
+// Thread-local record of which SimClocks this thread has Join()ed. A plain
+// pointer suffices: a thread participates in at most one simulation at a
+// time in practice, but nesting Join()s on distinct clocks is tolerated by
+// keeping a small stack.
+thread_local std::vector<const SimClock*> tls_memberships;
+
+bool ThisThreadJoined(const SimClock* clock) {
+  for (const SimClock* member : tls_memberships) {
+    if (member == clock) return true;
+  }
+  return false;
+}
+
+// The wall-clock condition variable: std::condition_variable over the
+// caller's mutex, time read through the shared epoch.
+class WallCondVar : public ClockCondVar {
+ public:
+  explicit WallCondVar(const std::chrono::steady_clock::time_point epoch) : epoch_(epoch) {}
+
+  void Wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred) override {
+    cv_.wait(lock, pred);
+  }
+
+  bool WaitUntil(std::unique_lock<std::mutex>& lock, double deadline_ms,
+                 const std::function<bool()>& pred) override {
+    const auto deadline =
+        epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(deadline_ms));
+    return cv_.wait_until(lock, deadline, pred);
+  }
+
+  void NotifyOne() override { cv_.notify_one(); }
+  void NotifyAll() override { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WallClock
+
+double WallClock::NowMs() {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void WallClock::SleepUntil(double wake_ms) {
+  const auto wake = epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::milli>(wake_ms));
+  std::this_thread::sleep_until(wake);
+}
+
+std::unique_ptr<ClockCondVar> WallClock::MakeCondVar() {
+  return std::make_unique<WallCondVar>(epoch_);
+}
+
+WallClock& WallClock::Get() {
+  static WallClock* instance = new WallClock();
+  return *instance;
+}
+
+// ---------------------------------------------------------------------------
+// SimCondVar
+
+// Waiters enroll in the clock's central table while holding BOTH the user's
+// lock and the clock's mutex (acquired in that order everywhere), so a
+// notify that happens after the user lock is released but before the waiter
+// parks still finds the enrolled entry — no missed wakeups.
+class SimCondVar : public ClockCondVar {
+ public:
+  explicit SimCondVar(SimClock* clock) : clock_(clock) {}
+
+  void Wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred) override {
+    while (!pred()) {
+      WaitOnce(lock, SimClock::kNever);
+    }
+  }
+
+  bool WaitUntil(std::unique_lock<std::mutex>& lock, double deadline_ms,
+                 const std::function<bool()>& pred) override {
+    while (!pred()) {
+      {
+        std::unique_lock<std::mutex> clock_lock(clock_->mu_);
+        if (clock_->now_ms_ >= deadline_ms) {
+          clock_lock.unlock();
+          return pred();
+        }
+      }
+      WaitOnce(lock, deadline_ms);
+    }
+    return true;
+  }
+
+  void NotifyOne() override {
+    std::unique_lock<std::mutex> clock_lock(clock_->mu_);
+    // Deterministic: resume the longest-enrolled non-woken waiter of this cv.
+    SimClock::Waiter* chosen = nullptr;
+    for (SimClock::Waiter* waiter : clock_->waiters_) {
+      if (waiter->cv_tag == this && !waiter->wake &&
+          (chosen == nullptr || waiter->seq < chosen->seq)) {
+        chosen = waiter;
+      }
+    }
+    if (chosen != nullptr) {
+      chosen->wake = true;
+      clock_->cv_.notify_all();
+    }
+  }
+
+  void NotifyAll() override {
+    std::unique_lock<std::mutex> clock_lock(clock_->mu_);
+    bool any = false;
+    for (SimClock::Waiter* waiter : clock_->waiters_) {
+      if (waiter->cv_tag == this && !waiter->wake) {
+        waiter->wake = true;
+        any = true;
+      }
+    }
+    if (any) {
+      clock_->cv_.notify_all();
+    }
+  }
+
+ private:
+  // One enrollment/park/deenroll round trip. Returns after a notify or once
+  // virtual time reaches `deadline_ms`. The user's `lock` is released while
+  // parked and re-acquired before returning (standard cv contract).
+  void WaitOnce(std::unique_lock<std::mutex>& lock, double deadline_ms) {
+    SimClock::Waiter waiter;
+    waiter.wake_ms = deadline_ms;
+    waiter.cv_tag = this;
+    {
+      // User lock still held here — enrollment is atomic w.r.t. notifies.
+      std::unique_lock<std::mutex> clock_lock(clock_->mu_);
+      clock_->EnrollLocked(&waiter);
+      lock.unlock();
+      clock_->BlockLocked(clock_lock, &waiter);
+      clock_->DeenrollLocked(&waiter);
+    }
+    lock.lock();
+  }
+
+  SimClock* clock_;
+};
+
+// ---------------------------------------------------------------------------
+// SimClock
+
+SimClock::~SimClock() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(waiters_.empty() && "SimClock destroyed with threads still blocked on it");
+}
+
+double SimClock::NowMs() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return now_ms_;
+}
+
+void SimClock::SleepUntil(double wake_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (now_ms_ >= wake_ms) return;
+  Waiter waiter;
+  waiter.wake_ms = wake_ms;
+  EnrollLocked(&waiter);
+  BlockLocked(lock, &waiter);
+  DeenrollLocked(&waiter);
+}
+
+std::unique_ptr<ClockCondVar> SimClock::MakeCondVar() {
+  return std::make_unique<SimCondVar>(this);
+}
+
+void SimClock::Join() {
+  std::unique_lock<std::mutex> lock(mu_);
+  tls_memberships.push_back(this);
+  ++participants_;
+  if (reserved_ > 0) {
+    --reserved_;
+    // The last expected participant has arrived; the others (necessarily
+    // blocked for time to have been frozen this long) may now be quiescent.
+    if (reserved_ == 0) {
+      MaybeAdvanceLocked();
+    }
+  }
+}
+
+void SimClock::Leave() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (size_t i = tls_memberships.size(); i-- > 0;) {
+    if (tls_memberships[i] == this) {
+      tls_memberships.erase(tls_memberships.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  assert(participants_ > 0);
+  --participants_;
+  // One fewer runnable thread: the rest may now be quiescent.
+  MaybeAdvanceLocked();
+}
+
+void SimClock::ExpectParticipants(size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  reserved_ += n;
+}
+
+void SimClock::YieldUntilQuiescent() {
+  // A zero-length virtual sleep: tag == now, so the advance that wakes it
+  // never moves time — it just waits for every other participant to block.
+  std::unique_lock<std::mutex> lock(mu_);
+  Waiter waiter;
+  waiter.wake_ms = now_ms_;
+  EnrollLocked(&waiter);
+  BlockLocked(lock, &waiter);
+  DeenrollLocked(&waiter);
+}
+
+void SimClock::PreWake() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++pending_wakeups_;
+}
+
+void SimClock::BeginExternalWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Only participants count toward the quiescence gate — a non-participant
+  // in an external wait must not loosen it (it never gated advance anyway).
+  if (ThisThreadJoined(this)) {
+    ++external_;
+    // The caller is about to block outside the clock's view; the remaining
+    // participants may now be quiescent.
+    MaybeAdvanceLocked();
+  }
+}
+
+void SimClock::EndExternalWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (ThisThreadJoined(this)) {
+    assert(external_ > 0);
+    --external_;
+  }
+  // Consume the PreWake token that released this wait. Tokens gate advance:
+  // between set_value and here the woken thread is invisible (neither
+  // enrolled nor external), and the token is what keeps time frozen for it.
+  if (pending_wakeups_ > 0) {
+    --pending_wakeups_;
+  }
+}
+
+size_t SimClock::participants() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return participants_;
+}
+
+uint64_t SimClock::advances() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return advances_;
+}
+
+void SimClock::EnrollLocked(Waiter* waiter) {
+  waiter->seq = next_seq_++;
+  waiter->participant = ThisThreadJoined(this);
+  waiters_.push_back(waiter);
+  // This thread just went from runnable to blocked: check for quiescence.
+  MaybeAdvanceLocked();
+}
+
+void SimClock::DeenrollLocked(Waiter* waiter) {
+  for (size_t i = 0; i < waiters_.size(); ++i) {
+    if (waiters_[i] == waiter) {
+      waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void SimClock::MaybeAdvanceLocked() {
+  // Quiescence: every participant is accounted for — enrolled as a waiter or
+  // parked in an external wait — and no cross-thread wake is in flight.
+  // (Threads that never Join()ed, e.g. a test's main thread doing a serial
+  // virtual sleep, don't gate advance but their tags DO schedule it.)
+  size_t blocked_participants = 0;
+  for (const Waiter* waiter : waiters_) {
+    if (waiter->participant && !waiter->wake) {
+      ++blocked_participants;
+    }
+  }
+  if (reserved_ > 0 || blocked_participants + external_ < participants_ ||
+      pending_wakeups_ > 0) {
+    return;
+  }
+  // Earliest scheduled tag over ALL non-woken waiters, participant or not.
+  double min_tag = kNever;
+  for (const Waiter* waiter : waiters_) {
+    if (!waiter->wake) {
+      min_tag = std::min(min_tag, waiter->wake_ms);
+    }
+  }
+  if (min_tag == kNever) {
+    return;  // Nothing scheduled: either idle or a real deadlock upstream.
+  }
+  now_ms_ = std::max(now_ms_, min_tag);
+  ++advances_;
+  bool woke_any = false;
+  for (Waiter* waiter : waiters_) {
+    if (!waiter->wake && waiter->wake_ms <= now_ms_) {
+      waiter->wake = true;
+      woke_any = true;
+    }
+  }
+  if (woke_any) {
+    cv_.notify_all();
+  }
+}
+
+void SimClock::BlockLocked(std::unique_lock<std::mutex>& lock, Waiter* waiter) {
+  while (!waiter->wake) {
+    cv_.wait(lock);
+    // A wake may have landed for someone else, or state changed (Leave,
+    // BeginExternalWait, new enrollment); re-evaluate advance each round.
+    if (!waiter->wake) {
+      MaybeAdvanceLocked();
+    }
+  }
+}
+
+}  // namespace prism

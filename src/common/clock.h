@@ -1,0 +1,229 @@
+// The clock seam: every timing-sensitive layer of the serving stack (queue
+// deadlines, scheduler waits, linger windows, workload arrival schedules,
+// latency observation) reads time and blocks through this interface instead
+// of touching std::chrono directly.
+//
+// Two implementations:
+//
+//   WallClock — the default; a thin veneer over std::steady_clock and
+//               std::condition_variable. Behaviour is identical to the
+//               pre-seam code: callers that never pass a Clock* see no
+//               change at all.
+//   SimClock  — a discrete-event virtual clock. Threads that participate in
+//               the simulation register themselves (Join/Leave); whenever
+//               every participant is blocked — sleeping until a virtual
+//               instant, waiting on a ClockCondVar, or parked in an
+//               "external" wait for a result another participant will
+//               produce — the clock advances virtual time to the earliest
+//               scheduled wake tag and resumes exactly the waiters whose
+//               tags arrived. Nothing ever waits on the host clock, so a
+//               workload that takes minutes of wall time replays in
+//               milliseconds, and because time only moves at quiescence the
+//               event order (arrivals, deadline expiries, linger timeouts)
+//               is a pure function of the scheduled tags — deterministic
+//               regardless of host speed or core count. Grounded in the
+//               strongly-consistent discrete-event systems construction
+//               (Donovan et al., PAPERS.md): components advance a shared
+//               virtual clock via tagged events.
+//
+// What is and isn't virtualized: only *waiting* consumes virtual time.
+// Real compute (an engine pass, a thread-pool fan-out, the simulated SSD's
+// throttle sleeps) runs at wall speed while virtual time stands still —
+// participants executing code are "runnable", and the clock never advances
+// past a runnable thread. A simulation that wants service time to pass must
+// charge it explicitly through SleepFor (see SimulatedRunner in
+// src/runtime/sim_runner.h).
+#ifndef PRISM_SRC_COMMON_CLOCK_H_
+#define PRISM_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace prism {
+
+// A condition variable bound to a Clock: Wait/WaitUntil release the caller's
+// lock and block through the clock's notion of time, so a SimClock can both
+// account the waiter as blocked and expire its deadline at an exact virtual
+// instant. Notify semantics match std::condition_variable (NotifyOne on a
+// SimClock wakes the longest-enrolled waiter, making wake order
+// deterministic).
+class ClockCondVar {
+ public:
+  virtual ~ClockCondVar() = default;
+
+  // Blocks until `pred()` holds (re-checked under `lock` after every wake).
+  virtual void Wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred) = 0;
+
+  // Blocks until `pred()` holds or the clock reads `deadline_ms`; returns
+  // the final `pred()`. A deadline at or before the current instant checks
+  // the predicate once without blocking.
+  virtual bool WaitUntil(std::unique_lock<std::mutex>& lock, double deadline_ms,
+                         const std::function<bool()>& pred) = 0;
+
+  virtual void NotifyOne() = 0;
+  virtual void NotifyAll() = 0;
+};
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Milliseconds since the clock's epoch (process start for the wall clock,
+  // 0.0 for a fresh SimClock). Monotonic.
+  virtual double NowMs() = 0;
+
+  // Blocks until NowMs() >= wake_ms (no-op if already past).
+  virtual void SleepUntil(double wake_ms) = 0;
+  void SleepFor(double ms) { SleepUntil(NowMs() + ms); }
+
+  virtual std::unique_ptr<ClockCondVar> MakeCondVar() = 0;
+
+  // --- Discrete-event participation (all no-ops on the wall clock). ------
+
+  // Registers / unregisters the calling thread as a simulation participant.
+  // Virtual time advances only when every registered participant is blocked.
+  virtual void Join() {}
+  virtual void Leave() {}
+
+  // Reserves `n` future participants: a spawner calls this BEFORE starting
+  // participant threads, and each thread's Join() consumes one reservation.
+  // Advance is forbidden while reservations are outstanding — otherwise the
+  // first thread to start could block and advance the clock past tags the
+  // not-yet-registered threads were due to wake at (a host-scheduling race
+  // that would break determinism at every thread spawn).
+  virtual void ExpectParticipants(size_t n) { (void)n; }
+
+  // Blocks the caller (at zero virtual cost) until every other participant
+  // is blocked too — i.e. until the current virtual instant has fully played
+  // out. Dispatchers call this before draining a queue so that a batch
+  // always contains *every* request issued at the instant, independent of
+  // host thread interleaving.
+  virtual void YieldUntilQuiescent() {}
+
+  // Wake handshake for promises fulfilled across threads: the fulfiller
+  // calls PreWake() immediately before promise.set_value, and the awaiting
+  // side brackets future.get() with Begin/EndExternalWait (see AwaitFuture).
+  // The SimClock refuses to advance while any such wake is in flight, so a
+  // woken thread always resumes at the exact virtual instant its result was
+  // produced.
+  virtual void PreWake() {}
+  virtual void BeginExternalWait() {}
+  virtual void EndExternalWait() {}
+};
+
+// RAII participant registration.
+class ClockMembership {
+ public:
+  explicit ClockMembership(Clock* clock) : clock_(clock) { clock_->Join(); }
+  ~ClockMembership() { clock_->Leave(); }
+  ClockMembership(const ClockMembership&) = delete;
+  ClockMembership& operator=(const ClockMembership&) = delete;
+
+ private:
+  Clock* clock_;
+};
+
+// Blocks on a future through the clock's external-wait protocol. The
+// fulfilling side must call clock->PreWake() right before set_value.
+template <typename T>
+T AwaitFuture(Clock* clock, std::future<T> future) {
+  clock->BeginExternalWait();
+  T value = future.get();
+  clock->EndExternalWait();
+  return value;
+}
+
+// Monotonic wall time; the process-wide default. Get() hands out one shared
+// instance so every layer that defaults its Clock* sees the same epoch.
+class WallClock : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double NowMs() override;
+  void SleepUntil(double wake_ms) override;
+  std::unique_ptr<ClockCondVar> MakeCondVar() override;
+
+  static WallClock& Get();
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+// nullptr -> the shared wall clock; anything else passes through. Every
+// Clock* option in the stack defaults to nullptr, so existing callers keep
+// wall-clock behaviour without naming a clock.
+inline Clock* ResolveClock(Clock* clock) {
+  return clock != nullptr ? clock : &WallClock::Get();
+}
+
+// The discrete-event virtual clock (see file comment). All state lives under
+// one mutex; waiters park on one central condition variable and are resumed
+// by notifies or by virtual-time advances. Thread-safe throughout.
+class SimClock : public Clock {
+ public:
+  SimClock() = default;
+  ~SimClock() override;
+
+  double NowMs() override;
+  void SleepUntil(double wake_ms) override;
+  std::unique_ptr<ClockCondVar> MakeCondVar() override;
+
+  void Join() override;
+  void Leave() override;
+  void ExpectParticipants(size_t n) override;
+  void YieldUntilQuiescent() override;
+  void PreWake() override;
+  void BeginExternalWait() override;
+  void EndExternalWait() override;
+
+  // Introspection (tests, assertions).
+  size_t participants() const;
+  // Virtual-time advances performed so far.
+  uint64_t advances() const;
+
+ private:
+  friend class SimCondVar;
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  struct Waiter {
+    double wake_ms = kNever;   // Virtual instant at which to resume (inf = untimed).
+    bool wake = false;         // Set by a notify or an expired tag.
+    bool participant = false;  // Enrolling thread had Join()ed this clock.
+    uint64_t seq = 0;          // Enrollment order; NotifyOne resumes lowest.
+    const void* cv_tag = nullptr;  // Owning SimCondVar (null for sleepers).
+  };
+
+  // All Locked helpers require mu_ held.
+  void EnrollLocked(Waiter* waiter);
+  void DeenrollLocked(Waiter* waiter);
+  // Advances virtual time iff every participant is blocked (or in an
+  // external wait), no cross-thread wake is in flight, and some waiter has a
+  // finite tag. Wakes every waiter whose tag has arrived.
+  void MaybeAdvanceLocked();
+  // Parks the caller until its waiter is woken. `mu_` must be held on entry
+  // and is held again on return.
+  void BlockLocked(std::unique_lock<std::mutex>& lock, Waiter* waiter);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // Central: every waiter parks here.
+  double now_ms_ = 0.0;
+  size_t participants_ = 0;
+  size_t reserved_ = 0;         // Announced participants not yet Join()ed.
+  size_t external_ = 0;         // Participants inside Begin/EndExternalWait.
+  size_t pending_wakeups_ = 0;  // PreWake handshakes not yet consumed.
+  uint64_t next_seq_ = 0;
+  uint64_t advances_ = 0;
+  std::vector<Waiter*> waiters_;
+};
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_CLOCK_H_

@@ -4,18 +4,8 @@
 #include <utility>
 
 #include "src/common/check.h"
-#include "src/common/timer.h"
 
 namespace prism {
-
-namespace {
-
-RequestQueue::Clock::duration MillisToDuration(double ms) {
-  return std::chrono::duration_cast<RequestQueue::Clock::duration>(
-      std::chrono::duration<double, std::milli>(ms));
-}
-
-}  // namespace
 
 RerankResult MakeShedResult(double deadline_ms, double waited_ms) {
   RerankResult result;
@@ -25,23 +15,32 @@ RerankResult MakeShedResult(double deadline_ms, double waited_ms) {
   result.stats.latency_ms = waited_ms;
   // A shed request's entire life was queue wait — it never reached an
   // engine. All three schedulers shed through here (SerialScheduler's
-  // inline mutex path and the RequestQueue expiry path alike), so the
+  // inline acquisition path and the RequestQueue expiry path alike), so the
   // admission-latency accounting stays exact under overload.
   result.stats.queue_wait_ms = waited_ms;
   return result;
 }
 
 RerankResult SerialScheduler::Submit(const RerankRequest& request) {
-  const WallTimer waited;
-  std::lock_guard<std::mutex> lock(mu_);
-  // The budget covers time spent queueing on the mutex: if it ran out while
-  // other requests held the runner, answer cheaply instead of running.
-  const double waited_ms = waited.ElapsedMillis();
+  const double arrived_ms = clock_->NowMs();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_->Wait(lock, [this] { return !busy_; });
+  // The budget covers time spent queueing for the runner: if it ran out
+  // while other requests held it, answer cheaply instead of running.
+  const double waited_ms = clock_->NowMs() - arrived_ms;
   if (request.deadline_ms > 0.0 && waited_ms >= request.deadline_ms) {
+    lock.unlock();
+    cv_->NotifyOne();  // Hand the turn we were woken for to the next waiter.
     return MakeShedResult(request.deadline_ms, waited_ms);
   }
+  busy_ = true;
+  lock.unlock();
   RerankResult result = runner_->Rerank(request);
   result.stats.queue_wait_ms = waited_ms;
+  lock.lock();
+  busy_ = false;
+  lock.unlock();
+  cv_->NotifyOne();
   return result;
 }
 
@@ -59,10 +58,10 @@ std::future<RerankResult> RequestQueue::Push(const RerankRequest& request,
     // entry can never observe an admission event that already drained the
     // queue before it was inserted.
     pending.tag = epoch != nullptr ? epoch->load(std::memory_order_relaxed) : 0;
-    pending.admitted = Clock::now();
+    pending.admitted_ms = clock_->NowMs();
     if (request.deadline_ms > 0.0) {
       pending.has_deadline = true;
-      pending.deadline = pending.admitted + MillisToDuration(request.deadline_ms);
+      pending.deadline_at_ms = pending.admitted_ms + request.deadline_ms;
     }
     future = pending.promise.get_future();
     // Insert before the first strictly-lower-priority entry, scanning from
@@ -74,16 +73,16 @@ std::future<RerankResult> RequestQueue::Push(const RerankRequest& request,
     }
     queue_.insert(pos, std::move(pending));
   }
-  cv_.notify_one();
+  cv_->NotifyOne();
   return future;
 }
 
 void RequestQueue::ShedExpiredLocked(std::vector<Pending>* shed) {
   // Shed every expired entry — wherever it sits in the order; a
   // low-priority request can expire behind higher classes.
-  const Clock::time_point now = Clock::now();
+  const double now_ms = clock_->NowMs();
   for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->ExpiredAt(now)) {
+    if (it->ExpiredAt(now_ms)) {
       shed->push_back(std::move(*it));
       it = queue_.erase(it);
       ++shed_;
@@ -119,8 +118,8 @@ void BumpEpochLocked(std::atomic<uint64_t>* epoch, const std::vector<RequestQueu
 void RequestQueue::AnswerShed(std::vector<Pending> shed) {
   // Fulfil shed promises outside the lock (set_value wakes the caller).
   for (Pending& pending : shed) {
-    const double waited_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - pending.admitted).count();
+    const double waited_ms = clock_->NowMs() - pending.admitted_ms;
+    clock_->PreWake();
     pending.promise.set_value(MakeShedResult(pending.request->deadline_ms, waited_ms));
   }
 }
@@ -129,11 +128,18 @@ std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch,
                                                           std::atomic<uint64_t>* epoch) {
   PRISM_CHECK_GT(max_batch, 0u);
   for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_->Wait(lock, [this] { return closed_ || !queue_.empty(); });
+    }
+    // Let every producer active at this instant land its push before the
+    // drain (a no-op on the wall clock): batch composition becomes a pure
+    // function of the virtual arrival schedule, not host thread timing.
+    clock_->YieldUntilQuiescent();
     std::vector<Pending> shed;
     std::vector<Pending> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
       ShedExpiredLocked(&shed);
       batch = TakeLocked(max_batch);
       BumpEpochLocked(epoch, batch);
@@ -151,6 +157,9 @@ std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch,
 
 std::vector<RequestQueue::Pending> RequestQueue::TryPopBatch(size_t max_batch,
                                                              std::atomic<uint64_t>* epoch) {
+  // Same quiescence yield as PopBatch: a carousel boundary admits every
+  // request issued by this virtual instant, deterministically.
+  clock_->YieldUntilQuiescent();
   std::vector<Pending> shed;
   std::vector<Pending> batch;
   {
@@ -163,19 +172,24 @@ std::vector<RequestQueue::Pending> RequestQueue::TryPopBatch(size_t max_batch,
   return batch;
 }
 
-std::vector<RequestQueue::Pending> RequestQueue::PopBatchFor(size_t max_batch,
-                                                             std::chrono::milliseconds timeout,
+std::vector<RequestQueue::Pending> RequestQueue::PopBatchFor(size_t max_batch, double timeout_ms,
                                                              std::atomic<uint64_t>* epoch) {
   PRISM_CHECK_GT(max_batch, 0u);
-  const Clock::time_point give_up = Clock::now() + timeout;
+  const double give_up_ms = clock_->NowMs() + timeout_ms;
   for (;;) {
-    std::vector<Pending> shed;
-    std::vector<Pending> batch;
     bool timed_out = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       timed_out =
-          !cv_.wait_until(lock, give_up, [this] { return closed_ || !queue_.empty(); });
+          !cv_->WaitUntil(lock, give_up_ms, [this] { return closed_ || !queue_.empty(); });
+    }
+    if (!timed_out) {
+      clock_->YieldUntilQuiescent();
+    }
+    std::vector<Pending> shed;
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
       ShedExpiredLocked(&shed);
       batch = TakeLocked(max_batch);
       BumpEpochLocked(epoch, batch);
@@ -184,7 +198,7 @@ std::vector<RequestQueue::Pending> RequestQueue::PopBatchFor(size_t max_batch,
     if (!batch.empty() || timed_out) {
       return batch;
     }
-    if (Clock::now() >= give_up) {
+    if (clock_->NowMs() >= give_up_ms) {
       return {};
     }
     // Woken by Close or everything shed; retry within the window.
@@ -200,7 +214,7 @@ void RequestQueue::Close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_->NotifyAll();
 }
 
 size_t RequestQueue::size() const {
@@ -213,8 +227,9 @@ size_t RequestQueue::shed_count() const {
   return shed_;
 }
 
-BatchScheduler::BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads)
-    : runner_(runner), max_inflight_(max_inflight) {
+BatchScheduler::BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads,
+                               Clock* clock)
+    : runner_(runner), max_inflight_(max_inflight), clock_(ResolveClock(clock)), queue_(clock) {
   PRISM_CHECK_GT(max_inflight_, 0u);
   if (compute_threads == 0) {
     // At least one thread per batch slot: requests spend much of their layer
@@ -223,6 +238,9 @@ BatchScheduler::BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t 
     compute_threads = std::max<size_t>(std::thread::hardware_concurrency(), max_inflight_);
   }
   compute_pool_ = std::make_unique<ThreadPool>(compute_threads);
+  // Announce the dispatcher before it exists: a SimClock must not advance
+  // past tags scheduled "now" while the dispatcher thread is still starting.
+  clock_->ExpectParticipants(1);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -232,16 +250,19 @@ BatchScheduler::~BatchScheduler() {
 }
 
 RerankResult BatchScheduler::Submit(const RerankRequest& request) {
-  return queue_.Push(request).get();
+  return AwaitFuture(clock_, queue_.Push(request));
 }
 
 void BatchScheduler::DispatchLoop() {
+  // The dispatcher is a simulation participant: while it is runnable —
+  // draining the queue, running a batch — virtual time stands still.
+  const ClockMembership membership(clock_);
   for (;;) {
     std::vector<RequestQueue::Pending> batch = queue_.PopBatch(max_inflight_);
     if (batch.empty()) {
       return;  // Closed and drained.
     }
-    const RequestQueue::Clock::time_point dispatched = RequestQueue::Clock::now();
+    const double dispatched_ms = clock_->NowMs();
     std::vector<const RerankRequest*> requests;
     requests.reserve(batch.size());
     for (const RequestQueue::Pending& pending : batch) {
@@ -250,16 +271,20 @@ void BatchScheduler::DispatchLoop() {
     std::vector<RerankResult> results = runner_->RerankBatch(requests, compute_pool_.get());
     PRISM_CHECK_EQ(results.size(), batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
-      results[i].stats.queue_wait_ms =
-          std::chrono::duration<double, std::milli>(dispatched - batch[i].admitted).count();
+      results[i].stats.queue_wait_ms = dispatched_ms - batch[i].admitted_ms;
+      clock_->PreWake();
       batch[i].promise.set_value(std::move(results[i]));
     }
   }
 }
 
 CarouselScheduler::CarouselScheduler(BatchRunner* runner, size_t max_inflight,
-                                     size_t compute_threads, std::chrono::milliseconds linger)
-    : runner_(runner), max_inflight_(max_inflight), linger_(linger) {
+                                     size_t compute_threads, double linger_ms, Clock* clock)
+    : runner_(runner),
+      max_inflight_(max_inflight),
+      linger_ms_(std::max(0.0, linger_ms)),
+      clock_(ResolveClock(clock)),
+      queue_(clock) {
   PRISM_CHECK_GT(max_inflight_, 0u);
   // Fail fast, on the constructing thread, if the runner cannot serve
   // step-wise execution — not from the dispatcher at first traffic. The
@@ -272,6 +297,9 @@ CarouselScheduler::CarouselScheduler(BatchRunner* runner, size_t max_inflight,
     compute_threads = std::max<size_t>(std::thread::hardware_concurrency(), max_inflight_);
   }
   compute_pool_ = std::make_unique<ThreadPool>(compute_threads);
+  // Same startup handshake as BatchScheduler: reserve the dispatcher's
+  // simulation membership before the thread exists.
+  clock_->ExpectParticipants(1);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -284,7 +312,7 @@ RerankResult CarouselScheduler::Submit(const RerankRequest& request) {
   // The queue snapshots boundary_seq_ under its mutex, so the dispatcher
   // can report exactly how many admission events this request waited (its
   // admission latency in cycle units).
-  return queue_.Push(request, &boundary_seq_).get();
+  return AwaitFuture(clock_, queue_.Push(request, &boundary_seq_));
 }
 
 CarouselScheduler::Stats CarouselScheduler::stats() const {
@@ -302,7 +330,7 @@ void CarouselScheduler::AdmitBoundary(CarouselPass* pass,
   // the queue mutex; every entry's tag was snapshotted under that same
   // mutex, so the difference is an exact admission-event count.
   const uint64_t boundary = boundary_seq_.load(std::memory_order_relaxed);
-  const RequestQueue::Clock::time_point now = RequestQueue::Clock::now();
+  const double now_ms = clock_->NowMs();
   std::vector<const RerankRequest*> requests;
   requests.reserve(batch.size());
   for (const RequestQueue::Pending& pending : batch) {
@@ -316,8 +344,7 @@ void CarouselScheduler::AdmitBoundary(CarouselPass* pass,
   size_t max_wait = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     Resident resident;
-    resident.queue_wait_ms =
-        std::chrono::duration<double, std::milli>(now - batch[i].admitted).count();
+    resident.queue_wait_ms = now_ms - batch[i].admitted_ms;
     resident.ticket = std::move(tickets[i]);
     resident.promise = std::move(batch[i].promise);
     max_wait = std::max(max_wait, static_cast<size_t>(boundary - batch[i].tag));
@@ -329,6 +356,8 @@ void CarouselScheduler::AdmitBoundary(CarouselPass* pass,
 }
 
 void CarouselScheduler::DispatchLoop() {
+  // Participant for the same reason as BatchScheduler::DispatchLoop.
+  const ClockMembership membership(clock_);
   for (;;) {
     // Idle: block for traffic, then spin the carousel up for one busy
     // period. It keeps revolving as long as boundary admission finds work.
@@ -373,6 +402,7 @@ void CarouselScheduler::DispatchLoop() {
             std::lock_guard<std::mutex> lock(stats_mu_);
             ++stats_.exited_early;
           }
+          clock_->PreWake();
           it->promise.set_value(std::move(result));
           it = residents.erase(it);
         } else {
@@ -399,7 +429,7 @@ void CarouselScheduler::DispatchLoop() {
           // layer 0 already loading — before tearing the pass down; a
           // request arriving inside the window skips the cold start.
           std::vector<RequestQueue::Pending> stragglers =
-              queue_.PopBatchFor(max_inflight_, linger_, &boundary_seq_);
+              queue_.PopBatchFor(max_inflight_, linger_ms_, &boundary_seq_);
           if (stragglers.empty()) {
             break;  // Idle (or closed): end the busy period.
           }

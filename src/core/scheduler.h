@@ -3,10 +3,11 @@
 // A Scheduler decides how concurrent Rerank calls reach the engine:
 //
 //   SerialScheduler  — one request at a time through a Runner (the original
-//                      behaviour; callers queue on a mutex). Required when
-//                      the runner is stateful, e.g. the OnlineCalibrator.
-//                      Deadlines are honoured at dispatch: a request whose
-//                      budget expired while waiting on the mutex is shed.
+//                      behaviour; callers queue for a busy flag). Required
+//                      when the runner is stateful, e.g. the
+//                      OnlineCalibrator. Deadlines are honoured at dispatch:
+//                      a request whose budget expired while waiting its turn
+//                      is shed.
 //   BatchScheduler   — callers enqueue into a ticketed RequestQueue; a
 //                      dispatcher thread drains it, coalescing up to
 //                      `max_inflight` requests into one BatchRunner pass.
@@ -38,12 +39,17 @@
 // kDeadlineExceeded RerankResult instead of burning an engine pass — so an
 // overloaded service degrades by answering late requests cheaply rather
 // than queueing unboundedly.
+//
+// Every blocking wait and every timestamp in this file goes through the
+// Clock seam (src/common/clock.h). With the default wall clock nothing
+// changes; under a SimClock the queue's deadline expiry, the schedulers'
+// waits, and the carousel's linger window all run on deterministic virtual
+// time, and the dispatchers yield to quiescence before draining the queue so
+// batch composition is a pure function of the virtual arrival schedule.
 #ifndef PRISM_SRC_CORE_SCHEDULER_H_
 #define PRISM_SRC_CORE_SCHEDULER_H_
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -53,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/common/thread_pool.h"
 #include "src/runtime/runner.h"
 
@@ -75,17 +82,23 @@ class Scheduler {
 // queue wait.
 RerankResult MakeShedResult(double deadline_ms, double waited_ms);
 
-// Mutex-serialised pass-through to a Runner.
+// One-at-a-time pass-through to a Runner: callers queue on a busy flag
+// (clock-aware, so waiters are visible to a SimClock) and are dispatched
+// FIFO by arrival at the flag.
 class SerialScheduler : public Scheduler {
  public:
-  explicit SerialScheduler(Runner* runner) : runner_(runner) {}
+  explicit SerialScheduler(Runner* runner, Clock* clock = nullptr)
+      : runner_(runner), clock_(ResolveClock(clock)), cv_(clock_->MakeCondVar()) {}
 
   RerankResult Submit(const RerankRequest& request) override;
   std::string name() const override { return "serial"; }
 
  private:
   Runner* runner_;
+  Clock* clock_;
+  std::unique_ptr<ClockCondVar> cv_;
   std::mutex mu_;
+  bool busy_ = false;
 };
 
 // Ticketed priority-then-FIFO queue of pending requests. Pushes never block;
@@ -93,10 +106,12 @@ class SerialScheduler : public Scheduler {
 // queue is closed) and then drains up to `max_batch` entries in
 // (priority desc, ticket asc) order. Expired entries are shed inside
 // PopBatch: their promises are fulfilled with a kDeadlineExceeded result and
-// they never surface to the dispatcher.
+// they never surface to the dispatcher. All timestamps are clock
+// milliseconds; all waits go through the clock's condition variables.
 class RequestQueue {
  public:
-  using Clock = std::chrono::steady_clock;
+  explicit RequestQueue(Clock* clock = nullptr)
+      : clock_(ResolveClock(clock)), cv_(clock_->MakeCondVar()) {}
 
   struct Pending {
     const RerankRequest* request = nullptr;
@@ -109,12 +124,12 @@ class RequestQueue {
     // minus tag" counts admission events between enqueue and dispatch
     // race-free).
     uint64_t tag = 0;
-    Clock::time_point admitted;
-    // Absolute expiry; only meaningful when has_deadline.
-    Clock::time_point deadline;
+    double admitted_ms = 0.0;
+    // Absolute expiry instant (clock ms); only meaningful when has_deadline.
+    double deadline_at_ms = 0.0;
     bool has_deadline = false;
 
-    bool ExpiredAt(Clock::time_point now) const { return has_deadline && now >= deadline; }
+    bool ExpiredAt(double now_ms) const { return has_deadline && now_ms >= deadline_at_ms; }
   };
 
   // All pop variants share the epoch protocol: when `epoch` is non-null, a
@@ -128,15 +143,16 @@ class RequestQueue {
   std::vector<Pending> PopBatch(size_t max_batch, std::atomic<uint64_t>* epoch = nullptr);
 
   // Non-blocking PopBatch: sheds expired entries, then returns up to
-  // `max_batch` pending requests — possibly none. Never waits; used by the
-  // carousel to admit whatever is queued at a cycle boundary.
+  // `max_batch` pending requests — possibly none. Never waits on the queue
+  // (it does yield to clock quiescence first, a no-op on the wall clock);
+  // used by the carousel to admit whatever is queued at a cycle boundary.
   std::vector<Pending> TryPopBatch(size_t max_batch, std::atomic<uint64_t>* epoch = nullptr);
 
-  // PopBatch that gives up after `timeout`: returns an empty batch when no
-  // unexpired request arrived in time (or the queue closed). The carousel's
-  // linger window — a drained pass waits warm for the next arrival instead
-  // of tearing its prefetch pipeline down.
-  std::vector<Pending> PopBatchFor(size_t max_batch, std::chrono::milliseconds timeout,
+  // PopBatch that gives up after `timeout_ms`: returns an empty batch when
+  // no unexpired request arrived in time (or the queue closed). The
+  // carousel's linger window — a drained pass waits warm for the next
+  // arrival instead of tearing its prefetch pipeline down.
+  std::vector<Pending> PopBatchFor(size_t max_batch, double timeout_ms,
                                    std::atomic<uint64_t>* epoch = nullptr);
 
   // Wakes PopBatch; subsequent pushes are rejected (CHECK). Entries still
@@ -154,10 +170,11 @@ class RequestQueue {
   void ShedExpiredLocked(std::vector<Pending>* shed);
   std::vector<Pending> TakeLocked(size_t max_batch);
   // Fulfils shed promises (outside the lock).
-  static void AnswerShed(std::vector<Pending> shed);
+  void AnswerShed(std::vector<Pending> shed);
 
+  Clock* clock_;
+  std::unique_ptr<ClockCondVar> cv_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   // Kept sorted: priority descending, ticket ascending. Push inserts from
   // the back (new tickets sort last within their class), so the common
   // single-priority workload stays O(1).
@@ -170,7 +187,8 @@ class RequestQueue {
 class BatchScheduler : public Scheduler {
  public:
   // `compute_threads` sizes the per-request fan-out pool (0 = one per core).
-  BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads = 0);
+  BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads = 0,
+                 Clock* clock = nullptr);
   ~BatchScheduler() override;
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -186,6 +204,7 @@ class BatchScheduler : public Scheduler {
 
   BatchRunner* runner_;
   size_t max_inflight_;
+  Clock* clock_;
   RequestQueue queue_;
   std::unique_ptr<ThreadPool> compute_pool_;
   std::thread dispatcher_;
@@ -213,12 +232,12 @@ class CarouselScheduler : public Scheduler {
   };
 
   // `compute_threads` sizes the per-depth-group fan-out pool (0 = one per
-  // core, at least one per carousel slot). `linger` is how long a drained
+  // core, at least one per carousel slot). `linger_ms` is how long a drained
   // pass waits — prefetch pipeline warm, next cycle's first layers already
   // loading — for new traffic before tearing down; arrivals inside the
   // window start on warm weights instead of a cold streamer.
   CarouselScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads = 0,
-                    std::chrono::milliseconds linger = std::chrono::milliseconds(200));
+                    double linger_ms = 200.0, Clock* clock = nullptr);
   ~CarouselScheduler() override;
 
   CarouselScheduler(const CarouselScheduler&) = delete;
@@ -245,7 +264,8 @@ class CarouselScheduler : public Scheduler {
 
   BatchRunner* runner_;
   size_t max_inflight_;
-  std::chrono::milliseconds linger_;
+  double linger_ms_;
+  Clock* clock_;
   RequestQueue queue_;
   std::unique_ptr<ThreadPool> compute_pool_;
   // Admission events so far — bumped by the queue pops (inside the queue

@@ -4,7 +4,6 @@
 
 #include "src/common/check.h"
 #include "src/common/percentile.h"
-#include "src/common/timer.h"
 
 namespace prism {
 
@@ -75,7 +74,7 @@ SchedulerKind SchedulerKindByName(const std::string& name) {
 
 RerankService::RerankService(const ModelConfig& config, const std::string& checkpoint_path,
                              ServiceOptions options, MemoryTracker* tracker)
-    : config_(config) {
+    : config_(config), clock_(ResolveClock(options.clock)) {
   engine_ = std::make_unique<PrismEngine>(config, checkpoint_path, options.engine, tracker);
   SchedulerKind kind = options.scheduler;
   if (kind == SchedulerKind::kAuto) {
@@ -101,21 +100,27 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
   }
   BatchRunner* target =
       options.runner_override != nullptr ? options.runner_override : engine_.get();
+  if (options.sim.enabled) {
+    PRISM_CHECK_MSG(!options.online_calibration,
+                    "online calibration measures real engine timing; it cannot run through the "
+                    "simulated cost model");
+    sim_runner_ = std::make_unique<SimulatedRunner>(target, options.sim, config.n_layers, clock_);
+    target = sim_runner_.get();
+  }
   const size_t inflight = std::max<size_t>(options.max_inflight, 1);
   switch (kind) {
     case SchedulerKind::kBatch:
-      scheduler_ = std::make_unique<BatchScheduler>(target, inflight, options.compute_threads);
+      scheduler_ =
+          std::make_unique<BatchScheduler>(target, inflight, options.compute_threads, clock_);
       break;
     case SchedulerKind::kCarousel:
       scheduler_ = std::make_unique<CarouselScheduler>(
-          target, inflight, options.compute_threads,
-          std::chrono::milliseconds(
-              static_cast<int64_t>(std::max(0.0, options.carousel_linger_ms))));
+          target, inflight, options.compute_threads, options.carousel_linger_ms, clock_);
       break;
     case SchedulerKind::kSerial: {
       Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
                                               : static_cast<Runner*>(target);
-      scheduler_ = std::make_unique<SerialScheduler>(runner);
+      scheduler_ = std::make_unique<SerialScheduler>(runner, clock_);
       break;
     }
     case SchedulerKind::kAuto:
@@ -125,9 +130,11 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
 }
 
 RerankResult RerankService::Rerank(const RerankRequest& request) {
-  const WallTimer timer;
+  // Client-observed latency on the service's clock: wall time by default,
+  // virtual time under simulation — either way queueing is included.
+  const double start_ms = clock_->NowMs();
   RerankResult result = scheduler_->Submit(request);
-  const double observed_ms = timer.ElapsedMillis();
+  const double observed_ms = clock_->NowMs() - start_ms;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.Observe(request, result, observed_ms);

@@ -22,6 +22,7 @@
 #include "src/core/engine.h"
 #include "src/core/online_calibrator.h"
 #include "src/core/scheduler.h"
+#include "src/runtime/sim_runner.h"
 
 namespace prism {
 
@@ -72,6 +73,16 @@ struct ServiceOptions {
   // unless the override forwards. Incompatible with online_calibration
   // (checked). The pointee must outlive the service.
   BatchRunner* runner_override = nullptr;
+  // Time source for every scheduler wait, queue deadline, and latency
+  // observation. nullptr (default) = the shared wall clock — existing
+  // callers see identical behaviour. Point it at a SimClock to serve on
+  // deterministic virtual time. The pointee must outlive the service.
+  Clock* clock = nullptr;
+  // Discrete-event service-cost model: when sim.enabled, the scheduler's
+  // target is wrapped in a SimulatedRunner that charges virtual service
+  // time on `clock` and memoizes results per unique request (see
+  // src/runtime/sim_runner.h). Pair with a SimClock.
+  SimCostOptions sim;
 };
 
 // Rolling service statistics. RerankService accumulates these under a mutex
@@ -157,9 +168,11 @@ class RerankService : public Runner {
 
  private:
   ModelConfig config_;
+  Clock* clock_;
   std::unique_ptr<PrismEngine> engine_;
   std::unique_ptr<PrismEngine> reference_;  // Pruning-off twin (calibration).
   std::unique_ptr<OnlineCalibrator> calibrator_;
+  std::unique_ptr<SimulatedRunner> sim_runner_;  // Only when options.sim.enabled.
   std::unique_ptr<Scheduler> scheduler_;
   mutable std::mutex stats_mu_;
   ServiceStats stats_;

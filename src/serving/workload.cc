@@ -1,16 +1,13 @@
 #include "src/serving/workload.h"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <cmath>
-#include <mutex>
+#include <cstdio>
 #include <thread>
 
 #include "src/common/check.h"
 #include "src/common/percentile.h"
 #include "src/common/rng.h"
-#include "src/common/timer.h"
 #include "src/common/zipf.h"
 #include "src/data/dataset.h"
 
@@ -190,6 +187,48 @@ std::vector<std::vector<size_t>> BaselineSelections(const ScenarioHarness& scena
   return selections;
 }
 
+std::string WorkloadReport::SummaryJson() const {
+  char buf[256];
+  std::string json = "{";
+  const auto add_size = [&](const char* key, size_t value, bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%zu%s", key, value, comma ? "," : "");
+    json += buf;
+  };
+  const auto add_double = [&](const char* key, double value, bool comma = true) {
+    // %.17g round-trips a double exactly: any bit difference between two
+    // runs surfaces as a byte difference here.
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.17g%s", key, value, comma ? "," : "");
+    json += buf;
+  };
+  add_size("requests", requests);
+  add_size("served", served);
+  add_size("shed", shed);
+  add_size("errors", errors);
+  add_size("mismatches", mismatches);
+  add_double("wall_seconds", wall_seconds);
+  add_double("requests_per_sec", requests_per_sec);
+  add_double("served_per_sec", served_per_sec);
+  add_double("p50_ms", p50_ms);
+  add_double("p99_ms", p99_ms);
+  add_double("mean_ms", mean_ms);
+  add_double("max_ms", max_ms);
+  add_double("shed_fraction", shed_fraction);
+  add_double("slo_attainment", slo_attainment);
+  add_double("mean_quality", mean_quality);
+  add_double("mean_queue_wait_ms", mean_queue_wait_ms);
+  json += "\"selections\":[";
+  for (size_t q = 0; q < selections.size(); ++q) {
+    json += q == 0 ? "[" : ",[";
+    for (size_t i = 0; i < selections[q].size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%zu", i == 0 ? "" : ",", selections[q][i]);
+      json += buf;
+    }
+    json += "]";
+  }
+  json += "],\"statuses\":\"" + statuses + "\"}";
+  return json;
+}
+
 WorkloadReport RunWorkload(const ScenarioHarness& scenario, Runner* runner,
                            const WorkloadOptions& options,
                            const std::vector<std::vector<size_t>>* baseline) {
@@ -198,13 +237,16 @@ WorkloadReport RunWorkload(const ScenarioHarness& scenario, Runner* runner,
   if (baseline != nullptr) {
     PRISM_CHECK_EQ(baseline->size(), scenario.n_queries());
   }
-  using Clock = std::chrono::steady_clock;
+  Clock* clock = ResolveClock(options.clock);
   const size_t total = options.warmup + options.requests;
 
   struct Record {
     size_t qid = 0;
     bool served = false;
     bool shed = false;
+    bool error = false;
+    double issue_ms = 0.0;  // Absolute clock instant the request counts from.
+    double done_ms = 0.0;   // Absolute clock instant the request completed.
     double latency_ms = 0.0;
     double quality = 0.0;
     double queue_wait_ms = 0.0;
@@ -212,9 +254,9 @@ WorkloadReport RunWorkload(const ScenarioHarness& scenario, Runner* runner,
   };
   std::vector<Record> records(total);
 
-  // Open loop: one aggregate Poisson arrival process, scheduled up front so
-  // the timeline is deterministic in the seed (requests are claimed in
-  // arrival order through the shared counter below).
+  // Open loop: one aggregate Poisson arrival process, scheduled up front —
+  // the timeline is a pure function of the seed (see the seed-to-schedule
+  // contract in workload.h).
   std::vector<double> arrival_ms;
   if (options.arrival_hz > 0.0) {
     arrival_ms.resize(total);
@@ -228,47 +270,70 @@ WorkloadReport RunWorkload(const ScenarioHarness& scenario, Runner* runner,
     }
   }
 
+  // Query-id schedule, pre-generated per request index: request i asks
+  // qids[i] regardless of which client thread issues it or when.
   const ZipfSampler popularity(scenario.n_queries(), options.zipf_skew);
+  std::vector<size_t> qids(total);
+  {
+    Rng rng(MixSeed(options.seed, 0x51D5));
+    for (size_t i = 0; i < total; ++i) {
+      qids[i] = static_cast<size_t>(popularity.Sample(rng));
+    }
+  }
+
   const size_t high_clients = static_cast<size_t>(
       std::lround(options.high_fraction * static_cast<double>(options.clients)));
-
-  std::atomic<size_t> next{0};
-  const Clock::time_point start = Clock::now();
-  std::atomic<int64_t> measure_start_micros{options.warmup == 0 ? 0 : -1};
+  const double start_ms = clock->NowMs();
 
   std::vector<std::thread> clients;
   clients.reserve(options.clients);
+  // Reserve every client's simulation membership before any thread starts
+  // (no-op on the wall clock): an early-starting client must not advance
+  // virtual time past arrival tags its still-starting peers own.
+  clock->ExpectParticipants(options.clients);
   for (size_t c = 0; c < options.clients; ++c) {
     clients.emplace_back([&, c] {
-      Rng rng(MixSeed(options.seed, 0xC11E47 + c));
+      // Client threads are simulation participants (no-op on wall clock):
+      // the SimClock advances only when every one of them is blocked.
+      const ClockMembership membership(clock);
       const int priority = c < high_clients ? options.high_priority : 0;
       TaggingRunner tagged(runner, priority, options.deadline_ms);
-      size_t i;
-      while ((i = next.fetch_add(1)) < total) {
-        Clock::time_point issue = Clock::now();
+      // A client-unique sub-millisecond stagger keeps same-instant issues
+      // apart in virtual time, so queue tickets — and with them batch
+      // composition — are deterministic. Invisible at wall-clock scale.
+      const double stagger_ms = static_cast<double>(c + 1) * 1e-3;
+      // Static partition: client c owns request indexes ≡ c (mod clients).
+      // Unlike a shared work-claiming counter, the request → client mapping
+      // (and so each request's priority class) is interleaving-free.
+      for (size_t i = c; i < total; i += options.clients) {
+        Record& record = records[i];
         if (!arrival_ms.empty()) {
-          const Clock::time_point scheduled =
-              start + std::chrono::duration_cast<Clock::duration>(
-                          std::chrono::duration<double, std::milli>(arrival_ms[i]));
-          std::this_thread::sleep_until(scheduled);
+          const double scheduled_ms = start_ms + arrival_ms[i];
+          double target_ms = scheduled_ms;
+          if (clock->NowMs() >= target_ms) {
+            // Behind schedule: issue now (plus the stagger — a client
+            // catching up collides with other clients' instants otherwise).
+            target_ms = clock->NowMs() + stagger_ms;
+          }
+          clock->SleepUntil(target_ms);
           // Open-loop latency runs from the *scheduled* arrival: time spent
           // waiting for a free client thread is queueing delay, not a
           // measurement artifact to hide.
-          issue = scheduled;
+          record.issue_ms = scheduled_ms;
+        } else {
+          // Closed loop: issue as soon as the previous request completed,
+          // offset by the stagger (which also spreads the first round's
+          // otherwise-simultaneous client starts).
+          clock->SleepFor(stagger_ms);
+          record.issue_ms = clock->NowMs();
         }
-        if (i == options.warmup) {
-          measure_start_micros.store(
-              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
-                  .count(),
-              std::memory_order_relaxed);
-        }
-        Record& record = records[i];
-        record.qid = static_cast<size_t>(popularity.Sample(rng));
+        record.qid = qids[i];
         ScenarioOutcome outcome = scenario.Run(record.qid, &tagged);
-        record.latency_ms =
-            std::chrono::duration<double, std::milli>(Clock::now() - issue).count();
+        record.done_ms = clock->NowMs();
+        record.latency_ms = record.done_ms - record.issue_ms;
         record.served = outcome.served;
         record.shed = outcome.shed;
+        record.error = outcome.error;
         record.quality = outcome.quality;
         record.queue_wait_ms = outcome.queue_wait_ms;
         record.selection = std::move(outcome.selection);
@@ -278,30 +343,37 @@ WorkloadReport RunWorkload(const ScenarioHarness& scenario, Runner* runner,
   for (std::thread& t : clients) {
     t.join();
   }
-  const double wall_micros =
-      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                                start)
-                              .count());
 
   WorkloadReport report;
   report.requests = options.requests;
   report.selections.resize(scenario.n_queries());
+  report.statuses.reserve(options.requests);
   std::vector<double> served_latencies;
   served_latencies.reserve(options.requests);
   double quality_sum = 0.0;
   double queue_wait_sum = 0.0;
   size_t within_slo = 0;
+  // The measure window, from per-record instants (join-time clock reads
+  // would race e.g. a carousel's linger advance): first measured issue to
+  // last measured completion.
+  double measure_start_ms = records[options.warmup].issue_ms;
+  double measure_end_ms = measure_start_ms;
   for (size_t i = options.warmup; i < total; ++i) {
     const Record& record = records[i];
+    measure_start_ms = std::min(measure_start_ms, record.issue_ms);
+    measure_end_ms = std::max(measure_end_ms, record.done_ms);
     queue_wait_sum += record.queue_wait_ms;
     if (record.shed) {
+      report.statuses.push_back('D');
       ++report.shed;
       continue;
     }
     if (!record.served) {
+      report.statuses.push_back('E');
       ++report.errors;
       continue;
     }
+    report.statuses.push_back('S');
     ++report.served;
     served_latencies.push_back(record.latency_ms);
     report.max_ms = std::max(report.max_ms, record.latency_ms);
@@ -325,9 +397,7 @@ WorkloadReport RunWorkload(const ScenarioHarness& scenario, Runner* runner,
       report.selections[record.qid] = record.selection;
     }
   }
-  const int64_t measure_start =
-      std::max<int64_t>(0, measure_start_micros.load(std::memory_order_relaxed));
-  report.wall_seconds = std::max(1e-9, (wall_micros - static_cast<double>(measure_start)) / 1e6);
+  report.wall_seconds = std::max(1e-9, (measure_end_ms - measure_start_ms) / 1e3);
   report.requests_per_sec = static_cast<double>(options.requests) / report.wall_seconds;
   report.served_per_sec = static_cast<double>(report.served) / report.wall_seconds;
   report.shed_fraction =

@@ -24,6 +24,7 @@
 #include "src/apps/file_search.h"
 #include "src/apps/lcs.h"
 #include "src/apps/rag.h"
+#include "src/common/clock.h"
 #include "src/model/config.h"
 #include "src/runtime/runner.h"
 
@@ -145,7 +146,27 @@ struct WorkloadOptions {
   int high_priority = 1;
   // Served-latency SLO for the attainment metric (0 = no SLO, reported 1.0).
   double slo_ms = 0.0;
+  // Seed-to-schedule contract: `seed` fully determines the traffic the
+  // driver offers, independent of thread interleaving and host speed —
+  //   - the open-loop aggregate Poisson arrival schedule: one pre-generated
+  //     timeline from Rng(MixSeed(seed, 0xA221)), arrival i at the i-th
+  //     cumulative exponential gap;
+  //   - the query-id schedule: one pre-generated Zipf draw per request
+  //     index from Rng(MixSeed(seed, 0x51D5)), so request i always asks the
+  //     same query no matter which client issues it;
+  //   - the request → client partition: client c owns request indexes
+  //     i ≡ c (mod clients), so priority classes (by client index) are a
+  //     pure function of the request index too.
+  // What remains host-dependent under the wall clock is only *when* things
+  // complete; under a SimClock (below) completions are virtual-time events
+  // and the entire run is deterministic.
   uint64_t seed = 0x10AD;
+  // Time source for arrival pacing, latency measurement, and the
+  // warmup/measure machinery. nullptr (default) = shared wall clock. Point
+  // it (and ServiceOptions::clock) at one SimClock to replay the workload
+  // in deterministic virtual time; client threads register as simulation
+  // participants for its quiescence protocol.
+  Clock* clock = nullptr;
 };
 
 struct WorkloadReport {
@@ -177,6 +198,17 @@ struct WorkloadReport {
   // checked): any nonzero value means a scheduler/pool combination changed
   // a decision.
   size_t mismatches = 0;
+  // Per measured request, in request-index order: 'S' served, 'D' shed
+  // (deadline), 'E' error. Two runs of the same simulated workload must
+  // produce identical sequences — the determinism property the sim-mode
+  // tests assert.
+  std::string statuses;
+
+  // Byte-comparable summary: every counter and metric above (selections
+  // digested per query id), doubles printed with %.17g so any bit
+  // difference between two runs shows. Two RunWorkload calls are
+  // equivalent iff their SummaryJson strings are equal.
+  std::string SummaryJson() const;
 };
 
 // Single-client, in-order pass over every query id; the reference the

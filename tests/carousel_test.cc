@@ -6,11 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/core/engine.h"
 #include "src/core/scheduler.h"
 #include "src/core/service.h"
@@ -106,19 +106,25 @@ TEST_F(CarouselTest, LingerKeepsOnePassWarmAcrossSequentialRequests) {
   for (size_t round = 0; round < 3; ++round) {
     expected.push_back(reference.Rerank(requests_[round]));
   }
+  // On virtual time the test is deterministic rather than merely likely:
+  // this thread joins the simulation, so while it is between submissions the
+  // clock cannot advance — the dispatcher's 2000 ms linger timeout can never
+  // fire early, and every submission lands inside the warm window by
+  // construction.
+  SimClock clock;
   CarouselScheduler scheduler(&engine, /*max_inflight=*/2, /*compute_threads=*/2,
-                              std::chrono::milliseconds(2000));
-
-  // Sequential submissions land inside the linger window: the drained pass
-  // waits warm and serves every request from one busy period.
-  for (size_t round = 0; round < 3; ++round) {
-    const RerankResult result = scheduler.Submit(requests_[round]);
-    ASSERT_TRUE(result.status.ok());
-    EXPECT_EQ(result.topk, expected[round].topk) << "round " << round;
+                              /*linger_ms=*/2000.0, &clock);
+  {
+    const ClockMembership membership(&clock);
+    for (size_t round = 0; round < 3; ++round) {
+      const RerankResult result = scheduler.Submit(requests_[round]);
+      ASSERT_TRUE(result.status.ok());
+      EXPECT_EQ(result.topk, expected[round].topk) << "round " << round;
+    }
+    const CarouselScheduler::Stats stats = scheduler.stats();
+    EXPECT_EQ(stats.passes, 1u);
+    EXPECT_GE(stats.cycles, 3u);
   }
-  const CarouselScheduler::Stats stats = scheduler.stats();
-  EXPECT_EQ(stats.passes, 1u);
-  EXPECT_GE(stats.cycles, 3u);
 }
 
 TEST_F(CarouselTest, ZeroLingerSpinsUpOnePassPerBusyPeriod) {
@@ -126,19 +132,27 @@ TEST_F(CarouselTest, ZeroLingerSpinsUpOnePassPerBusyPeriod) {
   PrismEngine engine(config_, ckpt_, EngineOptions(), &tracker);
   MemoryTracker ref_tracker;
   PrismEngine reference(config_, ckpt_, EngineOptions(), &ref_tracker);
+  SimClock clock;
   CarouselScheduler scheduler(&engine, /*max_inflight=*/2, /*compute_threads=*/2,
-                              std::chrono::milliseconds(0));
+                              /*linger_ms=*/0.0, &clock);
 
   // Without a linger window each sequential submission finds the carousel
-  // torn down and must spin it up again. (The gap between submissions gives
-  // the dispatcher time to observe the empty queue and end the pass.)
-  for (size_t round = 0; round < 3; ++round) {
-    const RerankResult result = scheduler.Submit(requests_[round]);
-    ASSERT_TRUE(result.status.ok());
-    EXPECT_EQ(result.topk, reference.Rerank(requests_[round]).topk) << "round " << round;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // torn down and must spin it up again. A 1 ms virtual sleep between
+  // submissions guarantees (not just makes likely, as a real-time sleep
+  // would) that the dispatcher ended the pass first: virtual time can only
+  // reach now+1 once every participant is parked without a nearer tag, and
+  // the dispatcher's only such parking spot is the torn-down idle wait —
+  // with linger 0 its timeout wait gives up at `now` without parking.
+  {
+    const ClockMembership membership(&clock);
+    for (size_t round = 0; round < 3; ++round) {
+      const RerankResult result = scheduler.Submit(requests_[round]);
+      ASSERT_TRUE(result.status.ok());
+      EXPECT_EQ(result.topk, reference.Rerank(requests_[round]).topk) << "round " << round;
+      clock.SleepFor(1.0);
+    }
   }
-  EXPECT_GE(scheduler.stats().passes, 3u);
+  EXPECT_EQ(scheduler.stats().passes, 3u);
 }
 
 TEST_F(CarouselTest, PassWrapAroundServesLateJoinerBitIdentically) {
@@ -223,7 +237,8 @@ TEST_F(CarouselTest, AbandonedTicketReleasesSpilledChunks) {
 }
 
 TEST(RequestQueueTryPopTest, NonBlockingPopShedsAndDrains) {
-  RequestQueue queue;
+  SimClock clock;
+  RequestQueue queue(&clock);
   const ModelConfig config = TestModel();
   EXPECT_TRUE(queue.TryPopBatch(4).empty());  // Empty queue: returns, no block.
 
@@ -231,18 +246,24 @@ TEST(RequestQueueTryPopTest, NonBlockingPopShedsAndDrains) {
   for (size_t i = 0; i < 3; ++i) {
     requests.push_back(TestRequest(config, 8, 2, i));
   }
-  requests[1].deadline_ms = 0.01;
+  requests[1].deadline_ms = 7.0;
   std::vector<std::future<RerankResult>> futures;
   for (const RerankRequest& request : requests) {
     futures.push_back(queue.Push(request));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Expiry is `now >= admitted + deadline`: advancing virtual time to the
+  // exact expiry instant — not a tick further — must shed entry 1.
+  clock.SleepUntil(7.0);
+  EXPECT_EQ(clock.NowMs(), 7.0);
   std::vector<RequestQueue::Pending> batch = queue.TryPopBatch(2);
   ASSERT_EQ(batch.size(), 2u);  // Entry 1 shed, entries 0 and 2 popped.
   EXPECT_EQ(batch[0].ticket, 0u);
   EXPECT_EQ(batch[1].ticket, 2u);
   EXPECT_EQ(queue.shed_count(), 1u);
-  EXPECT_EQ(futures[1].get().status.code(), StatusCode::kDeadlineExceeded);
+  // AwaitFuture, not a bare get(): the shed answer carries a PreWake token
+  // that the awaiting side must consume (as every scheduler's Submit does).
+  EXPECT_EQ(AwaitFuture(&clock, std::move(futures[1])).status.code(),
+            StatusCode::kDeadlineExceeded);
   for (auto& pending : batch) {
     pending.promise.set_value(RerankResult{});
   }

@@ -129,37 +129,94 @@ TEST_F(WorkloadTest, OpenLoopPoissonArrivalsServeAndMatch) {
 }
 
 TEST_F(WorkloadTest, DeadlinesShedUnderOverloadAndAreAccountedExactly) {
-  // Many clients, one serial replica, effectively-zero deadlines: most
-  // requests shed. The report and the service stats must agree, shed
-  // requests must carry their queue wait, and the served-only percentiles
-  // must stay self-consistent (no ~0 ms shed turnarounds pulling them
-  // down).
+  // Many clients, one serial replica, a deadline shorter than the queue
+  // under contention: requests shed. Retimed onto a SimClock with the
+  // virtual service-cost model: the 10 virtual-ms serial service time and
+  // the 25 virtual-ms deadline make overload — and therefore the shed set —
+  // a deterministic property of the schedule, where the old wall-clock
+  // version (deadline 0.01 real ms) depended on host speed. The report and
+  // the service stats must agree, shed requests must carry their queue
+  // wait, and the served-only percentiles must stay self-consistent (no
+  // ~0 ms shed turnarounds pulling them down).
+  SimClock clock;
   MemoryTracker tracker;
-  RerankService service(config_, ckpt_, FastService(SchedulerKind::kSerial, 1), &tracker);
+  ServiceOptions sopts = FastService(SchedulerKind::kSerial, 1);
+  sopts.clock = &clock;
+  sopts.sim.enabled = true;  // pass_ms 8 + per_request_ms 2 = 10 per request.
+  RerankService service(config_, ckpt_, sopts, &tracker);
   const ScenarioHarness harness(ScenarioKind::kFileSearch, config_, FastScenario());
   WorkloadOptions options;
   options.clients = 6;
   options.requests = 18;
   options.warmup = 0;
-  options.deadline_ms = 0.01;
+  options.deadline_ms = 25.0;  // Third in line waits 2 × 10 ms; fourth sheds.
   options.high_fraction = 0.5;
+  options.clock = &clock;
   const WorkloadReport report = RunWorkload(harness, &service, options);
   EXPECT_EQ(report.served + report.shed + report.errors, 18u);
   EXPECT_GT(report.shed, 0u);
+  EXPECT_GT(report.served, 0u);
   EXPECT_EQ(report.errors, 0u);
   EXPECT_GT(report.shed_fraction, 0.0);
   // Shed turnarounds are not delivered throughput.
   EXPECT_LT(report.served_per_sec, report.requests_per_sec);
-  // Shed requests carried their queue wait into the report.
+  // Shed requests carried their (virtual) queue wait into the report.
   EXPECT_GT(report.mean_queue_wait_ms, 0.0);
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.requests, 18u);
   EXPECT_EQ(stats.shed, report.shed);
   EXPECT_EQ(stats.served(), report.served);
-  // Served-only ring: one latency sample per served request, none ~0.
+  // Served-only ring: one latency sample per served request, each at least
+  // the 10 virtual-ms service charge.
   EXPECT_EQ(stats.latency_ring.size(), stats.served());
   if (stats.served() > 0) {
-    EXPECT_GT(stats.LatencyPercentileMs(0.0), 0.5);
+    EXPECT_GE(stats.LatencyPercentileMs(0.0), 10.0);
+  }
+}
+
+TEST_F(WorkloadTest, SimulatedWorkloadReplaysByteIdentically) {
+  // The tentpole determinism property: one seed fully determines a
+  // simulated run. Every scheduler, single service and two-replica pool,
+  // open loop at an overloading rate with deadlines (so served/shed
+  // sequencing is exercised, not just selections): two runs must agree on
+  // every per-request status and every metric to the last bit.
+  const ScenarioHarness harness(ScenarioKind::kFileSearch, config_, FastScenario());
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSerial, SchedulerKind::kBatch, SchedulerKind::kCarousel}) {
+    for (const size_t pool_size : {size_t{1}, size_t{2}}) {
+      const auto run = [&] {
+        SimClock clock;
+        MemoryTracker tracker;
+        ServiceOptions sopts = FastService(kind, kind == SchedulerKind::kSerial ? 1 : 3);
+        sopts.clock = &clock;
+        sopts.sim.enabled = true;
+        WorkloadOptions wopts;
+        wopts.clients = 4;
+        wopts.requests = 24;
+        wopts.warmup = 4;
+        wopts.arrival_hz = 150.0;  // ~1.5× the serial service rate: overload.
+        wopts.deadline_ms = 40.0;
+        wopts.high_fraction = 0.25;
+        wopts.clock = &clock;
+        WorkloadReport report;
+        if (pool_size == 1) {
+          RerankService service(config_, ckpt_, sopts, &tracker);
+          report = RunWorkload(harness, &service, wopts);
+        } else {
+          ServicePoolOptions popts;
+          popts.service = sopts;
+          popts.pool_size = pool_size;
+          ServicePool pool(config_, ckpt_, popts, &tracker);
+          report = RunWorkload(harness, &pool, wopts);
+        }
+        EXPECT_EQ(report.statuses.size(), wopts.requests);
+        return report.SummaryJson();
+      };
+      const std::string first = run();
+      const std::string second = run();
+      EXPECT_EQ(first, second) << "scheduler " << static_cast<int>(kind) << " pool_size "
+                               << pool_size;
+    }
   }
 }
 
