@@ -50,18 +50,26 @@
 #include "bench/bench_util.h"
 #include "src/common/clock.h"
 #include "src/core/service_pool.h"
+#include "src/serving/result_cache.h"
 #include "src/serving/workload.h"
 
 namespace prism {
 namespace {
 
-// One serving stack (a single service or a pool) behind a Runner*.
+// One serving stack (a single service or a pool, optionally fronted by a
+// result cache) behind a Runner*.
 struct Stack {
   std::unique_ptr<RerankService> service;
   std::unique_ptr<ServicePool> pool;
+  std::unique_ptr<ResultCache> cache;  // Fronts service/pool when non-null.
 
-  Runner* runner() { return pool != nullptr ? static_cast<Runner*>(pool.get())
-                                            : static_cast<Runner*>(service.get()); }
+  Runner* runner() {
+    if (cache != nullptr) {
+      return cache.get();
+    }
+    return pool != nullptr ? static_cast<Runner*>(pool.get())
+                           : static_cast<Runner*>(service.get());
+  }
   ServiceStats Stats() const {
     return pool != nullptr ? pool->stats().aggregate : service->stats();
   }
@@ -75,6 +83,10 @@ struct StackSpec {
   size_t max_inflight = 4;
   size_t total_threads = 4;
   bool sim = false;  // Virtual service-cost model on every stack.
+  // Result-cache tier (src/serving/result_cache.h). 0 = no cache.
+  size_t cache_capacity = 0;
+  double cache_ttl_ms = 0.0;
+  double cache_similarity = 0.0;
 };
 
 Stack MakeStack(const StackSpec& spec, SchedulerKind kind, size_t pool_size,
@@ -98,6 +110,22 @@ Stack MakeStack(const StackSpec& spec, SchedulerKind kind, size_t pool_size,
     pool_options.balancer = LoadBalancePolicy::kLeastLoaded;
     stack.pool = std::make_unique<ServicePool>(spec.model, spec.checkpoint, pool_options);
   }
+  if (spec.cache_capacity > 0) {
+    ResultCacheOptions cache_options;
+    cache_options.capacity = spec.cache_capacity;
+    cache_options.ttl_ms = spec.cache_ttl_ms;
+    cache_options.similarity = spec.cache_similarity;
+    cache_options.clock = clock;
+    QueryEmbedder embedder;
+    if (spec.cache_similarity > 0.0 && stack.service != nullptr) {
+      embedder = MakeQueryEmbedder(stack.service->engine().embedding_source(),
+                                   spec.model.hidden);
+    }
+    stack.cache = std::make_unique<ResultCache>(stack.pool != nullptr
+                                                    ? static_cast<Runner*>(stack.pool.get())
+                                                    : static_cast<Runner*>(stack.service.get()),
+                                                cache_options, std::move(embedder));
+  }
   return stack;
 }
 
@@ -105,23 +133,41 @@ struct RunRecord {
   std::string scenario;
   std::string scheduler;
   size_t pool_size = 1;
-  std::string mode;  // "closed" | "open" | "overload"
+  std::string mode;  // "closed" | "open" | "overload" | "cache"
   size_t clients = 0;
   double arrival_hz = 0.0;
   double deadline_ms = 0.0;
+  size_t cache_capacity = 0;  // Result-cache entries (0 = no cache tier).
+  double zipf = 0.0;
   WorkloadReport report;
   double work_fraction = 0.0;
 };
+
+// Pulls the post-run accounting (embedding-cache counters from the stack,
+// result-cache counters when a cache tier fronted it) into the report so
+// every emitted row carries its hit rates. Embedding-cache counters are
+// skipped in --sim mode: the embed LRU lives inside the engine's compute
+// fan-out, whose thread interleaving is outside the SimClock determinism
+// domain, so its hit counts would break byte-identical replay.
+void AttachStats(RunRecord& record, const Stack& stack, bool sim) {
+  if (!sim) {
+    record.report.AttachServingStats(stack.Stats());
+  }
+  if (stack.cache != nullptr) {
+    record.report.AttachCacheStats(stack.cache->stats());
+  }
+}
 
 void PrintRow(const RunRecord& r) {
   const std::string name = r.scenario + " " + r.scheduler + "x" +
                            std::to_string(r.pool_size) + " " + r.mode;
   // The throughput column is the *served* rate: shed requests turn around
   // in ~0 ms, so counting them would make overload rows look faster.
-  std::printf("%-36s %8.2f %9.2f %9.2f %7.0f%% %8.2f %9.2f %6zu\n", name.c_str(),
+  // hit% is the result-cache hit rate (blank-equivalent 0 when no cache).
+  std::printf("%-36s %8.2f %9.2f %9.2f %7.0f%% %6.0f%% %8.2f %9.2f %6zu\n", name.c_str(),
               r.report.served_per_sec, r.report.p50_ms, r.report.p99_ms,
-              100.0 * r.report.shed_fraction, r.report.mean_quality, r.work_fraction,
-              r.report.mismatches);
+              100.0 * r.report.shed_fraction, 100.0 * r.report.cache_hit_rate,
+              r.report.mean_quality, r.work_fraction, r.report.mismatches);
 }
 
 void JsonRun(FILE* out, const RunRecord& r, bool last) {
@@ -133,14 +179,19 @@ void JsonRun(FILE* out, const RunRecord& r, bool last) {
                "\"p50_ms\": %.6g, \"p99_ms\": %.6g, "
                "\"mean_ms\": %.6g, \"shed_fraction\": %.6g, \"slo_attainment\": %.6g, "
                "\"mean_quality\": %.6g, \"mean_queue_wait_ms\": %.6g, "
-               "\"work_fraction\": %.6g, \"mismatches\": %zu}%s\n",
+               "\"work_fraction\": %.6g, \"mismatches\": %zu, "
+               "\"cache_capacity\": %zu, \"zipf\": %.6g, \"cache_lookups\": %zu, "
+               "\"cache_hits\": %zu, \"cache_coalesced\": %zu, \"cache_hit_rate\": %.6g, "
+               "\"embed_hit_rate\": %.6g}%s\n",
                r.scenario.c_str(), r.scheduler.c_str(), r.pool_size, r.mode.c_str(), r.clients,
                r.arrival_hz, r.deadline_ms, r.report.requests, r.report.served, r.report.shed,
                r.report.errors, r.report.requests_per_sec, r.report.served_per_sec,
                r.report.p50_ms, r.report.p99_ms,
                r.report.mean_ms, r.report.shed_fraction, r.report.slo_attainment,
                r.report.mean_quality, r.report.mean_queue_wait_ms, r.work_fraction,
-               r.report.mismatches, last ? "" : ",");
+               r.report.mismatches, r.cache_capacity, r.zipf, r.report.cache_lookups,
+               r.report.cache_hits, r.report.cache_coalesced, r.report.cache_hit_rate,
+               r.report.embed_hit_rate, last ? "" : ",");
 }
 
 struct OverloadCheck {
@@ -152,9 +203,28 @@ struct OverloadCheck {
   bool ok = false;
 };
 
+// One cache-sweep comparison: same overloaded open-loop traffic served with
+// and without a head-sized result cache. The cache absorbs the Zipf head, so
+// the served rate must rise by at least `kCacheSpeedupFloor` while every
+// cached answer stays bit-identical (0 mismatches).
+constexpr double kCacheSpeedupFloor = 1.5;
+
+struct CacheCheck {
+  std::string scenario;
+  double zipf = 0.0;
+  size_t head_capacity = 0;
+  double served_cache_off = 0.0;
+  double served_cache_head = 0.0;
+  double speedup = 0.0;
+  double hit_rate = 0.0;
+  size_t mismatches = 0;
+  bool ok = false;
+};
+
 void EmitJson(FILE* out, const std::string& model, const std::string& device, bool smoke,
               bool sim, const std::vector<RunRecord>& runs,
-              const std::vector<OverloadCheck>& overloads, size_t total_mismatches, bool ok) {
+              const std::vector<OverloadCheck>& overloads,
+              const std::vector<CacheCheck>& cache_checks, size_t total_mismatches, bool ok) {
   std::fprintf(out,
                "{\n  \"model\": \"%s\",\n  \"device\": \"%s\",\n  \"smoke\": %s,\n"
                "  \"sim\": %s,\n",
@@ -173,6 +243,17 @@ void EmitJson(FILE* out, const std::string& model, const std::string& device, bo
                  "\"ok\": %s}%s\n",
                  o.scenario.c_str(), o.shed_fraction, o.unloaded_shed_fraction, o.p99_ms,
                  o.bound_ms, o.ok ? "true" : "false", i + 1 == overloads.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ],\n  \"cache_sweep\": [\n");
+  for (size_t i = 0; i < cache_checks.size(); ++i) {
+    const CacheCheck& c = cache_checks[i];
+    std::fprintf(out,
+                 "    {\"scenario\": \"%s\", \"zipf\": %.6g, \"head_capacity\": %zu, "
+                 "\"served_cache_off\": %.6g, \"served_cache_head\": %.6g, "
+                 "\"speedup\": %.6g, \"hit_rate\": %.6g, \"mismatches\": %zu, \"ok\": %s}%s\n",
+                 c.scenario.c_str(), c.zipf, c.head_capacity, c.served_cache_off,
+                 c.served_cache_head, c.speedup, c.hit_rate, c.mismatches,
+                 c.ok ? "true" : "false", i + 1 == cache_checks.size() ? "" : ",");
   }
   std::fprintf(out, "  ],\n  \"total_mismatches\": %zu,\n  \"ok\": %s\n}\n", total_mismatches,
                ok ? "true" : "false");
@@ -242,6 +323,15 @@ int Main(int argc, char** argv) {
   const size_t n_queries = static_cast<size_t>(flags.GetInt("n_queries", smoke ? 4 : 8));
   const double zipf = flags.GetDouble("zipf", 0.9);
   const bool overload = !smoke && flags.GetBool("overload", true);
+  // Cache knobs: smoke runs with a full-universe cache in front of every
+  // stack (the mismatch gate then proves cached answers are bit-identical);
+  // otherwise the main grid runs cache-off and the dedicated cache sweep
+  // below measures the tier.
+  const size_t cache_capacity = static_cast<size_t>(
+      flags.GetInt("cache_capacity", smoke ? static_cast<int>(n_queries) : 0));
+  const double cache_ttl_ms = flags.GetDouble("cache_ttl_ms", 0.0);
+  const double cache_similarity = flags.GetDouble("cache_similarity", 0.0);
+  const bool cache_sweep = !smoke && flags.GetBool("cache_sweep", true);
 
   StackSpec spec;
   spec.model = model;
@@ -251,17 +341,21 @@ int Main(int argc, char** argv) {
   spec.total_threads =
       std::max<size_t>(std::thread::hardware_concurrency(), spec.max_inflight);
   spec.sim = sim;
+  spec.cache_capacity = cache_capacity;
+  spec.cache_ttl_ms = cache_ttl_ms;
+  spec.cache_similarity = cache_similarity;
   spec.checkpoint = EnsureCheckpoint(model, kBenchSeed, /*quantized=*/false);
 
   PrintHeader("Scenario serving sweep — " + model.name + " on " + device.name + ", " +
               std::to_string(clients) + " clients, " + std::to_string(requests) +
               " requests (" + std::to_string(warmup) + " warmup), zipf " +
               std::to_string(zipf) + (sim ? ", simulated time" : ""));
-  std::printf("%-36s %8s %9s %9s %8s %8s %9s %6s\n", "scenario config", "req/s", "p50 ms",
-              "p99 ms", "shed", "quality", "workfrac", "misms");
+  std::printf("%-36s %8s %9s %9s %8s %7s %8s %9s %6s\n", "scenario config", "req/s", "p50 ms",
+              "p99 ms", "shed", "hit", "quality", "workfrac", "misms");
 
   std::vector<RunRecord> runs;
   std::vector<OverloadCheck> overloads;
+  std::vector<CacheCheck> cache_checks;
   size_t total_mismatches = 0;
 
   for (size_t s = 0; s < scenarios.size(); ++s) {
@@ -277,7 +371,11 @@ int Main(int argc, char** argv) {
     WorkloadReport serial_unloaded;
     {
       const std::unique_ptr<SimClock> clk = sim ? std::make_unique<SimClock>() : nullptr;
-      Stack stack = MakeStack(spec, SchedulerKind::kSerial, 1, clk.get());
+      // The baseline stack is always cache-free: serial_ms below calibrates
+      // deadlines and SLOs, and a cache hit's ~0 ms would deflate it.
+      StackSpec baseline_spec = spec;
+      baseline_spec.cache_capacity = 0;
+      Stack stack = MakeStack(baseline_spec, SchedulerKind::kSerial, 1, clk.get());
       baseline = BaselineSelections(harness, stack.runner());
       WorkloadOptions wopts;
       wopts.clients = 1;
@@ -325,8 +423,11 @@ int Main(int argc, char** argv) {
           record.pool_size = pool_size;
           record.mode = "closed";
           record.clients = clients;
+          record.cache_capacity = spec.cache_capacity;
+          record.zipf = zipf;
           record.report = RunWorkload(harness, stack.runner(), wopts, &baseline);
           record.work_fraction = stack.Stats().WorkFraction(model.n_layers);
+          AttachStats(record, stack, sim);
           total_mismatches += record.report.mismatches;
           if (pool_size == 1 && sched == SchedulerKind::kBatch) {
             unloaded_p99 = record.report.p99_ms;
@@ -357,8 +458,11 @@ int Main(int argc, char** argv) {
             record.mode = "open";
             record.clients = clients;
             record.arrival_hz = wopts.arrival_hz;
+            record.cache_capacity = spec.cache_capacity;
+            record.zipf = zipf;
             record.report = RunWorkload(harness, stack.runner(), wopts, &baseline);
             record.work_fraction = stack.Stats().WorkFraction(model.n_layers);
+            AttachStats(record, stack, sim);
             total_mismatches += record.report.mismatches;
             PrintRow(record);
             runs.push_back(std::move(record));
@@ -399,8 +503,11 @@ int Main(int argc, char** argv) {
       // Under overload a high-priority class keeps its service: the leading
       // quarter of clients submits priority-1 requests.
       wopts.high_fraction = 0.25;
+      record.cache_capacity = spec.cache_capacity;
+      record.zipf = zipf;
       record.report = RunWorkload(harness, stack.runner(), wopts, &baseline);
       record.work_fraction = stack.Stats().WorkFraction(model.n_layers);
+      AttachStats(record, stack, sim);
       total_mismatches += record.report.mismatches;
       PrintRow(record);
 
@@ -423,24 +530,93 @@ int Main(int argc, char** argv) {
       overloads.push_back(check);
       runs.push_back(std::move(record));
     }
+
+    // --- Cache-size × Zipf-skew sweep (first scenario only: the cache sits
+    // above the apps, so its behaviour is scenario-agnostic). Each cell
+    // replays the same overloaded open-loop flood — 2x the serial capacity,
+    // deadlines just over one service time — through a serial stack fronted
+    // by a result cache of 0 (off), head-sized, and full-universe capacity.
+    // Cache-off the stack sheds roughly half the flood; the head-sized
+    // cache answers the Zipf head without an engine pass, so the served
+    // rate must rise by >= kCacheSpeedupFloor with 0 selection mismatches —
+    // the PR's acceptance gate. -------------------------------------------
+    if (cache_sweep && s == 0) {
+      const size_t head_capacity = std::max<size_t>(2, harness.n_queries() / 4);
+      for (const double cache_zipf : {0.7, 1.1}) {
+        CacheCheck check;
+        check.scenario = harness.name();
+        check.zipf = cache_zipf;
+        check.head_capacity = head_capacity;
+        for (const size_t capacity : {size_t{0}, head_capacity, harness.n_queries()}) {
+          const std::unique_ptr<SimClock> clk = sim ? std::make_unique<SimClock>() : nullptr;
+          StackSpec sweep_spec = spec;
+          sweep_spec.cache_capacity = capacity;
+          Stack stack = MakeStack(sweep_spec, SchedulerKind::kSerial, 1, clk.get());
+          WorkloadOptions wopts;
+          wopts.clients = clients * 2;
+          wopts.requests = requests;
+          wopts.warmup = warmup;
+          wopts.zipf_skew = cache_zipf;
+          wopts.slo_ms = slo_ms;
+          wopts.deadline_ms = 1.2 * serial_ms;
+          wopts.arrival_hz = 2.0 * serial_unloaded.requests_per_sec;
+          wopts.clock = clk.get();
+          RunRecord record;
+          record.scenario = harness.name();
+          record.scheduler = "serial";
+          record.pool_size = 1;
+          record.mode = "cache";
+          record.clients = wopts.clients;
+          record.arrival_hz = wopts.arrival_hz;
+          record.deadline_ms = wopts.deadline_ms;
+          record.cache_capacity = capacity;
+          record.zipf = cache_zipf;
+          record.report = RunWorkload(harness, stack.runner(), wopts, &baseline);
+          record.work_fraction = stack.Stats().WorkFraction(model.n_layers);
+          AttachStats(record, stack, sim);
+          total_mismatches += record.report.mismatches;
+          if (capacity == 0) {
+            check.served_cache_off = record.report.served_per_sec;
+          } else if (capacity == head_capacity) {
+            check.served_cache_head = record.report.served_per_sec;
+            check.hit_rate = record.report.cache_hit_rate;
+            check.mismatches = record.report.mismatches;
+          }
+          PrintRow(record);
+          runs.push_back(std::move(record));
+        }
+        check.speedup = check.served_cache_off <= 0.0
+                            ? 0.0
+                            : check.served_cache_head / check.served_cache_off;
+        check.ok = check.speedup >= kCacheSpeedupFloor && check.mismatches == 0;
+        std::printf("  cache check (zipf %.1f): served %.2f -> %.2f req/s (%.2fx, floor "
+                    "%.1fx), hit rate %.0f%% -> %s\n",
+                    check.zipf, check.served_cache_off, check.served_cache_head, check.speedup,
+                    kCacheSpeedupFloor, 100.0 * check.hit_rate, check.ok ? "ok" : "FAIL");
+        cache_checks.push_back(check);
+      }
+    }
   }
 
   bool ok = total_mismatches == 0;
   for (const OverloadCheck& check : overloads) {
     ok = ok && check.ok;
   }
+  for (const CacheCheck& check : cache_checks) {
+    ok = ok && check.ok;
+  }
 
   std::printf("\ntotal selection mismatches vs single-client serial: %zu (expected 0)\n",
               total_mismatches);
   std::printf("\nJSON summary:\n");
-  EmitJson(stdout, model.name, device.name, smoke, sim, runs, overloads, total_mismatches,
-           ok);
+  EmitJson(stdout, model.name, device.name, smoke, sim, runs, overloads, cache_checks,
+           total_mismatches, ok);
   const std::string json_path = flags.GetString("json", "");
   if (!json_path.empty()) {
     FILE* out = std::fopen(json_path.c_str(), "w");
     if (out != nullptr) {
-      EmitJson(out, model.name, device.name, smoke, sim, runs, overloads, total_mismatches,
-               ok);
+      EmitJson(out, model.name, device.name, smoke, sim, runs, overloads, cache_checks,
+               total_mismatches, ok);
       std::fclose(out);
       std::printf("wrote %s\n", json_path.c_str());
     } else {

@@ -227,14 +227,21 @@ PrismEngine::PrismEngine(const ModelConfig& config, const std::string& checkpoin
   PRISM_CHECK_MSG(reader.ok(), reader.status().ToString().c_str());
   reader_ = std::move(reader).value();
 
-  if (options_.embed_cache) {
+  if (options_.embed_cache && options_.shared_embed_cache != nullptr) {
+    // Pool-level sharing: use the externally-owned cache (its misses read
+    // through its own reader, so this engine's reader serves layers only).
+    cache_ = options_.shared_embed_cache;
+    embedding_ = cache_;
+  } else if (options_.embed_cache) {
     const auto rows = static_cast<size_t>(
         std::max(1.0, options_.embed_cache_fraction * static_cast<double>(config_.vocab_size)));
     auto cache = std::make_unique<EmbeddingCache>(config_, reader_.get(), rows, tracker_);
     cache_ = cache.get();
-    embedding_ = std::move(cache);
+    owned_embedding_ = std::move(cache);
+    embedding_ = owned_embedding_.get();
   } else {
-    embedding_ = std::make_unique<FullEmbeddingTable>(config_, reader_.get(), tracker_);
+    owned_embedding_ = std::make_unique<FullEmbeddingTable>(config_, reader_.get(), tracker_);
+    embedding_ = owned_embedding_.get();
   }
 
   if (!options_.streaming) {
@@ -262,7 +269,7 @@ PrismEngine::PrismEngine(const ModelConfig& config, const std::string& checkpoin
   resources_.options = &options_;
   resources_.tracker = tracker_;
   resources_.reader = reader_.get();
-  resources_.embedding = embedding_.get();
+  resources_.embedding = embedding_;
   resources_.cache = cache_;
   resources_.head = &head_;
   resources_.resident_layers = &resident_layers_;

@@ -81,8 +81,19 @@ class PrismEngine : public BatchRunner {
   }
 
   // Stats of the persistent embedding cache (nullopt when embed_cache off).
-  // Cumulative across all requests served by this engine.
+  // Cumulative across all requests served by this engine — or, with a
+  // shared cache, by every engine sharing it.
   std::optional<EmbeddingCacheStats> embed_cache_stats() const;
+
+  // False when the engine was pointed at an externally-owned cache
+  // (PrismOptions::shared_embed_cache): stats consumers count a shared
+  // cache once at the pool, not once per replica.
+  bool owns_embed_cache() const { return cache_ != nullptr && options_.shared_embed_cache == nullptr; }
+
+  // The embedding source requests are embedded through (cache or full
+  // table). Exposed so a front-end result cache's similarity tier can embed
+  // queries with the very vectors EmbedStage uses. Thread-safe.
+  EmbeddingSource* embedding_source() { return embedding_; }
 
   // Shared hidden-state spill pool; null unless offload_hidden. Exposed so
   // tests can assert that no request — including one terminated early or
@@ -103,7 +114,8 @@ class PrismEngine : public BatchRunner {
   PrismOptions options_;
   MemoryTracker* tracker_;
   std::unique_ptr<BlobFileReader> reader_;
-  std::unique_ptr<EmbeddingSource> embedding_;
+  std::unique_ptr<EmbeddingSource> owned_embedding_;  // Null with a shared cache.
+  EmbeddingSource* embedding_ = nullptr;  // owned_embedding_ or the shared cache.
   EmbeddingCache* cache_ = nullptr;  // Non-owning alias when embed_cache on.
   HeadWeights head_;
   // Resident layers when streaming is off.

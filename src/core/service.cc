@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/percentile.h"
+#include "src/common/rng.h"
 
 namespace prism {
 
@@ -17,7 +18,7 @@ void ServiceStats::Observe(const RerankRequest& request, const RerankResult& res
       ++errors;
     }
     // A shed or failed request never ran, so its ~0 ms latency must not
-    // enter the ring, mean, or max: feeding it in would *improve* p50/p99
+    // enter the samples, mean, or max: feeding it in would *improve* p50/p99
     // exactly when overload should degrade them. It is already counted in
     // shed/errors above; any bytes a failing request did stream are still
     // real device traffic.
@@ -29,12 +30,22 @@ void ServiceStats::Observe(const RerankRequest& request, const RerankResult& res
   total_candidate_layers += result.stats.candidate_layers;
   total_candidates += static_cast<int64_t>(request.docs.size());
   bytes_streamed += result.stats.bytes_streamed;
-  if (latency_ring.size() < kLatencyRingCapacity) {
-    latency_ring.push_back(observed_ms);
+  // Reservoir sampling (algorithm R): after n observations every one of
+  // them had an equal latency_capacity/n chance of being retained, so the
+  // percentiles describe the whole run, not its tail. The replacement index
+  // comes from a seeded SplitMix64 stream: the retained set is a pure
+  // function of the observation sequence.
+  const size_t capacity = std::max<size_t>(latency_capacity, 1);
+  if (latency_samples.size() < capacity) {
+    latency_samples.push_back(observed_ms);
   } else {
-    latency_ring[ring_next] = observed_ms;
-    ring_next = (ring_next + 1) % kLatencyRingCapacity;
+    const size_t j = static_cast<size_t>(SplitMix64(reservoir_state) %
+                                         static_cast<uint64_t>(latency_observed + 1));
+    if (j < capacity) {
+      latency_samples[j] = observed_ms;
+    }
   }
+  ++latency_observed;
 }
 
 void ServiceStats::Merge(const ServiceStats& other) {
@@ -46,11 +57,16 @@ void ServiceStats::Merge(const ServiceStats& other) {
   total_candidate_layers += other.total_candidate_layers;
   total_candidates += other.total_candidates;
   bytes_streamed += other.bytes_streamed;
-  latency_ring.insert(latency_ring.end(), other.latency_ring.begin(), other.latency_ring.end());
+  embed_hits += other.embed_hits;
+  embed_misses += other.embed_misses;
+  embed_miss_bytes += other.embed_miss_bytes;
+  latency_samples.insert(latency_samples.end(), other.latency_samples.begin(),
+                         other.latency_samples.end());
+  latency_observed += other.latency_observed;
 }
 
 double ServiceStats::LatencyPercentileMs(double p) const {
-  std::vector<double> sorted(latency_ring);
+  std::vector<double> sorted(latency_samples);
   std::sort(sorted.begin(), sorted.end());
   return PercentileOverSorted(sorted, p);
 }
@@ -75,6 +91,9 @@ SchedulerKind SchedulerKindByName(const std::string& name) {
 RerankService::RerankService(const ModelConfig& config, const std::string& checkpoint_path,
                              ServiceOptions options, MemoryTracker* tracker)
     : config_(config), clock_(ResolveClock(options.clock)) {
+  if (options.latency_sample_capacity > 0) {
+    stats_.latency_capacity = options.latency_sample_capacity;
+  }
   engine_ = std::make_unique<PrismEngine>(config, checkpoint_path, options.engine, tracker);
   SchedulerKind kind = options.scheduler;
   if (kind == SchedulerKind::kAuto) {
@@ -92,6 +111,7 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
     // serving path's memory accounting or wait on the simulated device.
     reference_options.streaming = false;
     reference_options.embed_cache = false;
+    reference_options.shared_embed_cache = nullptr;
     reference_options.device.ssd.throttle = false;
     reference_ = std::make_unique<PrismEngine>(config, checkpoint_path, reference_options,
                                                tracker);
@@ -150,8 +170,23 @@ double RerankService::OnIdle() {
 }
 
 ServiceStats RerankService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  // Embedding-cache counters ride the snapshot (they live in the cache, not
+  // under stats_mu_) — but only for a cache this engine owns; a pool-shared
+  // cache is counted once by ServicePool::stats().
+  if (engine_->owns_embed_cache()) {
+    const std::optional<EmbeddingCacheStats> embed = engine_->embed_cache_stats();
+    if (embed.has_value()) {
+      snapshot.embed_hits = embed->hits;
+      snapshot.embed_misses = embed->misses;
+      snapshot.embed_miss_bytes = embed->miss_bytes;
+    }
+  }
+  return snapshot;
 }
 
 }  // namespace prism

@@ -83,19 +83,28 @@ struct ServiceOptions {
   // time on `clock` and memoizes results per unique request (see
   // src/runtime/sim_runner.h). Pair with a SimClock.
   SimCostOptions sim;
+  // Served-latency reservoir size (see ServiceStats). 0 keeps the default;
+  // size it to the expected request count for exact percentiles.
+  size_t latency_sample_capacity = 0;
 };
 
 // Rolling service statistics. RerankService accumulates these under a mutex
 // and hands out snapshots; latencies are client-observed (queueing included)
 // so concurrent-mode percentiles mean what an operator expects. All latency
-// aggregates (ring, mean, max) cover *served* requests only: a shed or
+// aggregates (samples, mean, max) cover *served* requests only: a shed or
 // failed request's ~0 ms turnaround is accounted in `shed`/`errors`, never
 // in the percentiles — otherwise overload would improve p50/p99 exactly
 // when it should degrade them.
 struct ServiceStats {
-  // Latencies (ms) of the most recent served requests, for percentile
-  // tracking.
-  static constexpr size_t kLatencyRingCapacity = 1024;
+  // Default size of the served-latency sample reservoir. The old fixed-size
+  // latency *ring* kept only the most recent 1024 samples, so on a
+  // 10k-request run p50/p99 reflected the final tenth of the workload;
+  // the reservoir keeps a uniform sample of the whole run instead
+  // (Vitter's algorithm R, seeded — deterministic given observation order,
+  // which a SimClock makes deterministic outright). Size it to the
+  // workload via ServiceOptions::latency_sample_capacity for exact
+  // percentiles.
+  static constexpr size_t kDefaultLatencySampleCapacity = 1024;
 
   size_t requests = 0;
   // Of `requests`: shed on an expired deadline / failed with any other
@@ -107,14 +116,24 @@ struct ServiceStats {
   int64_t total_candidate_layers = 0;  // Served requests only.
   int64_t total_candidates = 0;        // Served requests only.
   int64_t bytes_streamed = 0;          // All requests (failed ones still read).
-  std::vector<double> latency_ring;
-  size_t ring_next = 0;
+  // Embedding-cache counters (snapshot-filled by RerankService::stats()
+  // from the engine's cache; all zero when no cache, or when the cache is
+  // pool-shared — the pool then adds the shared cache's counters once).
+  int64_t embed_hits = 0;
+  int64_t embed_misses = 0;
+  int64_t embed_miss_bytes = 0;
+  // Uniform reservoir over every served latency; `latency_observed` counts
+  // the observations offered to it.
+  std::vector<double> latency_samples;
+  size_t latency_observed = 0;
+  size_t latency_capacity = kDefaultLatencySampleCapacity;
+  uint64_t reservoir_state = 0x5EED5A3217ULL;  // SplitMix64 stream state.
 
   void Observe(const RerankRequest& request, const RerankResult& result, double observed_ms);
 
   // Folds another snapshot into this one (ServicePool aggregation). Counters
-  // add; the merged latency ring concatenates both windows, so it may exceed
-  // kLatencyRingCapacity — fine for a snapshot, which only feeds the
+  // add; the merged samples concatenate both reservoirs, so the result may
+  // exceed latency_capacity — fine for a snapshot, which only feeds the
   // percentile queries below.
   void Merge(const ServiceStats& other);
 
@@ -125,8 +144,13 @@ struct ServiceStats {
     return served() == 0 ? 0.0 : total_latency_ms / static_cast<double>(served());
   }
 
-  // Served-only latency percentile (p in [0, 100]) over the ring window; 0
-  // when empty.
+  double EmbedHitRate() const {
+    const int64_t total = embed_hits + embed_misses;
+    return total == 0 ? 0.0 : static_cast<double>(embed_hits) / static_cast<double>(total);
+  }
+
+  // Served-only latency percentile (p in [0, 100]) over the sample
+  // reservoir; 0 when empty.
   double LatencyPercentileMs(double p) const;
   double P50LatencyMs() const { return LatencyPercentileMs(50.0); }
   double P99LatencyMs() const { return LatencyPercentileMs(99.0); }
@@ -165,6 +189,10 @@ class RerankService : public Runner {
   const ModelConfig& config() const { return config_; }
   float current_threshold() const { return engine_->dispersion_threshold(); }
   const Scheduler& scheduler() const { return *scheduler_; }
+  // The service's engine (always built, even with a runner override) —
+  // exposed so a front-end result cache can borrow its embedding source
+  // for the similarity-admission tier.
+  PrismEngine& engine() { return *engine_; }
 
  private:
   ModelConfig config_;

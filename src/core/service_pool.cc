@@ -1,5 +1,6 @@
 #include "src/core/service_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -11,7 +12,8 @@ namespace {
 
 class RoundRobinBalancer : public LoadBalancer {
  public:
-  size_t Pick(const RerankRequest& /*request*/, std::span<const size_t> inflight) override {
+  size_t Pick(const RerankRequest& /*request*/, uint64_t /*query_hash*/,
+              std::span<const size_t> inflight) override {
     return next_.fetch_add(1, std::memory_order_relaxed) % inflight.size();
   }
   std::string name() const override { return "round_robin"; }
@@ -22,7 +24,8 @@ class RoundRobinBalancer : public LoadBalancer {
 
 class LeastLoadedBalancer : public LoadBalancer {
  public:
-  size_t Pick(const RerankRequest& /*request*/, std::span<const size_t> inflight) override {
+  size_t Pick(const RerankRequest& /*request*/, uint64_t /*query_hash*/,
+              std::span<const size_t> inflight) override {
     size_t best = 0;
     for (size_t i = 1; i < inflight.size(); ++i) {
       if (inflight[i] < inflight[best]) {
@@ -36,8 +39,9 @@ class LeastLoadedBalancer : public LoadBalancer {
 
 class QueryAffinityBalancer : public LoadBalancer {
  public:
-  size_t Pick(const RerankRequest& request, std::span<const size_t> inflight) override {
-    return static_cast<size_t>(QueryHash(request) % inflight.size());
+  size_t Pick(const RerankRequest& /*request*/, uint64_t query_hash,
+              std::span<const size_t> inflight) override {
+    return static_cast<size_t>(query_hash % inflight.size());
   }
   std::string name() const override { return "query_affinity"; }
 };
@@ -95,6 +99,21 @@ ServicePool::ServicePool(const ModelConfig& config, const std::string& checkpoin
                          ServicePoolOptions options, MemoryTracker* tracker)
     : options_(options) {
   PRISM_CHECK_GT(options_.pool_size, 0u);
+  if (options_.share_embed_cache && options_.service.engine.embed_cache) {
+    // One pool-wide embedding cache with its own reader on the checkpoint;
+    // every replica's engine is pointed at it instead of building a private
+    // one. Budgeted like a single replica's cache would be — the sharing
+    // win is N-1 caches of memory plus cross-replica warmth.
+    auto reader = BlobFileReader::Open(checkpoint_path, options_.service.engine.device.ssd);
+    PRISM_CHECK_MSG(reader.ok(), reader.status().ToString().c_str());
+    shared_embed_reader_ = std::move(reader).value();
+    const auto rows = static_cast<size_t>(
+        std::max(1.0, options_.service.engine.embed_cache_fraction *
+                          static_cast<double>(config.vocab_size)));
+    shared_embed_cache_ =
+        std::make_unique<EmbeddingCache>(config, shared_embed_reader_.get(), rows, tracker);
+    options_.service.engine.shared_embed_cache = shared_embed_cache_.get();
+  }
   replicas_.reserve(options_.pool_size);
   for (size_t i = 0; i < options_.pool_size; ++i) {
     replicas_.push_back(
@@ -120,13 +139,17 @@ std::string ServicePool::name() const {
 }
 
 RerankResult ServicePool::Rerank(const RerankRequest& request) {
+  return RerankHashed(request, QueryHash(request));
+}
+
+RerankResult ServicePool::RerankHashed(const RerankRequest& request, uint64_t query_hash) {
   // Snapshot in-flight counts for the balancer; slightly stale is fine (the
   // point is a cheap wait-free read on the hot path).
   std::vector<size_t> inflight(replicas_.size());
   for (size_t i = 0; i < replicas_.size(); ++i) {
     inflight[i] = inflight_[i].load(std::memory_order_relaxed);
   }
-  const size_t pick = balancer_->Pick(request, inflight);
+  const size_t pick = balancer_->Pick(request, query_hash, inflight);
   PRISM_CHECK_LT(pick, replicas_.size());
   inflight_[pick].fetch_add(1, std::memory_order_relaxed);
   admitted_[pick].fetch_add(1, std::memory_order_relaxed);
@@ -143,6 +166,14 @@ PoolStats ServicePool::stats() const {
     stats.aggregate.Merge(replicas_[i]->stats());
     stats.replica_requests[i] = admitted_[i].load(std::memory_order_relaxed);
     stats.replica_inflight[i] = inflight_[i].load(std::memory_order_relaxed);
+  }
+  if (shared_embed_cache_ != nullptr) {
+    // Each replica reports embed stats only for a cache it owns, so the
+    // shared cache is counted exactly once here.
+    const EmbeddingCacheStats embed = shared_embed_cache_->stats();
+    stats.aggregate.embed_hits += embed.hits;
+    stats.aggregate.embed_misses += embed.misses;
+    stats.aggregate.embed_miss_bytes += embed.miss_bytes;
   }
   return stats;
 }

@@ -187,6 +187,21 @@ std::vector<std::vector<size_t>> BaselineSelections(const ScenarioHarness& scena
   return selections;
 }
 
+void WorkloadReport::AttachServingStats(const ServiceStats& stats) {
+  embed_hits = stats.embed_hits;
+  embed_misses = stats.embed_misses;
+  embed_miss_bytes = stats.embed_miss_bytes;
+  embed_hit_rate = stats.EmbedHitRate();
+}
+
+void WorkloadReport::AttachCacheStats(const ResultCacheStats& stats) {
+  cache_lookups = stats.lookups;
+  cache_hits = stats.hits + stats.similarity_hits;
+  cache_coalesced = stats.coalesced;
+  cache_shed_waiting = stats.shed_waiting;
+  cache_hit_rate = stats.HitRate();
+}
+
 std::string WorkloadReport::SummaryJson() const {
   char buf[256];
   std::string json = "{";
@@ -216,6 +231,19 @@ std::string WorkloadReport::SummaryJson() const {
   add_double("slo_attainment", slo_attainment);
   add_double("mean_quality", mean_quality);
   add_double("mean_queue_wait_ms", mean_queue_wait_ms);
+  add_size("cache_lookups", cache_lookups);
+  add_size("cache_hits", cache_hits);
+  add_size("cache_coalesced", cache_coalesced);
+  add_size("cache_shed_waiting", cache_shed_waiting);
+  add_double("cache_hit_rate", cache_hit_rate);
+  const auto add_int64 = [&](const char* key, int64_t value) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%lld,", key, static_cast<long long>(value));
+    json += buf;
+  };
+  add_int64("embed_hits", embed_hits);
+  add_int64("embed_misses", embed_misses);
+  add_int64("embed_miss_bytes", embed_miss_bytes);
+  add_double("embed_hit_rate", embed_hit_rate);
   json += "\"selections\":[";
   for (size_t q = 0; q < selections.size(); ++q) {
     json += q == 0 ? "[" : ",[";

@@ -25,8 +25,10 @@
 #include "src/apps/lcs.h"
 #include "src/apps/rag.h"
 #include "src/common/clock.h"
+#include "src/core/service.h"
 #include "src/model/config.h"
 #include "src/runtime/runner.h"
+#include "src/serving/result_cache.h"
 
 namespace prism {
 
@@ -203,6 +205,29 @@ struct WorkloadReport {
   // produce identical sequences — the determinism property the sim-mode
   // tests assert.
   std::string statuses;
+
+  // --- Cache accounting (filled by AttachCacheStats / AttachServingStats
+  // after the run; all zero when the corresponding tier is absent). -------
+  // Result-cache counters (src/serving/result_cache.h): how many reranks
+  // the front-end cache absorbed without an engine pass.
+  size_t cache_lookups = 0;
+  size_t cache_hits = 0;            // Exact + similarity hits.
+  size_t cache_coalesced = 0;       // Served by another request's fill.
+  size_t cache_shed_waiting = 0;    // Deadline expired while parked.
+  double cache_hit_rate = 0.0;
+  // Embedding-cache counters aggregated across the serving stack (a pool
+  // counts a shared cache exactly once).
+  int64_t embed_hits = 0;
+  int64_t embed_misses = 0;
+  int64_t embed_miss_bytes = 0;
+  double embed_hit_rate = 0.0;
+
+  // Folds a served-stack stats snapshot (RerankService::stats() or
+  // ServicePool::stats().aggregate) into the embed_* fields. Call after the
+  // run, before SummaryJson.
+  void AttachServingStats(const ServiceStats& stats);
+  // Folds a ResultCache stats snapshot into the cache_* fields.
+  void AttachCacheStats(const ResultCacheStats& stats);
 
   // Byte-comparable summary: every counter and metric above (selections
   // digested per query id), doubles printed with %.17g so any bit

@@ -566,17 +566,34 @@ TEST(ServiceStatsTest, PercentilesFromRing) {
   EXPECT_DOUBLE_EQ(stats.max_latency_ms, 100.0);
 }
 
-TEST(ServiceStatsTest, RingEvictsOldestBeyondCapacity) {
+TEST(ServiceStatsTest, ReservoirSamplesWholeRunBeyondCapacity) {
   ServiceStats stats;
   RerankRequest request;
   RerankResult result;
-  const size_t total = ServiceStats::kLatencyRingCapacity + 100;
+  const size_t total = ServiceStats::kDefaultLatencySampleCapacity + 100;
   for (size_t i = 0; i < total; ++i) {
     stats.Observe(request, result, static_cast<double>(i));
   }
-  EXPECT_EQ(stats.latency_ring.size(), ServiceStats::kLatencyRingCapacity);
-  // The smallest retained latency is the first not-yet-evicted value.
-  EXPECT_DOUBLE_EQ(stats.LatencyPercentileMs(0.0), 100.0);
+  EXPECT_EQ(stats.latency_samples.size(), ServiceStats::kDefaultLatencySampleCapacity);
+  EXPECT_EQ(stats.latency_observed, total);
+  // Unlike the old most-recent-window ring, the reservoir keeps a uniform
+  // sample of the whole run: early observations survive. With 100 extras
+  // over capacity the expected early-sample retention is ~90%, so at least
+  // one of the first hundred values (all < 100) is retained with
+  // overwhelming probability for any fixed seed.
+  EXPECT_LT(stats.LatencyPercentileMs(0.0), 100.0);
+}
+
+TEST(ServiceStatsTest, ReservoirIsDeterministicForFixedObservationOrder) {
+  RerankRequest request;
+  RerankResult result;
+  ServiceStats a;
+  ServiceStats b;
+  for (size_t i = 0; i < ServiceStats::kDefaultLatencySampleCapacity + 500; ++i) {
+    a.Observe(request, result, static_cast<double>(i));
+    b.Observe(request, result, static_cast<double>(i));
+  }
+  EXPECT_EQ(a.latency_samples, b.latency_samples);
 }
 
 // A runner that just sleeps: lets the shed tests hold a scheduler busy for

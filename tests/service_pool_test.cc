@@ -232,7 +232,7 @@ TEST_F(ServicePoolTest, AggregateStatsMergeReplicaWindows) {
   EXPECT_EQ(stats.replica_requests[0] + stats.replica_requests[1], 6u);
   EXPECT_GT(stats.aggregate.MeanLatencyMs(), 0.0);
   EXPECT_GE(stats.aggregate.max_latency_ms, stats.aggregate.P50LatencyMs());
-  EXPECT_EQ(stats.aggregate.latency_ring.size(), 6u);  // Both windows merged.
+  EXPECT_EQ(stats.aggregate.latency_samples.size(), 6u);  // Both reservoirs merged.
   EXPECT_GT(stats.aggregate.total_candidates, 0);
 }
 

@@ -187,7 +187,7 @@ TEST(ServiceStatsOverloadTest, ShedRequestsLeavePercentilesUntouched) {
   EXPECT_DOUBLE_EQ(stats.P99LatencyMs(), p99_before);
   EXPECT_DOUBLE_EQ(stats.MeanLatencyMs(), mean_before);
   EXPECT_DOUBLE_EQ(stats.max_latency_ms, max_before);
-  EXPECT_EQ(stats.latency_ring.size(), 10u);
+  EXPECT_EQ(stats.latency_samples.size(), 10u);
   // Shed requests burned no engine work: WorkFraction's denominator must
   // not grow either.
   EXPECT_EQ(stats.total_candidates, candidates_before);

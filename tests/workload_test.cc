@@ -166,9 +166,10 @@ TEST_F(WorkloadTest, DeadlinesShedUnderOverloadAndAreAccountedExactly) {
   EXPECT_EQ(stats.requests, 18u);
   EXPECT_EQ(stats.shed, report.shed);
   EXPECT_EQ(stats.served(), report.served);
-  // Served-only ring: one latency sample per served request, each at least
-  // the 10 virtual-ms service charge.
-  EXPECT_EQ(stats.latency_ring.size(), stats.served());
+  // Served-only reservoir: one latency sample per served request (under
+  // capacity nothing is subsampled), each at least the 10 virtual-ms
+  // service charge.
+  EXPECT_EQ(stats.latency_samples.size(), stats.served());
   if (stats.served() > 0) {
     EXPECT_GE(stats.LatencyPercentileMs(0.0), 10.0);
   }
@@ -218,6 +219,42 @@ TEST_F(WorkloadTest, SimulatedWorkloadReplaysByteIdentically) {
                                << pool_size;
     }
   }
+}
+
+TEST_F(WorkloadTest, CacheFrontedSimulatedWorkloadReplaysByteIdentically) {
+  // The result-cache tier joins the determinism contract: a serial-scheduler
+  // stack fronted by a ResultCache — coalesced waiters, staggered releases,
+  // fills failing under shed pressure and all — must replay byte-identically
+  // under a SimClock. Open loop at an overloading rate with deadlines so the
+  // cache's park/shed paths are actually exercised.
+  const ScenarioHarness harness(ScenarioKind::kFileSearch, config_, FastScenario());
+  const auto run = [&] {
+    SimClock clock;
+    MemoryTracker tracker;
+    ServiceOptions sopts = FastService(SchedulerKind::kSerial, 1);
+    sopts.clock = &clock;
+    sopts.sim.enabled = true;
+    RerankService service(config_, ckpt_, sopts, &tracker);
+    ResultCacheOptions copts;
+    copts.capacity = 2;  // Head-sized: hits, evictions, and refills all occur.
+    copts.clock = &clock;
+    ResultCache cache(&service, copts);
+    WorkloadOptions wopts;
+    wopts.clients = 6;
+    wopts.requests = 48;
+    wopts.warmup = 4;
+    wopts.arrival_hz = 200.0;
+    wopts.deadline_ms = 30.0;
+    wopts.clock = &clock;
+    WorkloadReport report = RunWorkload(harness, &cache, wopts);
+    report.AttachCacheStats(cache.stats());
+    EXPECT_EQ(report.statuses.size(), wopts.requests);
+    EXPECT_GT(report.cache_hits + report.cache_coalesced, 0u);
+    return report.SummaryJson();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
 }
 
 TEST_F(WorkloadTest, TaggingRunnerStampsPriorityAndDeadline) {
