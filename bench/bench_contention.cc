@@ -1,0 +1,261 @@
+// Admission/stats hot-path contention sweep: lock-free vs mutexed.
+//
+// Measures aggregate closed-loop throughput through one RerankService
+// (batch scheduler, 1 replica) as the client-thread count grows, with the
+// engine cost removed from the picture: the service runs the simulated-cost
+// runner at zero virtual cost with memoization on, so after a single-thread
+// warmup every request is a memo replay and the measured time is almost
+// entirely the per-request serving overhead — queue admission and stats
+// observation. That is exactly the pair of paths the lock-free work
+// de-contends, and the sweep compares both modes of each
+// (ServiceOptions::lockfree_admission / lockfree_stats):
+//
+//   mutex    — producers stage under the queue mutex; stats under a mutex.
+//   lockfree — producers CAS into the MPSC staging ring; stats go to
+//              striped per-thread atomic cells.
+//
+// Every completion is checked against a serial reference selection — the
+// de-contended paths must change no result, only its cost. Modes:
+//
+//   (default)  wall-clock sweep over --threads, printing req/s per mode and
+//              the lockfree/mutex ratio per thread count.
+//   --smoke    one small wall-clock config (CI: exercises both modes end to
+//              end and gates on 0 mismatches, no timing assertions).
+//   --sim      deterministic virtual-time sweep on a SimClock with nonzero
+//              virtual service costs, emitting JSON with virtual-time
+//              fields only: byte-identical across runs (CI determinism
+//              lane material, like bench_scenarios --sim).
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/common/timer.h"
+#include "src/core/service.h"
+
+namespace prism {
+namespace {
+
+struct RunOutcome {
+  size_t threads = 0;
+  bool lock_free = false;
+  size_t requests = 0;
+  size_t mismatches = 0;
+  double wall_seconds = 0.0;
+  double req_per_sec = 0.0;
+  // Deterministic under --sim (virtual-time, sorted-reservoir quantities).
+  size_t served = 0;
+  size_t shed = 0;
+  size_t errors = 0;
+  double virtual_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+ServiceOptions ContentionOptions(const DeviceProfile& device, bool lock_free,
+                                 size_t max_inflight, Clock* clock, bool virtual_costs) {
+  ServiceOptions options;
+  options.engine.device = device;
+  options.scheduler = SchedulerKind::kBatch;
+  options.max_inflight = max_inflight;
+  // The memo serves every measured request, so the batch compute fan-out is
+  // idle; a tiny pool keeps thread-spawn noise out of the measurement.
+  options.compute_threads = 2;
+  options.clock = clock;
+  options.sim.enabled = true;
+  options.sim.memoize = true;
+  // Zero virtual cost on the wall clock makes hot-path overhead the whole
+  // measurement; the --sim sweep charges real virtual service time instead
+  // so its queueing dynamics are non-degenerate.
+  options.sim.pass_ms = virtual_costs ? 4.0 : 0.0;
+  options.sim.per_request_ms = virtual_costs ? 1.0 : 0.0;
+  options.lockfree_stats = lock_free;
+  options.lockfree_admission = lock_free;
+  return options;
+}
+
+// Serial-scheduler reference selections: the answers every sweep completion
+// must reproduce bit-identically.
+std::vector<std::vector<size_t>> ReferenceSelections(const ModelConfig& model,
+                                                     const std::string& checkpoint,
+                                                     const DeviceProfile& device,
+                                                     const std::vector<BenchCase>& cases) {
+  ServiceOptions options =
+      ContentionOptions(device, /*lock_free=*/true, /*max_inflight=*/1,
+                        /*clock=*/nullptr, /*virtual_costs=*/false);
+  options.scheduler = SchedulerKind::kSerial;
+  RerankService service(model, checkpoint, options);
+  std::vector<std::vector<size_t>> reference;
+  reference.reserve(cases.size());
+  for (const BenchCase& bench_case : cases) {
+    const RerankResult result = service.Rerank(bench_case.request);
+    PRISM_CHECK_MSG(result.status.ok(), "reference pass failed");
+    reference.push_back(result.topk);
+  }
+  return reference;
+}
+
+RunOutcome RunOnce(const ModelConfig& model, const std::string& checkpoint,
+                   const DeviceProfile& device, const std::vector<BenchCase>& cases,
+                   const std::vector<std::vector<size_t>>& reference, size_t threads,
+                   bool lock_free, size_t max_inflight, size_t requests_per_thread,
+                   bool sim_time) {
+  const std::unique_ptr<SimClock> sim_clock = sim_time ? std::make_unique<SimClock>() : nullptr;
+  Clock* clock = ResolveClock(sim_clock.get());
+  RerankService service(model, checkpoint,
+                        ContentionOptions(device, lock_free, max_inflight, sim_clock.get(),
+                                          sim_time));
+
+  // Warm the memo single-threaded: the measured phase then serves pure
+  // hot-path traffic (no engine pass, no first-touch allocation).
+  {
+    const ClockMembership membership(clock);
+    for (const BenchCase& bench_case : cases) {
+      service.Rerank(bench_case.request);
+    }
+  }
+
+  std::atomic<size_t> mismatches{0};
+  clock->ExpectParticipants(threads);
+  const double start_virtual_ms = clock->NowMs();
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const ClockMembership membership(clock);
+      for (size_t i = 0; i < requests_per_thread; ++i) {
+        // Per-thread phase over the shared case set: all threads hammer all
+        // cases, deterministically.
+        const size_t q = (t * 7 + i) % cases.size();
+        const RerankResult result = service.Rerank(cases[q].request);
+        if (!result.status.ok() || result.topk != reference[q]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  RunOutcome outcome;
+  outcome.threads = threads;
+  outcome.lock_free = lock_free;
+  outcome.requests = threads * requests_per_thread;
+  outcome.mismatches = mismatches.load();
+  outcome.wall_seconds = static_cast<double>(timer.ElapsedMicros()) / 1e6;
+  outcome.req_per_sec =
+      outcome.wall_seconds > 0.0 ? static_cast<double>(outcome.requests) / outcome.wall_seconds
+                                 : 0.0;
+  outcome.virtual_ms = clock->NowMs() - start_virtual_ms;
+  const ServiceStats stats = service.stats();
+  // The warmup pass is part of these totals; subtract it from the request
+  // classes (it is serial, served, and identical in every mode).
+  outcome.served = stats.served() - cases.size();
+  outcome.shed = stats.shed;
+  outcome.errors = stats.errors;
+  outcome.p50_ms = stats.P50LatencyMs();
+  outcome.p99_ms = stats.P99LatencyMs();
+  return outcome;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const bool sim = flags.GetBool("sim", false);
+
+  ModelConfig model = TestModel();
+  DeviceProfile device = DeviceByName("nvidia");
+  device.ssd.throttle = false;
+  device.compute_slowdown = 1.0;
+
+  std::vector<size_t> threads;
+  for (const std::string& t :
+       SplitCsv(flags.GetString("threads", smoke ? "4" : (sim ? "4,32" : "1,8,32")))) {
+    threads.push_back(static_cast<size_t>(std::stoul(t)));
+  }
+  const size_t max_inflight = static_cast<size_t>(flags.GetInt("max_inflight", 32));
+  const size_t requests_per_thread = static_cast<size_t>(
+      flags.GetInt("requests_per_thread", smoke ? 100 : (sim ? 50 : 1500)));
+  const size_t n_queries = static_cast<size_t>(flags.GetInt("n_queries", 8));
+
+  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed, /*quantized=*/false);
+  const std::vector<BenchCase> cases = MakeCases(model, "wikipedia", n_queries,
+                                                 /*candidates=*/12, /*k=*/4);
+  const std::vector<std::vector<size_t>> reference =
+      ReferenceSelections(model, checkpoint, device, cases);
+
+  PrintHeader("Hot-path contention sweep — batch scheduler x1, memoized zero-cost serving, " +
+              std::to_string(requests_per_thread) + " req/thread" +
+              (sim ? ", simulated time" : ""));
+  std::printf("%-10s %-9s %12s %10s %10s %8s %6s\n", "threads", "mode", "req/s", "p50 ms",
+              "p99 ms", "shed", "misms");
+
+  size_t total_mismatches = 0;
+  bool ratio_printed = false;
+  if (sim) {
+    std::printf("(virtual-time sweep; JSON below is the deterministic artifact)\n");
+  }
+  std::vector<RunOutcome> outcomes;
+  for (const size_t n : threads) {
+    RunOutcome mutexed;
+    RunOutcome lockfree;
+    for (const bool lock_free : {false, true}) {
+      const RunOutcome outcome = RunOnce(model, checkpoint, device, cases, reference, n,
+                                         lock_free, max_inflight, requests_per_thread, sim);
+      // Under --sim every printed byte must be deterministic, so the rate
+      // column switches to virtual-time throughput (wall rates vary by run).
+      const double rate = sim ? (outcome.virtual_ms > 0.0
+                                     ? static_cast<double>(outcome.requests) /
+                                           (outcome.virtual_ms / 1000.0)
+                                     : 0.0)
+                              : outcome.req_per_sec;
+      std::printf("%-10zu %-9s %12.0f %10.3f %10.3f %8zu %6zu\n", outcome.threads,
+                  lock_free ? "lockfree" : "mutex", rate, outcome.p50_ms, outcome.p99_ms,
+                  outcome.shed, outcome.mismatches);
+      total_mismatches += outcome.mismatches;
+      (lock_free ? lockfree : mutexed) = outcome;
+      outcomes.push_back(outcome);
+    }
+    if (!sim && mutexed.req_per_sec > 0.0) {
+      std::printf("%-10s %-9s %11.2fx\n", "", "ratio",
+                  lockfree.req_per_sec / mutexed.req_per_sec);
+      ratio_printed = true;
+    }
+  }
+  (void)ratio_printed;
+
+  if (sim) {
+    // Virtual-time JSON: every field is a deterministic function of the
+    // virtual schedule (wall-clock rates are deliberately absent), so two
+    // runs of this binary must produce byte-identical output.
+    std::printf("{\n  \"bench\": \"contention\",\n  \"sim\": true,\n  \"runs\": [\n");
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const RunOutcome& o = outcomes[i];
+      std::printf("    {\"threads\": %zu, \"mode\": \"%s\", \"requests\": %zu, "
+                  "\"served\": %zu, \"shed\": %zu, \"errors\": %zu, \"virtual_ms\": %.6g, "
+                  "\"p50_ms\": %.6g, \"p99_ms\": %.6g, \"mismatches\": %zu}%s\n",
+                  o.threads, o.lock_free ? "lockfree" : "mutex", o.requests, o.served, o.shed,
+                  o.errors, o.virtual_ms, o.p50_ms, o.p99_ms, o.mismatches,
+                  i + 1 == outcomes.size() ? "" : ",");
+    }
+    std::printf("  ],\n  \"total_mismatches\": %zu,\n  \"ok\": %s\n}\n", total_mismatches,
+                total_mismatches == 0 ? "true" : "false");
+  }
+
+  if (total_mismatches != 0) {
+    std::printf("FAILED: %zu selection mismatches\n", total_mismatches);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main(int argc, char** argv) { return prism::Main(argc, argv); }

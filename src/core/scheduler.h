@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/striped.h"
 #include "src/common/thread_pool.h"
 #include "src/runtime/runner.h"
 
@@ -101,28 +102,61 @@ class SerialScheduler : public Scheduler {
   bool busy_ = false;
 };
 
-// Ticketed priority-then-FIFO queue of pending requests. Pushes never block;
-// PopBatch blocks until at least one unexpired request is pending (or the
-// queue is closed) and then drains up to `max_batch` entries in
-// (priority desc, ticket asc) order. Expired entries are shed inside
-// PopBatch: their promises are fulfilled with a kDeadlineExceeded result and
-// they never surface to the dispatcher. All timestamps are clock
-// milliseconds; all waits go through the clock's condition variables.
+// Ticketed priority-then-FIFO queue of pending requests, single-consumer by
+// contract: any number of producers may Push concurrently, but at most one
+// thread (the scheduler's dispatcher) calls the pop variants.
+//
+// By default producers stage through a bounded lock-free MPSC ring (Vyukov
+// bounded-queue slot-sequence scheme; cf. the CAS-ticket constructions of
+// Blelloch & Wei, PAPERS.md): a CAS on the enqueue cursor claims a slot,
+// and the claimed position *is* the admission ticket — so ticket order and
+// ring visibility order agree by construction, with no lock and no separate
+// ticket counter. The dispatcher drains the ring (stopping at the first
+// still-publishing slot, which preserves strict ticket-FIFO within a
+// priority class) into a consumer-private structure kept sorted
+// (priority desc, ticket asc); priority ordering, deadline shedding, and
+// the carousel's epoch tagging are therefore single-threaded and need no
+// lock at all. The queue mutex survives only for the two rare edges: the
+// sleep/wake handshake when the dispatcher idles, and producers waiting out
+// a full ring. With `lock_free = false` producers instead stage under the
+// mutex (the measured baseline for bench_contention); everything downstream
+// of staging is shared, so semantics are identical in both modes.
+//
+// Pushes never block (short of a full ring); PopBatch blocks until at least
+// one unexpired request is pending (or the queue is closed) and then drains
+// up to `max_batch` entries in (priority desc, ticket asc) order. Expired
+// entries are shed inside the pops: their promises are fulfilled with a
+// kDeadlineExceeded result and they never surface to the dispatcher. All
+// timestamps are clock milliseconds; all waits go through the clock's
+// condition variables, so SimClock determinism is preserved — ordering
+// decisions happen only in the dispatcher, after a yield to quiescence.
 class RequestQueue {
  public:
-  explicit RequestQueue(Clock* clock = nullptr)
-      : clock_(ResolveClock(clock)), cv_(clock_->MakeCondVar()) {}
+  // `ring_capacity` (rounded up to a power of two) bounds the lock-free
+  // staging ring; a producer that finds it full waits on the clock seam
+  // until the dispatcher drains — deadline accounting keeps running, since
+  // admission stamps happen before staging.
+  explicit RequestQueue(Clock* clock = nullptr, bool lock_free = true,
+                        size_t ring_capacity = kDefaultRingCapacity);
+  ~RequestQueue();
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  static constexpr size_t kDefaultRingCapacity = 1024;
 
   struct Pending {
     const RerankRequest* request = nullptr;
     std::promise<RerankResult> promise;
     uint64_t ticket = 0;
     int priority = 0;
-    // Snapshot of the caller's epoch counter, taken inside the queue mutex
-    // at push time (the CarouselScheduler's admission-boundary counter; the
-    // pops bump the same counter inside the mutex, so "epoch at admission
-    // minus tag" counts admission events between enqueue and dispatch
-    // race-free).
+    // The caller's epoch counter (the CarouselScheduler's admission-boundary
+    // counter) as of the pop that first drained this entry out of staging.
+    // Only the dispatcher reads and bumps the epoch, and every pop drains
+    // all published staging before bumping, so "epoch at dispatch minus tag"
+    // counts exactly the admission events between this entry becoming
+    // visible and its dispatch — race-free without any producer-side
+    // snapshot.
     uint64_t tag = 0;
     double admitted_ms = 0.0;
     // Absolute expiry instant (clock ms); only meaningful when has_deadline.
@@ -132,14 +166,12 @@ class RequestQueue {
     bool ExpiredAt(double now_ms) const { return has_deadline && now_ms >= deadline_at_ms; }
   };
 
-  // All pop variants share the epoch protocol: when `epoch` is non-null, a
-  // pop that returns a non-empty batch increments it while holding the
-  // queue mutex, and Push snapshots it (same mutex) into Pending::tag. An
-  // entry therefore observes exactly the admission events that could have
-  // taken it: with free capacity, epoch-at-admission − tag == 1, always.
+  // All pop variants share the epoch protocol: when `epoch` is non-null,
+  // entries are tagged with its current value as they drain out of staging,
+  // and a pop that returns a non-empty batch increments it. With free
+  // capacity, epoch-at-dispatch − tag == 1, always.
 
-  std::future<RerankResult> Push(const RerankRequest& request,
-                                 const std::atomic<uint64_t>* epoch = nullptr);
+  std::future<RerankResult> Push(const RerankRequest& request);
   std::vector<Pending> PopBatch(size_t max_batch, std::atomic<uint64_t>* epoch = nullptr);
 
   // Non-blocking PopBatch: sheds expired entries, then returns up to
@@ -156,39 +188,88 @@ class RequestQueue {
                                    std::atomic<uint64_t>* epoch = nullptr);
 
   // Wakes PopBatch; subsequent pushes are rejected (CHECK). Entries still
-  // queued are drained by subsequent PopBatch calls.
+  // staged or ordered are drained by subsequent PopBatch calls.
   void Close();
 
+  // Entries pending (staged + ordered, not yet popped). Counter-derived and
+  // lock-free; momentarily stale against in-flight pushes, like any
+  // concurrent size.
   size_t size() const;
 
   // Requests shed on an expired deadline so far.
   size_t shed_count() const;
 
  private:
-  // Both require mu_ held: move expired entries into `shed`, then up to
-  // `max_batch` survivors into the returned batch.
-  void ShedExpiredLocked(std::vector<Pending>* shed);
-  std::vector<Pending> TakeLocked(size_t max_batch);
-  // Fulfils shed promises (outside the lock).
+  // One ring slot (Vyukov scheme). seq == pos: free for the producer that
+  // claims position pos; seq == pos + 1: published, ready for the consumer;
+  // after consumption seq becomes pos + capacity (free for the next lap).
+  // The seq release-store publishes `item`; the consumer's acquire-load
+  // receives it.
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<uint64_t> seq{0};
+    Pending item;
+  };
+
+  // Producer side: stamps and stages one entry, returns its future.
+  std::future<RerankResult> Stage(const RerankRequest& request);
+  // Consumer side (dispatcher-private, no lock): moves every published
+  // staged entry into ordered_, tagging each with `epoch`'s current value.
+  void DrainStaged(const std::atomic<uint64_t>* epoch);
+  // Sorted insert into ordered_ (priority desc, ticket asc), scanning from
+  // the back — O(1) for the in-ticket-order drains both modes produce.
+  void InsertOrdered(Pending pending);
+  // Both operate on ordered_, consumer-private: move expired entries into
+  // `shed`, then up to `max_batch` survivors into the returned batch.
+  void ShedExpired(std::vector<Pending>* shed);
+  std::vector<Pending> Take(size_t max_batch);
+  // Fulfils shed promises.
   void AnswerShed(std::vector<Pending> shed);
+  // True when the dispatcher has (or can drain) work: ordered_ is never
+  // consulted here because only the consumer calls this between drains.
+  bool HasStaged() const { return staged_count_.load(std::memory_order_seq_cst) > 0; }
 
   Clock* clock_;
-  std::unique_ptr<ClockCondVar> cv_;
-  mutable std::mutex mu_;
-  // Kept sorted: priority descending, ticket ascending. Push inserts from
-  // the back (new tickets sort last within their class), so the common
-  // single-priority workload stays O(1).
-  std::deque<Pending> queue_;
-  uint64_t next_ticket_ = 0;
-  size_t shed_ = 0;
-  bool closed_ = false;
+  const bool lock_free_;
+  std::unique_ptr<ClockCondVar> cv_;           // Dispatcher parks here.
+  std::unique_ptr<ClockCondVar> not_full_cv_;  // Producers park on a full ring.
+  mutable std::mutex mu_;  // Sleep/wake handshake + mutex-mode staging only.
+
+  // --- Staging (producers → dispatcher). ---------------------------------
+  // Lock-free mode: the bounded ring. enqueue_pos_ is the CAS ticket
+  // cursor; dequeue_pos_ is consumer-private, mirrored into
+  // dequeue_published_ so full-ring producers can watch drain progress.
+  std::unique_ptr<Slot[]> ring_;
+  size_t ring_mask_ = 0;
+  std::atomic<uint64_t> enqueue_pos_{0};
+  uint64_t dequeue_pos_ = 0;
+  std::atomic<uint64_t> dequeue_published_{0};
+  // Mutex mode: staged under mu_; tickets still come from enqueue_pos_.
+  std::deque<Pending> staged_mutex_;
+  // Ring + mutex staging, published but not yet drained. seq_cst: pairs
+  // with dispatcher_sleeping_ / full_waiters_ in the two Dekker-style
+  // sleep/wake handshakes below.
+  std::atomic<size_t> staged_count_{0};
+  std::atomic<bool> dispatcher_sleeping_{false};
+  std::atomic<size_t> full_waiters_{0};
+
+  // --- Ordering (dispatcher-private; no synchronization). ----------------
+  // Kept sorted: priority descending, ticket ascending. Drain inserts from
+  // the back (staging arrives in ticket order), so the common
+  // single-priority case stays O(1) per entry.
+  std::deque<Pending> ordered_;
+  std::atomic<size_t> ordered_count_{0};  // Mirror of ordered_.size() for size().
+
+  std::atomic<size_t> shed_{0};
+  std::atomic<bool> closed_{false};
 };
 
 class BatchScheduler : public Scheduler {
  public:
   // `compute_threads` sizes the per-request fan-out pool (0 = one per core).
+  // `lock_free_admission` selects the queue's staging mode (see
+  // RequestQueue; false = the mutexed baseline).
   BatchScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads = 0,
-                 Clock* clock = nullptr);
+                 Clock* clock = nullptr, bool lock_free_admission = true);
   ~BatchScheduler() override;
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -237,7 +318,8 @@ class CarouselScheduler : public Scheduler {
   // loading — for new traffic before tearing down; arrivals inside the
   // window start on warm weights instead of a cold streamer.
   CarouselScheduler(BatchRunner* runner, size_t max_inflight, size_t compute_threads = 0,
-                    double linger_ms = 200.0, Clock* clock = nullptr);
+                    double linger_ms = 200.0, Clock* clock = nullptr,
+                    bool lock_free_admission = true);
   ~CarouselScheduler() override;
 
   CarouselScheduler(const CarouselScheduler&) = delete;
@@ -268,8 +350,9 @@ class CarouselScheduler : public Scheduler {
   Clock* clock_;
   RequestQueue queue_;
   std::unique_ptr<ThreadPool> compute_pool_;
-  // Admission events so far — bumped by the queue pops (inside the queue
-  // mutex) and snapshotted by Push into each entry's tag.
+  // Admission events so far — tagged onto each entry as the dispatcher
+  // drains it out of staging, and bumped by the pops that hand out batches
+  // (both on the dispatcher thread; see RequestQueue's epoch protocol).
   std::atomic<uint64_t> boundary_seq_{0};
   mutable std::mutex stats_mu_;
   Stats stats_;

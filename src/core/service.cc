@@ -48,6 +48,60 @@ void ServiceStats::Observe(const RerankRequest& request, const RerankResult& res
   ++latency_observed;
 }
 
+namespace {
+
+// Deterministically keeps `keep` of the vector's samples: a seeded partial
+// Fisher-Yates draws a uniform `keep`-subset into the front, then truncates.
+// Order within the kept set is irrelevant (percentiles sort), uniformity is
+// not — every sample must survive with equal probability or the subsample
+// re-biases the merge it serves.
+void SubsampleTo(std::vector<double>* samples, size_t keep, uint64_t seed) {
+  if (keep >= samples->size()) {
+    return;
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < keep; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.NextBelow(samples->size() - i));
+    std::swap((*samples)[i], (*samples)[j]);
+  }
+  samples->resize(keep);
+}
+
+// Merges `other`'s reservoir into (samples, observed) with observed-count
+// weighting. Each side's per-sample weight is observed/|samples| (how many
+// real observations one retained sample stands for); the lighter side is
+// subsampled until both weights match, then the samples concatenate. When
+// both sides are exact (weight 1 each — no reservoir overflow), this is a
+// plain concatenation, which is itself exact. `state` seeds the subsample
+// and advances, so repeated folds stay deterministic.
+void MergeLatencyReservoirs(std::vector<double>* samples, size_t observed,
+                            std::vector<double> other_samples, size_t other_observed,
+                            uint64_t* state) {
+  if (other_observed == 0 || other_samples.empty()) {
+    return;
+  }
+  if (observed == 0 || samples->empty()) {
+    *samples = std::move(other_samples);
+    return;
+  }
+  const double weight = static_cast<double>(observed) / static_cast<double>(samples->size());
+  const double other_weight =
+      static_cast<double>(other_observed) / static_cast<double>(other_samples.size());
+  const double target = std::max(weight, other_weight);
+  const auto keep_for = [target](size_t n_observed) {
+    return std::max<size_t>(
+        1, static_cast<size_t>(std::llround(static_cast<double>(n_observed) / target)));
+  };
+  if (weight < target) {
+    SubsampleTo(samples, keep_for(observed), SplitMix64(*state));
+  } else if (other_weight < target) {
+    SubsampleTo(&other_samples, keep_for(other_observed), SplitMix64(*state));
+  }
+  samples->insert(samples->end(), other_samples.begin(), other_samples.end());
+}
+
+}  // namespace
+
 void ServiceStats::Merge(const ServiceStats& other) {
   requests += other.requests;
   shed += other.shed;
@@ -60,8 +114,8 @@ void ServiceStats::Merge(const ServiceStats& other) {
   embed_hits += other.embed_hits;
   embed_misses += other.embed_misses;
   embed_miss_bytes += other.embed_miss_bytes;
-  latency_samples.insert(latency_samples.end(), other.latency_samples.begin(),
-                         other.latency_samples.end());
+  MergeLatencyReservoirs(&latency_samples, latency_observed, other.latency_samples,
+                         other.latency_observed, &reservoir_state);
   latency_observed += other.latency_observed;
 }
 
@@ -69,6 +123,75 @@ double ServiceStats::LatencyPercentileMs(double p) const {
   std::vector<double> sorted(latency_samples);
   std::sort(sorted.begin(), sorted.end());
   return PercentileOverSorted(sorted, p);
+}
+
+ConcurrentServiceStats::ConcurrentServiceStats(size_t latency_capacity)
+    : latency_capacity_(std::max<size_t>(latency_capacity, 1)), stripes_(kStripes) {
+  // Distinct deterministic reservoir stream per stripe, derived from the
+  // same base seed the plain struct uses.
+  for (size_t i = 0; i < stripes_.size(); ++i) {
+    stripes_[i].rng_state = MixSeed(ServiceStats{}.reservoir_state, static_cast<uint64_t>(i));
+  }
+}
+
+void ConcurrentServiceStats::Observe(const RerankRequest& request, const RerankResult& result,
+                                     double observed_ms) {
+  Stripe& stripe = stripes_[ThreadOrdinal() % stripes_.size()];
+  stripe.requests.Add(1);
+  if (!result.status.ok()) {
+    // Same accounting as ServiceStats::Observe: a shed or failed request
+    // never enters the latency aggregates, only shed/errors and the bytes it
+    // did stream.
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      stripe.shed.Add(1);
+    } else {
+      stripe.errors.Add(1);
+    }
+    stripe.bytes_streamed.Add(result.stats.bytes_streamed);
+    return;
+  }
+  stripe.total_latency_ms.Add(observed_ms);
+  stripe.max_latency_ms.UpdateMax(observed_ms);
+  stripe.candidate_layers.Add(result.stats.candidate_layers);
+  stripe.candidates.Add(static_cast<int64_t>(request.docs.size()));
+  stripe.bytes_streamed.Add(result.stats.bytes_streamed);
+  std::lock_guard<std::mutex> lock(stripe.reservoir_mu);
+  if (stripe.samples.size() < latency_capacity_) {
+    stripe.samples.push_back(observed_ms);
+  } else {
+    const size_t j = static_cast<size_t>(SplitMix64(stripe.rng_state) %
+                                         static_cast<uint64_t>(stripe.observed + 1));
+    if (j < latency_capacity_) {
+      stripe.samples[j] = observed_ms;
+    }
+  }
+  ++stripe.observed;
+}
+
+ServiceStats ConcurrentServiceStats::Snapshot() const {
+  ServiceStats snapshot;
+  snapshot.latency_capacity = latency_capacity_;
+  for (const Stripe& stripe : stripes_) {
+    ServiceStats part;
+    part.requests = static_cast<size_t>(stripe.requests.Load());
+    part.shed = static_cast<size_t>(stripe.shed.Load());
+    part.errors = static_cast<size_t>(stripe.errors.Load());
+    part.total_latency_ms = stripe.total_latency_ms.Load();
+    part.max_latency_ms = stripe.max_latency_ms.Load();
+    part.total_candidate_layers = stripe.candidate_layers.Load();
+    part.total_candidates = stripe.candidates.Load();
+    part.bytes_streamed = stripe.bytes_streamed.Load();
+    {
+      std::lock_guard<std::mutex> lock(stripe.reservoir_mu);
+      part.latency_samples = stripe.samples;
+      part.latency_observed = stripe.observed;
+    }
+    // The stripe fold is the same observed-count-weighted merge the pool
+    // uses across replicas, so an uneven thread→stripe mapping cannot bias
+    // the snapshot's percentiles.
+    snapshot.Merge(part);
+  }
+  return snapshot;
 }
 
 SchedulerKind SchedulerKindByName(const std::string& name) {
@@ -93,6 +216,9 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
     : config_(config), clock_(ResolveClock(options.clock)) {
   if (options.latency_sample_capacity > 0) {
     stats_.latency_capacity = options.latency_sample_capacity;
+  }
+  if (options.lockfree_stats) {
+    striped_stats_ = std::make_unique<ConcurrentServiceStats>(stats_.latency_capacity);
   }
   engine_ = std::make_unique<PrismEngine>(config, checkpoint_path, options.engine, tracker);
   SchedulerKind kind = options.scheduler;
@@ -130,12 +256,13 @@ RerankService::RerankService(const ModelConfig& config, const std::string& check
   const size_t inflight = std::max<size_t>(options.max_inflight, 1);
   switch (kind) {
     case SchedulerKind::kBatch:
-      scheduler_ =
-          std::make_unique<BatchScheduler>(target, inflight, options.compute_threads, clock_);
+      scheduler_ = std::make_unique<BatchScheduler>(target, inflight, options.compute_threads,
+                                                    clock_, options.lockfree_admission);
       break;
     case SchedulerKind::kCarousel:
-      scheduler_ = std::make_unique<CarouselScheduler>(
-          target, inflight, options.compute_threads, options.carousel_linger_ms, clock_);
+      scheduler_ = std::make_unique<CarouselScheduler>(target, inflight, options.compute_threads,
+                                                       options.carousel_linger_ms, clock_,
+                                                       options.lockfree_admission);
       break;
     case SchedulerKind::kSerial: {
       Runner* runner = calibrator_ != nullptr ? static_cast<Runner*>(calibrator_.get())
@@ -155,7 +282,9 @@ RerankResult RerankService::Rerank(const RerankRequest& request) {
   const double start_ms = clock_->NowMs();
   RerankResult result = scheduler_->Submit(request);
   const double observed_ms = clock_->NowMs() - start_ms;
-  {
+  if (striped_stats_ != nullptr) {
+    striped_stats_->Observe(request, result, observed_ms);
+  } else {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.Observe(request, result, observed_ms);
   }
@@ -171,7 +300,9 @@ double RerankService::OnIdle() {
 
 ServiceStats RerankService::stats() const {
   ServiceStats snapshot;
-  {
+  if (striped_stats_ != nullptr) {
+    snapshot = striped_stats_->Snapshot();
+  } else {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot = stats_;
   }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/striped.h"
 #include "src/core/engine.h"
 #include "src/core/online_calibrator.h"
 #include "src/core/scheduler.h"
@@ -86,24 +87,34 @@ struct ServiceOptions {
   // Served-latency reservoir size (see ServiceStats). 0 keeps the default;
   // size it to the expected request count for exact percentiles.
   size_t latency_sample_capacity = 0;
+  // Hot-path de-contention toggles (both default on). When lockfree_stats is
+  // set, per-request latency/counter observation goes through striped
+  // per-thread atomic cells (ConcurrentServiceStats) instead of one
+  // service-wide mutex; when lockfree_admission is set, the batch/carousel
+  // RequestQueue stages producers through a bounded CAS ring instead of the
+  // queue mutex. The mutexed paths are kept as the measured baseline for
+  // bench_contention and as a safety valve — results are identical either
+  // way, only contention behaviour differs.
+  bool lockfree_stats = true;
+  bool lockfree_admission = true;
 };
 
-// Rolling service statistics. RerankService accumulates these under a mutex
-// and hands out snapshots; latencies are client-observed (queueing included)
-// so concurrent-mode percentiles mean what an operator expects. All latency
-// aggregates (samples, mean, max) cover *served* requests only: a shed or
-// failed request's ~0 ms turnaround is accounted in `shed`/`errors`, never
-// in the percentiles — otherwise overload would improve p50/p99 exactly
-// when it should degrade them.
+// Rolling service statistics. RerankService accumulates these (through
+// ConcurrentServiceStats by default, or under a mutex with
+// lockfree_stats = false) and hands out snapshots; latencies are
+// client-observed (queueing included) so concurrent-mode percentiles mean
+// what an operator expects. All latency aggregates (samples, mean, max)
+// cover *served* requests only: a shed or failed request's ~0 ms turnaround
+// is accounted in `shed`/`errors`, never in the percentiles — otherwise
+// overload would improve p50/p99 exactly when it should degrade them.
 struct ServiceStats {
   // Default size of the served-latency sample reservoir. The old fixed-size
-  // latency *ring* kept only the most recent 1024 samples, so on a
-  // 10k-request run p50/p99 reflected the final tenth of the workload;
-  // the reservoir keeps a uniform sample of the whole run instead
-  // (Vitter's algorithm R, seeded — deterministic given observation order,
-  // which a SimClock makes deterministic outright). Size it to the
-  // workload via ServiceOptions::latency_sample_capacity for exact
-  // percentiles.
+  // latency ring kept only the most recent 1024 samples, so on a
+  // 10k-request run p50/p99 reflected the final tenth of the workload; the
+  // reservoir keeps a uniform sample of the whole run instead (Vitter's
+  // algorithm R, seeded — deterministic given observation order, which a
+  // SimClock makes deterministic outright). Size it to the workload via
+  // ServiceOptions::latency_sample_capacity for exact percentiles.
   static constexpr size_t kDefaultLatencySampleCapacity = 1024;
 
   size_t requests = 0;
@@ -131,13 +142,25 @@ struct ServiceStats {
 
   void Observe(const RerankRequest& request, const RerankResult& result, double observed_ms);
 
-  // Folds another snapshot into this one (ServicePool aggregation). Counters
-  // add; the merged samples concatenate both reservoirs, so the result may
-  // exceed latency_capacity — fine for a snapshot, which only feeds the
-  // percentile queries below.
+  // Folds another snapshot into this one (ServicePool aggregation, stripe
+  // folds). Counters add; the latency reservoirs combine in proportion to
+  // each side's latency_observed — the lighter-weighted side is
+  // deterministically subsampled (seeded by reservoir_state) until both
+  // sides' samples stand for the same number of observations, then the
+  // samples concatenate. Raw concatenation used to give a replica that
+  // served 10× fewer requests 10× over-weighted samples in the pool's
+  // p50/p99; two exact (un-overflowed) reservoirs still merge exactly. The
+  // merged sample count may exceed latency_capacity — fine for a snapshot,
+  // which only feeds the percentile queries below.
   void Merge(const ServiceStats& other);
 
-  size_t served() const { return requests - shed - errors; }
+  // Clamped: a snapshot folded from concurrently-mutated stripes can tear
+  // between the `requests` and `shed`/`errors` increments of an in-flight
+  // observation, so the unsigned difference must never be allowed to wrap.
+  size_t served() const {
+    const size_t finished = shed + errors;
+    return requests > finished ? requests - finished : 0;
+  }
 
   // Mean client-observed latency over served requests.
   double MeanLatencyMs() const {
@@ -162,6 +185,61 @@ struct ServiceStats {
     const auto full = static_cast<double>(total_candidates) * static_cast<double>(n_layers);
     return full == 0.0 ? 0.0 : static_cast<double>(total_candidate_layers) / full;
   }
+};
+
+// Lock-free-by-default accumulator behind RerankService's per-request stats
+// hot path. Observe() never takes a service-wide lock: counters go to
+// striped cache-line-padded atomic cells (src/common/striped.h), indexed by
+// the calling thread's registration ordinal, so concurrent completers touch
+// disjoint lines. Each stripe also owns a full-capacity seeded latency
+// reservoir behind a per-stripe mutex — effectively uncontended, since a
+// thread maps to exactly one stripe — and Snapshot() folds the stripes into
+// a plain ServiceStats with the same observed-count-weighted merge the pool
+// uses, so stripe percentiles stay unbiased no matter how unevenly threads
+// mapped. A fold is a snapshot, not a linearizable total: counters read
+// relaxed and may tear against in-flight observations (which is why
+// ServiceStats::served() clamps).
+class ConcurrentServiceStats {
+ public:
+  explicit ConcurrentServiceStats(
+      size_t latency_capacity = ServiceStats::kDefaultLatencySampleCapacity);
+
+  ConcurrentServiceStats(const ConcurrentServiceStats&) = delete;
+  ConcurrentServiceStats& operator=(const ConcurrentServiceStats&) = delete;
+
+  // Thread-safe, lock-free on the counter path (the stripe reservoir's
+  // mutex is private to the calling thread's stripe).
+  void Observe(const RerankRequest& request, const RerankResult& result, double observed_ms);
+
+  // Thread-safe; may run concurrently with Observe.
+  ServiceStats Snapshot() const;
+
+ private:
+  // Stripe count: enough that 32 completer threads rarely share a line,
+  // small enough that a snapshot fold stays trivial. Fixed (not
+  // hardware-derived) so stripe assignment is host-independent.
+  static constexpr size_t kStripes = 16;
+
+  struct alignas(kCacheLineBytes) Stripe {
+    CounterCell requests;
+    CounterCell shed;
+    CounterCell errors;
+    CounterCell candidate_layers;
+    CounterCell candidates;
+    CounterCell bytes_streamed;
+    GaugeCell total_latency_ms;
+    GaugeCell max_latency_ms;
+    // Per-stripe seeded reservoir (same algorithm R as ServiceStats). Full
+    // latency_capacity per stripe: a stripe that happens to absorb most of
+    // the traffic still keeps as many samples as the mutexed path would.
+    mutable std::mutex reservoir_mu;
+    std::vector<double> samples;
+    size_t observed = 0;
+    uint64_t rng_state = 0;
+  };
+
+  const size_t latency_capacity_;
+  std::vector<Stripe> stripes_;
 };
 
 // RerankService is itself a Runner: any call site that drives a raw engine
@@ -202,6 +280,10 @@ class RerankService : public Runner {
   std::unique_ptr<OnlineCalibrator> calibrator_;
   std::unique_ptr<SimulatedRunner> sim_runner_;  // Only when options.sim.enabled.
   std::unique_ptr<Scheduler> scheduler_;
+  // Exactly one of the two stats paths is active (ServiceOptions::
+  // lockfree_stats): the striped accumulator, or the legacy mutex-guarded
+  // struct kept as bench_contention's baseline.
+  std::unique_ptr<ConcurrentServiceStats> striped_stats_;
   mutable std::mutex stats_mu_;
   ServiceStats stats_;
 };

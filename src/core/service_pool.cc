@@ -144,12 +144,22 @@ RerankResult ServicePool::Rerank(const RerankRequest& request) {
 
 RerankResult ServicePool::RerankHashed(const RerankRequest& request, uint64_t query_hash) {
   // Snapshot in-flight counts for the balancer; slightly stale is fine (the
-  // point is a cheap wait-free read on the hot path).
-  std::vector<size_t> inflight(replicas_.size());
+  // point is a cheap wait-free read on the hot path). Small-buffer the
+  // snapshot: pools are a handful of replicas, and a per-request heap
+  // allocation here is measurable at high client-thread counts.
+  constexpr size_t kStackReplicas = 16;
+  size_t stack_inflight[kStackReplicas];
+  std::vector<size_t> heap_inflight;
+  size_t* inflight = stack_inflight;
+  if (replicas_.size() > kStackReplicas) {
+    heap_inflight.resize(replicas_.size());
+    inflight = heap_inflight.data();
+  }
   for (size_t i = 0; i < replicas_.size(); ++i) {
     inflight[i] = inflight_[i].load(std::memory_order_relaxed);
   }
-  const size_t pick = balancer_->Pick(request, query_hash, inflight);
+  const size_t pick =
+      balancer_->Pick(request, query_hash, std::span<const size_t>(inflight, replicas_.size()));
   PRISM_CHECK_LT(pick, replicas_.size());
   inflight_[pick].fetch_add(1, std::memory_order_relaxed);
   admitted_[pick].fetch_add(1, std::memory_order_relaxed);

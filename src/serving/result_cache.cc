@@ -123,7 +123,7 @@ void ResultCache::InsertLocked(Shard& shard, uint64_t hash, Key key, const Reran
     EraseEntryLocked(shard, existing->second);
   }
   while (shard.lru.size() >= per_shard_capacity_) {
-    ++shard.stats.evicted;
+    shard.counters.evicted.Add(1);
     EraseEntryLocked(shard, std::prev(shard.lru.end()));
   }
   Entry entry;
@@ -176,7 +176,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
 
   const double enter_ms = clock_->NowMs();
   std::unique_lock<std::mutex> lock(shard.mu);
-  ++shard.stats.lookups;
+  shard.counters.lookups.Add(1);
   bool parked = false;  // Did we ever wait behind another caller's fill?
   for (;;) {
     const double now_ms = clock_->NowMs();
@@ -184,13 +184,13 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     if (it != shard.map.end()) {
       Entry& entry = *it->second;
       if (ExpiredLocked(entry, now_ms)) {
-        ++shard.stats.expired;
+        shard.counters.expired.Add(1);
         EraseEntryLocked(shard, it->second);
       } else if (entry.key.Matches(request)) {
         if (parked) {
-          ++shard.stats.coalesced;
+          shard.counters.coalesced.Add(1);
         } else {
-          ++shard.stats.hits;
+          shard.counters.hits.Add(1);
         }
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return ServeCopy(entry.result, now_ms - enter_ms);
@@ -198,7 +198,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
         // Hash collision with a different resident key: treat as an
         // uncacheable miss (forward without filling) rather than fight the
         // resident entry for the slot.
-        ++shard.stats.misses;
+        shard.counters.misses.Add(1);
         lock.unlock();
         return Forward(request, hash);
       }
@@ -206,7 +206,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
 
     if (similarity_on) {
       if (const Entry* near = SimilarLocked(shard, embedding, now_ms)) {
-        ++shard.stats.similarity_hits;
+        shard.counters.similarity_hits.Add(1);
         return ServeCopy(near->result, now_ms - enter_ms);
       }
     }
@@ -216,7 +216,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
       // No fill in flight (or coalescing off): we lead one — unless we
       // burned our whole budget parked behind a fill that then failed.
       if (parked && request.deadline_ms > 0.0 && now_ms - enter_ms >= request.deadline_ms) {
-        ++shard.stats.shed_waiting;
+        shard.counters.shed_waiting.Add(1);
         return MakeShedResult(request.deadline_ms, now_ms - enter_ms);
       }
       break;
@@ -224,7 +224,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     if (!fill_it->second->key.Matches(request)) {
       // A *different* key's fill owns this hash; don't coalesce onto a
       // result that isn't ours — forward directly, uncached.
-      ++shard.stats.misses;
+      shard.counters.misses.Add(1);
       lock.unlock();
       return Forward(request, hash);
     }
@@ -237,7 +237,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     const auto fill_done = [&fill] { return fill->done; };
     if (request.deadline_ms > 0.0) {
       if (!shard.cv->WaitUntil(lock, enter_ms + request.deadline_ms, fill_done)) {
-        ++shard.stats.shed_waiting;
+        shard.counters.shed_waiting.Add(1);
         const double waited_ms = clock_->NowMs() - enter_ms;
         return MakeShedResult(request.deadline_ms, waited_ms);
       }
@@ -259,7 +259,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
 
   // Miss: lead a fill. The shard lock is dropped across the inner pass so
   // the cache never serializes distinct queries.
-  ++shard.stats.misses;
+  shard.counters.misses.Add(1);
   const bool leading = options_.single_flight;
   if (leading) {
     auto state = std::make_shared<FillState>();
@@ -275,7 +275,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
   if (result.status.ok()) {
     InsertLocked(shard, hash, MakeKey(request), result, std::move(embedding), done_ms);
   } else {
-    ++shard.stats.fill_errors;
+    shard.counters.fill_errors.Add(1);
   }
   if (leading) {
     // Success or failure, publish completion and release the key: waiters
@@ -294,7 +294,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
 void ResultCache::InvalidateAll() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->stats.invalidated += shard->lru.size();
+    shard->counters.invalidated.Add(static_cast<int64_t>(shard->lru.size()));
     shard->map.clear();
     shard->lru.clear();
   }
@@ -308,26 +308,29 @@ bool ResultCache::Invalidate(const RerankRequest& request) {
   if (it == shard.map.end() || !it->second->key.Matches(request)) {
     return false;
   }
-  ++shard.stats.invalidated;
+  shard.counters.invalidated.Add(1);
   EraseEntryLocked(shard, it->second);
   return true;
 }
 
 ResultCacheStats ResultCache::stats() const {
+  // Lock-free fold of the per-shard cells. A snapshot, not a linearizable
+  // total: a request mid-flight may show its lookup but not yet its
+  // hit/miss outcome (HitRate momentarily undercounts, never divides by a
+  // stale zero).
   ResultCacheStats merged;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    const ResultCacheStats& s = shard->stats;
-    merged.lookups += s.lookups;
-    merged.hits += s.hits;
-    merged.similarity_hits += s.similarity_hits;
-    merged.coalesced += s.coalesced;
-    merged.shed_waiting += s.shed_waiting;
-    merged.misses += s.misses;
-    merged.fill_errors += s.fill_errors;
-    merged.expired += s.expired;
-    merged.evicted += s.evicted;
-    merged.invalidated += s.invalidated;
+    const ShardCounters& c = shard->counters;
+    merged.lookups += static_cast<size_t>(c.lookups.Load());
+    merged.hits += static_cast<size_t>(c.hits.Load());
+    merged.similarity_hits += static_cast<size_t>(c.similarity_hits.Load());
+    merged.coalesced += static_cast<size_t>(c.coalesced.Load());
+    merged.shed_waiting += static_cast<size_t>(c.shed_waiting.Load());
+    merged.misses += static_cast<size_t>(c.misses.Load());
+    merged.fill_errors += static_cast<size_t>(c.fill_errors.Load());
+    merged.expired += static_cast<size_t>(c.expired.Load());
+    merged.evicted += static_cast<size_t>(c.evicted.Load());
+    merged.invalidated += static_cast<size_t>(c.invalidated.Load());
   }
   return merged;
 }

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/striped.h"
 #include "src/core/service_pool.h"
 #include "src/model/embedding.h"
 #include "src/runtime/runner.h"
@@ -181,6 +182,23 @@ class ResultCache : public Runner {
     size_t parked = 0;
   };
 
+  // Per-shard stats as cache-line-isolated atomic cells (src/common/
+  // striped.h): hit-path bumps don't dirty the line the LRU bookkeeping
+  // lives on, and stats() folds all shards without touching a single shard
+  // mutex — a monitoring scrape never stalls the serving path.
+  struct ShardCounters {
+    CounterCell lookups;
+    CounterCell hits;
+    CounterCell similarity_hits;
+    CounterCell coalesced;
+    CounterCell shed_waiting;
+    CounterCell misses;
+    CounterCell fill_errors;
+    CounterCell expired;
+    CounterCell evicted;
+    CounterCell invalidated;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::unique_ptr<ClockCondVar> cv;  // Single-flight waiters park here.
@@ -190,7 +208,7 @@ class ResultCache : public Runner {
     std::list<Entry> lru;
     std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
     std::unordered_map<uint64_t, std::shared_ptr<FillState>> fills;
-    ResultCacheStats stats;
+    ShardCounters counters;
   };
 
   // All *Locked helpers require shard.mu held.

@@ -270,18 +270,19 @@ TEST(RequestQueueTryPopTest, NonBlockingPopShedsAndDrains) {
   EXPECT_TRUE(queue.TryPopBatch(2).empty());
 }
 
-TEST(RequestQueueTryPopTest, EpochSnapshotsAndBumpsThroughQueue) {
+TEST(RequestQueueTryPopTest, EpochTagsAtDrainAndBumpsThroughQueue) {
   RequestQueue queue;
   const ModelConfig config = TestModel();
   const RerankRequest request = TestRequest(config, 8, 2);
   std::atomic<uint64_t> epoch{41};
-  auto future = queue.Push(request, &epoch);
-  // Empty pops are not admission events: no bump.
+  auto future = queue.Push(request);
+  // Empty pops are not admission events: no bump (but the entry drains out
+  // of staging here, picking up its tag).
   EXPECT_TRUE(queue.TryPopBatch(0, &epoch).empty());
   EXPECT_EQ(epoch.load(), 41u);
   std::vector<RequestQueue::Pending> batch = queue.TryPopBatch(1, &epoch);
   ASSERT_EQ(batch.size(), 1u);
-  EXPECT_EQ(batch[0].tag, 41u);     // Snapshot at push...
+  EXPECT_EQ(batch[0].tag, 41u);     // Tagged at drain...
   EXPECT_EQ(epoch.load(), 42u);     // ...bumped by the non-empty pop.
   EXPECT_EQ(epoch.load() - batch[0].tag, 1u);  // Exactly one admission event.
   batch[0].promise.set_value(RerankResult{});

@@ -6,6 +6,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/memory_tracker.h"
+#include "src/common/percentile.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
@@ -212,6 +213,32 @@ TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
   bool ran = false;
   pool.ParallelFor(5, 5, [&ran](size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(PercentileTest, EmptySampleIsZero) {
+  EXPECT_EQ(PercentileOverSorted({}, 0.0), 0.0);
+  EXPECT_EQ(PercentileOverSorted({}, 50.0), 0.0);
+  EXPECT_EQ(PercentileOverSorted({}, 100.0), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one = {42.0};
+  EXPECT_EQ(PercentileOverSorted(one, 0.0), 42.0);
+  EXPECT_EQ(PercentileOverSorted(one, 50.0), 42.0);
+  EXPECT_EQ(PercentileOverSorted(one, 99.0), 42.0);
+  EXPECT_EQ(PercentileOverSorted(one, 100.0), 42.0);
+}
+
+TEST(PercentileTest, ExtremesPickFirstAndLast) {
+  // Ceil-rank convention: p=0 rounds to rank 1 (the minimum); p=100 covers
+  // the whole sample (the maximum) — neither may over- or under-shoot the
+  // index range.
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(PercentileOverSorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(PercentileOverSorted(sorted, 100.0), 4.0);
+  // p=25 on 4 samples is exactly rank 1; a hair above lands rank 2.
+  EXPECT_EQ(PercentileOverSorted(sorted, 25.0), 1.0);
+  EXPECT_EQ(PercentileOverSorted(sorted, 25.1), 2.0);
 }
 
 TEST(TimerTest, MeasuresElapsed) {

@@ -193,6 +193,106 @@ TEST(ServiceStatsOverloadTest, ShedRequestsLeavePercentilesUntouched) {
   EXPECT_EQ(stats.total_candidates, candidates_before);
 }
 
+TEST(ServiceStatsMergeTest, WeightedMergeKeepsPoolPercentilesUnbiased) {
+  // Affinity routing makes replica traffic uneven: here the busy replica
+  // served 100 observations per retained sample while the idle one retained
+  // every observation. Raw sample concatenation (the old Merge) would give
+  // the idle replica's samples 100× their real weight: 1536 concatenated
+  // samples, p99 at rank 1521 — inside the idle replica's [500, 510] band.
+  // The weighted merge subsamples the idle side down to ~5 samples first,
+  // so every pool percentile must land in the busy replica's [100, 110]
+  // band. This test fails against the concatenating Merge.
+  ServiceStats busy;
+  for (size_t i = 0; i < 1024; ++i) {
+    busy.latency_samples.push_back(100.0 + static_cast<double>(i % 11));
+  }
+  busy.latency_observed = 1024 * 100;
+
+  ServiceStats idle;
+  for (size_t i = 0; i < 512; ++i) {
+    idle.latency_samples.push_back(500.0 + static_cast<double>(i % 11));
+  }
+  idle.latency_observed = 512;
+
+  ServiceStats pool;
+  pool.Merge(busy);
+  pool.Merge(idle);
+  EXPECT_EQ(pool.latency_observed, busy.latency_observed + idle.latency_observed);
+  EXPECT_GE(pool.P50LatencyMs(), 100.0);
+  EXPECT_LE(pool.P50LatencyMs(), 110.0);
+  EXPECT_GE(pool.P99LatencyMs(), 100.0);
+  EXPECT_LE(pool.P99LatencyMs(), 110.0);
+  // The subsampled idle side still shows up where it belongs: the tail
+  // above its weight's share. p100 (the max) may be an idle-band sample.
+  EXPECT_GT(pool.latency_samples.size(), 1024u);
+  EXPECT_LT(pool.latency_samples.size(), 1536u);
+
+  // Seeded subsampling: rebuilding the same merge yields byte-identical
+  // samples (pool stats snapshots replay deterministically under SimClock).
+  ServiceStats again;
+  again.Merge(busy);
+  again.Merge(idle);
+  EXPECT_EQ(again.latency_samples, pool.latency_samples);
+}
+
+TEST(ServiceStatsMergeTest, EqualWeightMergeConcatenatesExactly) {
+  // Two un-overflowed reservoirs (weight 1 each) merge exactly: nothing may
+  // be subsampled away.
+  ServiceStats a;
+  a.latency_samples = {1.0, 2.0, 3.0};
+  a.latency_observed = 3;
+  ServiceStats b;
+  b.latency_samples = {10.0, 20.0};
+  b.latency_observed = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.latency_samples, (std::vector<double>{1.0, 2.0, 3.0, 10.0, 20.0}));
+  EXPECT_EQ(a.latency_observed, 5u);
+}
+
+TEST(ServiceStatsTest, ServedClampsTornSnapshots) {
+  // A stripe fold can tear between an in-flight observation's `requests`
+  // and `shed` increments, momentarily showing shed + errors > requests.
+  // The unsigned subtraction must clamp to 0, not wrap to ~2^64 (which
+  // poisoned MeanLatencyMs and every served()-derived rate).
+  ServiceStats torn;
+  torn.requests = 5;
+  torn.shed = 4;
+  torn.errors = 2;
+  torn.total_latency_ms = 100.0;
+  EXPECT_EQ(torn.served(), 0u);
+  EXPECT_DOUBLE_EQ(torn.MeanLatencyMs(), 0.0);
+
+  ServiceStats normal;
+  normal.requests = 10;
+  normal.shed = 3;
+  normal.errors = 2;
+  EXPECT_EQ(normal.served(), 5u);
+}
+
+TEST(ServiceStatsTest, CapacityOneReservoirStaysDeterministic) {
+  // Degenerate reservoir: one slot. It must keep exactly one sample however
+  // many observations arrive, count them all, and retain the same sample
+  // for the same observation order.
+  RerankRequest request;
+  request.docs.resize(4);
+  RerankResult ok;
+  const auto run = [&] {
+    ServiceStats stats;
+    stats.latency_capacity = 1;
+    for (int i = 1; i <= 100; ++i) {
+      stats.Observe(request, ok, static_cast<double>(i));
+    }
+    return stats;
+  };
+  const ServiceStats stats = run();
+  ASSERT_EQ(stats.latency_samples.size(), 1u);
+  EXPECT_EQ(stats.latency_observed, 100u);
+  // Any percentile of a one-sample reservoir is that sample.
+  EXPECT_EQ(stats.P50LatencyMs(), stats.latency_samples[0]);
+  EXPECT_EQ(stats.P99LatencyMs(), stats.latency_samples[0]);
+  EXPECT_EQ(run().latency_samples, stats.latency_samples);
+}
+
 TEST(NdcgTest, PerfectAndReversedRankings) {
   const std::vector<float> grades = {1.0f, 0.5f, 0.2f, 0.0f};
   EXPECT_DOUBLE_EQ(NdcgAtK({0, 1, 2, 3}, grades, 4), 1.0);
