@@ -155,7 +155,7 @@ int Main(int argc, char** argv) {
               device.name + ", max_inflight " + std::to_string(max_inflight) + ")");
 
   const auto cases = MakeCases(model, "wikipedia", /*queries=*/8, candidates, k);
-  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed, /*quantized=*/false);
+  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed);
 
   // Serial reference for the correctness cross-check.
   std::vector<std::vector<size_t>> reference(cases.size());

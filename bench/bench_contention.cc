@@ -184,7 +184,7 @@ int Main(int argc, char** argv) {
       flags.GetInt("requests_per_thread", smoke ? 100 : (sim ? 50 : 1500)));
   const size_t n_queries = static_cast<size_t>(flags.GetInt("n_queries", 8));
 
-  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed, /*quantized=*/false);
+  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed);
   const std::vector<BenchCase> cases = MakeCases(model, "wikipedia", n_queries,
                                                  /*candidates=*/12, /*k=*/4);
   const std::vector<std::vector<size_t>> reference =

@@ -35,7 +35,7 @@ int Main(int argc, char** argv) {
       const size_t kks[3] = {1, 5, 10};
       for (int ki = 0; ki < 3; ++ki) {
         const auto cases = MakeCases(model, "wikipedia", queries, candidates, kks[ki]);
-        auto engine = FreshRunner([&] { return MakePrism(model, device, threshold, false); });
+        auto engine = FreshRunner([&] { return MakePrism(model, device, threshold, Precision::kFp32); });
         const BenchRun run = RunCases(engine.get(), cases);
         precision[ki] = run.mean_precision;
         latency += run.mean_latency_ms;

@@ -38,10 +38,10 @@ int Main(int argc, char** argv) {
       std::unique_ptr<PrismEngine> prism;
       Runner* runner;
       if (std::string(system) == "HF") {
-        hf = MakeHf(model, device, false);
+        hf = MakeHf(model, device, Precision::kFp32);
         runner = hf.get();
       } else {
-        prism = MakePrism(model, device, kThresholdLow, false);
+        prism = MakePrism(model, device, kThresholdLow, Precision::kFp32);
         runner = prism.get();
       }
       double sparse = 0.0;

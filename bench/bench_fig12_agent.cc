@@ -43,11 +43,11 @@ int Main(int argc, char** argv) {
     MemoryTracker::Global().Reset();
     report("Disable", nullptr);
     {
-      auto runner = FreshRunner([&] { return MakeHf(model, device, false); });
+      auto runner = FreshRunner([&] { return MakeHf(model, device, Precision::kFp32); });
       report("HF", runner.get());
     }
     {
-      auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, false); });
+      auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, Precision::kFp32); });
       report("Ours", engine.get());
     }
   }

@@ -46,11 +46,11 @@ int Main(int argc, char** argv) {
                 inference / n, precision / n, MiB(MemoryTracker::Global().PeakTotal()));
   };
   {
-    auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, false); });
+    auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, Precision::kFp32); });
     report("Ours", engine.get());
   }
   {
-    auto runner = FreshRunner([&] { return MakeHf(model, device, false); });
+    auto runner = FreshRunner([&] { return MakeHf(model, device, Precision::kFp32); });
     report("HF Rerank", runner.get());
   }
   MemoryTracker::Global().Reset();

@@ -43,7 +43,7 @@ int Main(int argc, char** argv) {
                 result.stats.latency_ms);
   };
 
-  report("HF Rerank", [&] { return MakeHf(model, device, false); });
+  report("HF Rerank", [&] { return MakeHf(model, device, Precision::kFp32); });
   {
     // Pruning only: one monolithic batch (no chunking), weights resident,
     // full embedding table — the paper's +44.8% peak-memory step.

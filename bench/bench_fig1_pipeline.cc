@@ -66,9 +66,9 @@ int Main(int argc, char** argv) {
     std::unique_ptr<Runner> runner;
     std::unique_ptr<PrismEngine> prism;
     if (std::string(system) == "HF") {
-      runner = MakeHf(model, device, false);
+      runner = MakeHf(model, device, Precision::kFp32);
     } else {
-      prism = MakePrism(model, device, kThresholdLow, false);
+      prism = MakePrism(model, device, kThresholdLow, Precision::kFp32);
     }
     Runner* r = runner != nullptr ? runner.get() : prism.get();
     const StageCost cost = measure(r);

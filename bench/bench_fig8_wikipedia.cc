@@ -27,7 +27,7 @@ int Main(int argc, char** argv) {
 
   for (const ModelConfig& model : ModelZoo()) {
     const bool hf_oom =
-        EstimateHfPeakBytes(model, device, candidates, model.max_seq, false) >
+        EstimateHfPeakBytes(model, device, candidates, model.max_seq, Precision::kFp32) >
         VramBudgetBytes(device);
 
     for (size_t k : ks) {
@@ -50,14 +50,14 @@ int Main(int argc, char** argv) {
       if (hf_oom) {
         rows.push_back({"HF", 0.0, 0.0, true});
       } else {
-        run("HF", [&] { return MakeHf(model, device, false); });
+        run("HF", [&] { return MakeHf(model, device, Precision::kFp32); });
       }
-      run("HF Offload", [&] { return MakeOffload(model, device, false); });
-      run("HF Quant", [&] { return MakeHf(model, device, true); });
-      run("Prism Low", [&] { return MakePrism(model, device, kThresholdLow, false); });
-      run("Prism High", [&] { return MakePrism(model, device, kThresholdHigh, false); });
-      run("PrismQ Low", [&] { return MakePrism(model, device, kThresholdLow, true); });
-      run("PrismQ High", [&] { return MakePrism(model, device, kThresholdHigh, true); });
+      run("HF Offload", [&] { return MakeOffload(model, device, Precision::kFp32); });
+      run("HF Quant", [&] { return MakeHf(model, device, Precision::kW4); });
+      run("Prism Low", [&] { return MakePrism(model, device, kThresholdLow, Precision::kFp32); });
+      run("Prism High", [&] { return MakePrism(model, device, kThresholdHigh, Precision::kFp32); });
+      run("PrismQ Low", [&] { return MakePrism(model, device, kThresholdLow, Precision::kW4); });
+      run("PrismQ High", [&] { return MakePrism(model, device, kThresholdHigh, Precision::kW4); });
 
       // Speedups are relative to HF Offload, as in the paper's bar labels.
       double offload_ms = 0.0;

@@ -79,13 +79,13 @@ int Main(int argc, char** argv) {
       // HF runs regardless of the VRAM budget here; the paper measured the
       // OOM models on an A800 to obtain their curves — we note the same.
       const bool over_budget =
-          EstimateHfPeakBytes(model, device, candidates, model.max_seq, false) >
+          EstimateHfPeakBytes(model, device, candidates, model.max_seq, Precision::kFp32) >
           VramBudgetBytes(device);
-      run(over_budget ? "HF (A800)" : "HF", [&] { return MakeHf(model, device, false); });
+      run(over_budget ? "HF (A800)" : "HF", [&] { return MakeHf(model, device, Precision::kFp32); });
     }
-    run("HF Quant", [&] { return MakeHf(model, device, true); });
-    run("HF Offload", [&] { return MakeOffload(model, device, false); });
-    run("PRISM", [&] { return MakePrism(model, device, kThresholdLow, false); });
+    run("HF Quant", [&] { return MakeHf(model, device, Precision::kW4); });
+    run("HF Offload", [&] { return MakeOffload(model, device, Precision::kFp32); });
+    run("PRISM", [&] { return MakePrism(model, device, kThresholdLow, Precision::kFp32); });
 
     const Row& prism_row = rows.back();
     std::printf("  summary (peak/avg vs PRISM): ");

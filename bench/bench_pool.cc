@@ -113,7 +113,7 @@ int Main(int argc, char** argv) {
               " candidates, balancer=" + LoadBalancePolicyName(policy) + ")");
 
   const auto cases = MakeCases(model, "wikipedia", /*queries=*/8, candidates, k);
-  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed, /*quantized=*/false);
+  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed);
   // Same total compute budget for every configuration: the fan-out threads
   // are split across replicas, so 2 replicas do not get 2× the workers.
   const size_t total_threads =

@@ -54,7 +54,7 @@ int Main(int argc, char** argv) {
     std::vector<std::array<Cell, 3>> prism(n_datasets), prism_q(n_datasets);
 
     const bool hf_oom =
-        EstimateHfPeakBytes(model, device, candidates, model.max_seq, false) >
+        EstimateHfPeakBytes(model, device, candidates, model.max_seq, Precision::kFp32) >
         VramBudgetBytes(device);
 
     for (size_t d = 0; d < n_datasets; ++d) {
@@ -75,21 +75,21 @@ int Main(int argc, char** argv) {
       if (hf_oom) {
         hf[d].oom = true;
       } else {
-        run_all_k([&] { return MakeHf(model, device, false); }, &hf[d]);
+        run_all_k([&] { return MakeHf(model, device, Precision::kFp32); }, &hf[d]);
       }
-      run_all_k([&] { return MakeOffload(model, device, false); }, &off[d]);
-      run_all_k([&] { return MakeHf(model, device, true); }, &quant[d]);
+      run_all_k([&] { return MakeOffload(model, device, Precision::kFp32); }, &off[d]);
+      run_all_k([&] { return MakeHf(model, device, Precision::kW4); }, &quant[d]);
       // PRISM prunes toward a specific K, so each K is its own run.
       for (int ki = 0; ki < 3; ++ki) {
         auto cases = MakeCases(model, profiles[d].name, queries, candidates, kKs[ki]);
         {
-          auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, false); });
+          auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, Precision::kFp32); });
           const BenchRun run = RunCases(engine.get(), cases);
           prism[d][ki].latency_ms = run.mean_latency_ms;
           prism[d][ki].precision[ki] = run.mean_precision;
         }
         {
-          auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, true); });
+          auto engine = FreshRunner([&] { return MakePrism(model, device, kThresholdLow, Precision::kW4); });
           const BenchRun run = RunCases(engine.get(), cases);
           prism_q[d][ki].latency_ms = run.mean_latency_ms;
           prism_q[d][ki].precision[ki] = run.mean_precision;

@@ -86,7 +86,7 @@ int Main(int argc, char** argv) {
               " candidates)");
 
   const auto cases = MakeCases(model, "wikipedia", /*queries=*/8, candidates, k);
-  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed, /*quantized=*/false);
+  const std::string checkpoint = EnsureCheckpoint(model, kBenchSeed);
 
   auto run_mode = [&](size_t inflight) {
     MemoryTracker::Global().Reset();

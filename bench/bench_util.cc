@@ -17,9 +17,9 @@ int64_t VramBudgetBytes(const DeviceProfile& device) {
 }
 
 int64_t EstimateHfPeakBytes(const ModelConfig& config, const DeviceProfile& device,
-                            size_t n_candidates, size_t seq_len, bool quantized) {
+                            size_t n_candidates, size_t seq_len, Precision precision) {
   const size_t batch = std::min(device.hf_batch_size, n_candidates);
-  int64_t bytes = static_cast<int64_t>(config.n_layers * LayerBlobBytes(config, quantized));
+  int64_t bytes = static_cast<int64_t>(config.n_layers * LayerBlobBytes(config, precision));
   bytes += static_cast<int64_t>(config.EmbeddingBlobBytes());
   bytes += LayerScratch::BytesFor(config, batch * seq_len, seq_len);
   bytes += static_cast<int64_t>(batch * seq_len * config.hidden * sizeof(float));
@@ -27,35 +27,35 @@ int64_t EstimateHfPeakBytes(const ModelConfig& config, const DeviceProfile& devi
 }
 
 std::unique_ptr<Runner> MakeHf(const ModelConfig& config, const DeviceProfile& device,
-                               bool quantized) {
+                               Precision precision) {
   HfRunnerOptions options;
   options.device = device;
-  options.quantized = quantized;
-  return std::make_unique<HfRunner>(config, EnsureCheckpoint(config, kBenchSeed, quantized),
+  options.precision = precision;
+  return std::make_unique<HfRunner>(config, EnsureCheckpoint(config, kBenchSeed, precision),
                                     options);
 }
 
 std::unique_ptr<Runner> MakeOffload(const ModelConfig& config, const DeviceProfile& device,
-                                    bool quantized) {
+                                    Precision precision) {
   OffloadRunnerOptions options;
   options.device = device;
-  options.quantized = quantized;
-  return std::make_unique<OffloadRunner>(config, EnsureCheckpoint(config, kBenchSeed, quantized),
+  options.precision = precision;
+  return std::make_unique<OffloadRunner>(config, EnsureCheckpoint(config, kBenchSeed, precision),
                                          options);
 }
 
 std::unique_ptr<PrismEngine> MakePrism(const ModelConfig& config, const DeviceProfile& device,
-                                       float threshold, bool quantized) {
+                                       float threshold, Precision precision) {
   PrismOptions options;
   options.device = device;
   options.dispersion_threshold = threshold;
-  options.quantized = quantized;
+  options.precision = precision;
   return MakePrismWith(config, options);
 }
 
 std::unique_ptr<PrismEngine> MakePrismWith(const ModelConfig& config, PrismOptions options) {
   return std::make_unique<PrismEngine>(
-      config, EnsureCheckpoint(config, kBenchSeed, options.quantized), options);
+      config, EnsureCheckpoint(config, kBenchSeed, options.precision), options);
 }
 
 std::vector<BenchCase> MakeCases(const ModelConfig& config, const std::string& dataset,

@@ -39,15 +39,15 @@ int64_t VramBudgetBytes(const DeviceProfile& device);
 // Predicted resident footprint of the HF baseline (weights + embedding +
 // batch activations) — used to declare OOM without running.
 int64_t EstimateHfPeakBytes(const ModelConfig& config, const DeviceProfile& device,
-                            size_t n_candidates, size_t seq_len, bool quantized);
+                            size_t n_candidates, size_t seq_len, Precision precision);
 
 // Runner factories. All read checkpoints generated on demand under /tmp.
 std::unique_ptr<Runner> MakeHf(const ModelConfig& config, const DeviceProfile& device,
-                               bool quantized);
+                               Precision precision);
 std::unique_ptr<Runner> MakeOffload(const ModelConfig& config, const DeviceProfile& device,
-                                    bool quantized);
+                                    Precision precision);
 std::unique_ptr<PrismEngine> MakePrism(const ModelConfig& config, const DeviceProfile& device,
-                                       float threshold, bool quantized);
+                                       float threshold, Precision precision);
 std::unique_ptr<PrismEngine> MakePrismWith(const ModelConfig& config, PrismOptions options);
 
 // Aggregate over a set of requests with ground truth.

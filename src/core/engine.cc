@@ -126,7 +126,7 @@ class PrismCarouselPass final : public CarouselPass {
     }
 
     const AnyLayerView view =
-        ParseAnyLayerBlob(engine_->config_, blob, engine_->options_.quantized);
+        ParseAnyLayerBlob(engine_->config_, blob, engine_->options_.precision);
     const bool last_layer = layer + 1 == n_layers();
     engine_->layer_loop_->ForwardGroup(ctxs, layer, view, last_layer, compute_pool);
 
@@ -226,6 +226,8 @@ PrismEngine::PrismEngine(const ModelConfig& config, const std::string& checkpoin
   auto reader = BlobFileReader::Open(checkpoint_path, options_.device.ssd);
   PRISM_CHECK_MSG(reader.ok(), reader.status().ToString().c_str());
   reader_ = std::move(reader).value();
+  const Status ckpt_status = ValidateCheckpoint(*reader_, config_, options_.precision);
+  PRISM_CHECK_MSG(ckpt_status.ok(), ckpt_status.ToString().c_str());
 
   if (options_.embed_cache && options_.shared_embed_cache != nullptr) {
     // Pool-level sharing: use the externally-owned cache (its misses read

@@ -62,7 +62,19 @@ class PrismEngine : public BatchRunner {
   bool SupportsCarousel() const override { return true; }
   std::unique_ptr<CarouselPass> BeginCarousel() override;
 
-  std::string name() const override { return options_.quantized ? "PRISM Quant" : "PRISM"; }
+  std::string name() const override {
+    switch (options_.precision) {
+      case Precision::kFp16:
+        return "PRISM Fp16";
+      case Precision::kInt8:
+        return "PRISM Int8";
+      case Precision::kW4:
+        return "PRISM Quant";
+      case Precision::kFp32:
+        break;
+    }
+    return "PRISM";
+  }
 
   // Trace of the most recent request (trace mode only; meaningful when
   // requests are issued serially).

@@ -387,7 +387,7 @@ void LayerLoop::Run(std::span<RequestContext* const> ctxs, ThreadPool* compute_p
     } else {
       blob = (*res_.resident_layers)[layer];
     }
-    const AnyLayerView view = ParseAnyLayerBlob(config, blob, options.quantized);
+    const AnyLayerView view = ParseAnyLayerBlob(config, blob, options.precision);
 
     const bool last_layer = layer + 1 == config.n_layers;
     ForwardGroup(live, layer, view, last_layer, compute_pool);

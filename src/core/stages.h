@@ -71,7 +71,9 @@ struct PrismOptions {
   // share it.
   EmbeddingCache* shared_embed_cache = nullptr;
 
-  bool quantized = false;  // W4 checkpoint ("PRISM Quant").
+  // Layer-blob storage precision; must match the checkpoint's tags. Reduced
+  // tiers stream proportionally fewer SSD bytes per pass ("PRISM Quant" etc).
+  Precision precision = Precision::kFp32;
 
   // Trace mode: records per-layer scores/clusters for every candidate and
   // disables pruning (used by the Fig-2 sparsity analysis).

@@ -37,16 +37,14 @@ int64_t LayerScratch::BytesFor(const ModelConfig& config, size_t rows, size_t se
 
 namespace {
 
-// Projects rows of `x` through one of the layer's weight matrices.
-void Project(const Tensor& x, size_t rows, const AnyLayerView& w, const float* f32,
-             const QuantMatrixView& q4, size_t out_dim, Tensor* out) {
+// Projects rows of `x` through one of the layer's weight matrices, letting
+// the view dispatch on its storage precision (fused dequantising GEMM).
+void Project(const Tensor& x, size_t rows, const WeightView& w, size_t out_dim, Tensor* out) {
   PRISM_CHECK_GE(out->rows(), rows);
   PRISM_CHECK_EQ(out->cols(), out_dim);
-  if (w.quantized) {
-    q4.MatMulTransB(x.data(), rows, out->data());
-  } else {
-    MatMulTransBRaw(x.data(), rows, x.cols(), f32, out_dim, out->data());
-  }
+  PRISM_CHECK_EQ(w.cols, x.cols());
+  PRISM_CHECK_EQ(w.rows, out_dim);
+  w.MatMulTransB(x.data(), rows, out->data());
 }
 
 void ApplyNorm(const ModelConfig& config, Tensor* t, size_t rows, std::span<const float> gain,
@@ -100,17 +98,12 @@ void LayerForward(const ModelConfig& config, const AnyLayerView& w, size_t seq_l
   const bool causal = config.arch == ModelArch::kDecoderOnly;
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  const auto norm1_gain = w.quantized ? w.q4.norm1_gain : w.f32.norm1_gain;
-  const auto norm1_bias = w.quantized ? w.q4.norm1_bias : w.f32.norm1_bias;
-  const auto norm2_gain = w.quantized ? w.q4.norm2_gain : w.f32.norm2_gain;
-  const auto norm2_bias = w.quantized ? w.q4.norm2_bias : w.f32.norm2_bias;
-
   // --- Attention sublayer (pre-norm residual) ---
   std::copy(hidden->data(), hidden->data() + rows * d, scratch->normed.data());
-  ApplyNorm(config, &scratch->normed, rows, norm1_gain, norm1_bias);
-  Project(scratch->normed, rows, w, w.f32.wq, w.q4.wq, d, &scratch->q);
-  Project(scratch->normed, rows, w, w.f32.wk, w.q4.wk, d, &scratch->k);
-  Project(scratch->normed, rows, w, w.f32.wv, w.q4.wv, d, &scratch->v);
+  ApplyNorm(config, &scratch->normed, rows, w.norm1_gain, w.norm1_bias);
+  Project(scratch->normed, rows, w.wq, d, &scratch->q);
+  Project(scratch->normed, rows, w.wk, d, &scratch->k);
+  Project(scratch->normed, rows, w.wv, d, &scratch->v);
 
   for (size_t c = 0; c < candidates; ++c) {
     const size_t base = c * seq_len;
@@ -152,7 +145,7 @@ void LayerForward(const ModelConfig& config, const AnyLayerView& w, size_t seq_l
     }
   }
 
-  Project(scratch->attn_ctx, rows, w, w.f32.wo, w.q4.wo, d, &scratch->attn_out);
+  Project(scratch->attn_ctx, rows, w.wo, d, &scratch->attn_out);
   // Residual add (only the active rows).
   {
     float* ph = hidden->data();
@@ -164,28 +157,28 @@ void LayerForward(const ModelConfig& config, const AnyLayerView& w, size_t seq_l
 
   // --- FFN sublayer (pre-norm residual) ---
   std::copy(hidden->data(), hidden->data() + rows * d, scratch->normed.data());
-  ApplyNorm(config, &scratch->normed, rows, norm2_gain, norm2_bias);
+  ApplyNorm(config, &scratch->normed, rows, w.norm2_gain, w.norm2_bias);
   const size_t f = config.ffn;
   if (config.arch == ModelArch::kDecoderOnly) {
     // SwiGLU: down( silu(gate(x)) ⊙ up(x) ).
-    Project(scratch->normed, rows, w, w.f32.w_gate, w.q4.w_gate, f, &scratch->ffn_gate);
-    Project(scratch->normed, rows, w, w.f32.w_up, w.q4.w_up, f, &scratch->ffn_up);
+    Project(scratch->normed, rows, w.w_gate, f, &scratch->ffn_gate);
+    Project(scratch->normed, rows, w.w_up, f, &scratch->ffn_up);
     float* pg = scratch->ffn_gate.data();
     const float* pu = scratch->ffn_up.data();
     for (size_t i = 0; i < rows * f; ++i) {
       pg[i] = pg[i] * Sigmoid(pg[i]) * pu[i];
     }
-    Project(scratch->ffn_gate, rows, w, w.f32.w_down, w.q4.w_down, d, &scratch->ffn_down);
+    Project(scratch->ffn_gate, rows, w.w_down, d, &scratch->ffn_down);
   } else {
     // GELU MLP: down( gelu(up(x)) ).
-    Project(scratch->normed, rows, w, w.f32.w_up, w.q4.w_up, f, &scratch->ffn_up);
+    Project(scratch->normed, rows, w.w_up, f, &scratch->ffn_up);
     float* pu = scratch->ffn_up.data();
     constexpr float kSqrt2OverPi = 0.7978845608028654f;
     for (size_t i = 0; i < rows * f; ++i) {
       const float x = pu[i];
       pu[i] = 0.5f * x * (1.0f + std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x)));
     }
-    Project(scratch->ffn_up, rows, w, w.f32.w_down, w.q4.w_down, d, &scratch->ffn_down);
+    Project(scratch->ffn_up, rows, w.w_down, d, &scratch->ffn_down);
   }
   {
     float* ph = hidden->data();

@@ -48,7 +48,7 @@ std::vector<float> MakeLayerBlob(const ModelConfig& config, Rng& rng,
   const size_t f = config.ffn;
   const float s_attn = std::sqrt(config.layer_noise / static_cast<float>(d));
   const float s_ffn = std::sqrt(config.layer_noise / std::sqrt(static_cast<float>(d * f)));
-  std::vector<float> blob(LayerBlobBytes(config, /*quantized=*/false) / sizeof(float));
+  std::vector<float> blob(LayerBlobBytes(config, Precision::kFp32) / sizeof(float));
   float* p = blob.data();
   FillGaussian(rng, p, d * d, s_attn);  // wq
   p += d * d;
@@ -95,9 +95,10 @@ std::vector<float> MakeLayerBlob(const ModelConfig& config, Rng& rng,
   return blob;
 }
 
-// Quantises the big matrices of an fp32 layer blob; norms stay fp32.
-std::vector<uint8_t> QuantizeLayerBlob(const ModelConfig& config,
-                                       const std::vector<float>& f32_blob) {
+// Re-encodes the big matrices of an fp32 layer blob at a reduced precision;
+// norms stay fp32.
+std::vector<uint8_t> ConvertLayerBlob(const ModelConfig& config,
+                                      const std::vector<float>& f32_blob, Precision precision) {
   const size_t d = config.hidden;
   const size_t f = config.ffn;
   std::vector<std::pair<size_t, size_t>> dims = {{d, d}, {d, d}, {d, d}, {d, d}};
@@ -107,15 +108,12 @@ std::vector<uint8_t> QuantizeLayerBlob(const ModelConfig& config,
   dims.push_back({f, d});
   dims.push_back({d, f});
 
-  std::vector<uint8_t> out(LayerBlobBytes(config, /*quantized=*/true));
+  std::vector<uint8_t> out(LayerBlobBytes(config, precision));
   const float* src = f32_blob.data();
   uint8_t* dst = out.data();
-  MemoryTracker scratch_tracker;  // Quantisation scratch should not hit the global tracker.
   for (const auto& [rows, cols] : dims) {
-    QuantizedMatrix qm = QuantizedMatrix::Quantize(src, rows, cols, config.quant_group,
-                                                   MemCategory::kScratch, &scratch_tracker);
-    qm.SerializeTo(dst);
-    dst += qm.SerializedSize();
+    EncodeMatrix(precision, src, rows, cols, config.quant_group, dst);
+    dst += MatrixSpanBytes(precision, rows, cols, config.quant_group);
     src += rows * cols;
   }
   // Copy the trailing norm floats verbatim.
@@ -124,19 +122,33 @@ std::vector<uint8_t> QuantizeLayerBlob(const ModelConfig& config,
   return out;
 }
 
+// Checkpoint file suffix per precision ("f32", "f16", "i8", "q4" keep the
+// historic spellings short enough for /tmp listings).
+const char* PrecisionFileTag(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "f32";
+    case Precision::kFp16:
+      return "f16";
+    case Precision::kInt8:
+      return "i8";
+    case Precision::kW4:
+      return "q4";
+  }
+  return "f32";
+}
+
 }  // namespace
 
 Status GenerateCheckpoint(const ModelConfig& config, uint64_t seed, const std::string& path,
-                          const std::string& quantized_path) {
+                          Precision precision) {
   PRISM_CHECK_EQ(config.hidden % config.n_heads, 0u);
   PRISM_CHECK_EQ(config.hidden % config.quant_group, 0u);
   PRISM_CHECK_EQ(config.ffn % config.quant_group, 0u);
 
   BlobFileWriter writer(path);
-  std::unique_ptr<BlobFileWriter> qwriter;
-  if (!quantized_path.empty()) {
-    qwriter = std::make_unique<BlobFileWriter>(quantized_path);
-  }
+  const bool grouped = precision == Precision::kInt8 || precision == Precision::kW4;
+  const uint32_t layer_group = grouped ? static_cast<uint32_t>(config.quant_group) : 0;
 
   // Classifier / planted-signal direction v (unit norm), generated first so
   // the layer weights' rank-1 amplification components can reference it.
@@ -173,20 +185,18 @@ Status GenerateCheckpoint(const ModelConfig& config, uint64_t seed, const std::s
         row[i] /= norm;
       }
     }
-    writer.AddBlob(AsBytes(table));
-    if (qwriter != nullptr) {
-      qwriter->AddBlob(AsBytes(table));  // Embedding stays fp32 in both checkpoints.
-    }
+    writer.AddBlob(AsBytes(table));  // Embedding stays fp32 at every tier.
   }
 
   // Transformer layers.
   for (size_t layer = 0; layer < config.n_layers; ++layer) {
     Rng layer_rng(MixSeed(seed, 0x2000 + layer));
     const std::vector<float> blob = MakeLayerBlob(config, layer_rng, v);
-    writer.AddBlob(AsBytes(blob));
-    if (qwriter != nullptr) {
-      const std::vector<uint8_t> qblob = QuantizeLayerBlob(config, blob);
-      qwriter->AddBlob(qblob);
+    if (precision == Precision::kFp32) {
+      writer.AddBlob(AsBytes(blob), Precision::kFp32, 0);
+    } else {
+      const std::vector<uint8_t> encoded = ConvertLayerBlob(config, blob, precision);
+      writer.AddBlob(encoded, precision, layer_group);
     }
   }
 
@@ -198,43 +208,35 @@ Status GenerateCheckpoint(const ModelConfig& config, uint64_t seed, const std::s
     }
     head[d] = 0.0f;  // bias
     writer.AddBlob(AsBytes(head));
-    if (qwriter != nullptr) {
-      qwriter->AddBlob(AsBytes(head));
-    }
   }
 
-  PRISM_RETURN_IF_ERROR(writer.Finish());
-  if (qwriter != nullptr) {
-    PRISM_RETURN_IF_ERROR(qwriter->Finish());
-  }
-  return Status::Ok();
+  return writer.Finish();
 }
 
-std::string EnsureCheckpoint(const ModelConfig& config, uint64_t seed, bool quantized) {
+std::string EnsureCheckpoint(const ModelConfig& config, uint64_t seed, Precision precision) {
   std::string name = config.name;
   for (char& ch : name) {
     if (!std::isalnum(static_cast<unsigned char>(ch))) {
       ch = '_';
     }
   }
-  const std::string base = "/tmp/prism_ckpt_" + name + "_" + std::to_string(seed);
-  const std::string f32_path = base + ".f32.bin";
-  const std::string q4_path = base + ".q4.bin";
+  // The "v2" in the base name keeps these distinct from stale format-v1
+  // checkpoints left in /tmp by older builds.
+  const std::string base = "/tmp/prism_ckpt_v2_" + name + "_" + std::to_string(seed);
+  const std::string path = base + "." + PrecisionFileTag(precision) + ".bin";
   struct stat st{};
-  const bool have_f32 = ::stat(f32_path.c_str(), &st) == 0 && st.st_size > 0;
-  const bool have_q4 = ::stat(q4_path.c_str(), &st) == 0 && st.st_size > 0;
-  if (!have_f32 || !have_q4) {
+  const bool have = ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+  if (!have) {
     // Generate under a pid-unique name and publish with rename() so that
     // concurrent processes (e.g. `ctest -j` binaries sharing a model) never
     // observe a half-written checkpoint; rename() also makes the last
     // concurrent generator win wholesale instead of interleaving writes.
-    const std::string suffix = ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    const Status status = GenerateCheckpoint(config, seed, f32_path + suffix, q4_path + suffix);
+    const std::string tmp = path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const Status status = GenerateCheckpoint(config, seed, tmp, precision);
     PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
-    PRISM_CHECK(::rename((f32_path + suffix).c_str(), f32_path.c_str()) == 0);
-    PRISM_CHECK(::rename((q4_path + suffix).c_str(), q4_path.c_str()) == 0);
+    PRISM_CHECK(::rename(tmp.c_str(), path.c_str()) == 0);
   }
-  return quantized ? q4_path : f32_path;
+  return path;
 }
 
 }  // namespace prism

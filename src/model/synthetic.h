@@ -5,7 +5,9 @@
 // init scale is chosen so each layer adds a bounded perturbation to the
 // residual stream, an embedding table of unit-norm random rows, and a
 // unit-norm classifier direction. The same seed always produces bit-identical
-// checkpoints.
+// checkpoints, at every storage precision: reduced-precision checkpoints are
+// encoded from the identical fp32 weights, so fp32-vs-reduced score drift
+// measures only the encoding.
 #ifndef PRISM_SRC_MODEL_SYNTHETIC_H_
 #define PRISM_SRC_MODEL_SYNTHETIC_H_
 
@@ -13,17 +15,20 @@
 
 #include "src/common/status.h"
 #include "src/model/config.h"
+#include "src/tensor/quant.h"
 
 namespace prism {
 
-// Writes an fp32 checkpoint for `config` to `path`. When `quantized_path` is
-// non-empty, also writes a W4 checkpoint quantised from the same weights.
+// Writes a checkpoint for `config` to `path` with layer blobs stored at
+// `precision` (embedding table and head stay fp32). The file is BlobFile v2:
+// every blob carries its precision tag.
 Status GenerateCheckpoint(const ModelConfig& config, uint64_t seed, const std::string& path,
-                          const std::string& quantized_path = "");
+                          Precision precision = Precision::kFp32);
 
 // Convenience: generates (once) under /tmp and returns the path; subsequent
-// calls with the same config+seed reuse the existing file.
-std::string EnsureCheckpoint(const ModelConfig& config, uint64_t seed, bool quantized = false);
+// calls with the same config+seed+precision reuse the existing file.
+std::string EnsureCheckpoint(const ModelConfig& config, uint64_t seed,
+                             Precision precision = Precision::kFp32);
 
 }  // namespace prism
 

@@ -1,8 +1,11 @@
 #include "src/model/weights.h"
 
 #include <cstring>
+#include <string>
 
 #include "src/common/check.h"
+#include "src/storage/blob_file.h"
+#include "src/tensor/ops.h"
 
 namespace prism {
 
@@ -30,17 +33,33 @@ size_t NormBytes(const ModelConfig& config) { return 4 * config.hidden * sizeof(
 
 }  // namespace
 
-size_t LayerBlobBytes(const ModelConfig& config, bool quantized) {
+size_t LayerBlobBytes(const ModelConfig& config, Precision precision) {
   size_t bytes = 0;
   for (const MatrixDims& m : LayerMatrices(config)) {
-    bytes += quantized ? QuantMatrixView::SpanBytes(m.rows, m.cols, config.quant_group)
-                       : m.rows * m.cols * sizeof(float);
+    bytes += MatrixSpanBytes(precision, m.rows, m.cols, config.quant_group);
   }
   return bytes + NormBytes(config);
 }
 
+void WeightView::MatMulTransB(const float* a, size_t m, float* c) const {
+  switch (precision) {
+    case Precision::kFp32:
+      MatMulTransBRaw(a, m, cols, f32, rows, c);
+      return;
+    case Precision::kFp16:
+      f16.MatMulTransB(a, m, c);
+      return;
+    case Precision::kInt8:
+      i8.MatMulTransB(a, m, c);
+      return;
+    case Precision::kW4:
+      q4.MatMulTransB(a, m, c);
+      return;
+  }
+}
+
 LayerView ParseLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob) {
-  PRISM_CHECK_EQ(blob.size(), LayerBlobBytes(config, /*quantized=*/false));
+  PRISM_CHECK_EQ(blob.size(), LayerBlobBytes(config, Precision::kFp32));
   const float* p = reinterpret_cast<const float*>(blob.data());
   const size_t d = config.hidden;
   const size_t f = config.ffn;
@@ -71,23 +90,40 @@ LayerView ParseLayerBlob(const ModelConfig& config, std::span<const uint8_t> blo
   return view;
 }
 
-QuantLayerView ParseQuantLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob) {
-  PRISM_CHECK_EQ(blob.size(), LayerBlobBytes(config, /*quantized=*/true));
+AnyLayerView ParseAnyLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob,
+                               Precision precision) {
+  PRISM_CHECK_EQ(blob.size(), LayerBlobBytes(config, precision));
   const uint8_t* p = blob.data();
   const size_t group = config.quant_group;
   auto take = [&](size_t rows, size_t cols) {
-    QuantMatrixView view;
+    WeightView view;
+    view.precision = precision;
     view.rows = rows;
     view.cols = cols;
-    view.group_size = group;
-    view.packed = p;
-    view.scales = reinterpret_cast<const float*>(p + rows * cols / 2);
-    p += QuantMatrixView::SpanBytes(rows, cols, group);
+    switch (precision) {
+      case Precision::kFp32:
+        view.f32 = reinterpret_cast<const float*>(p);
+        break;
+      case Precision::kFp16:
+        view.f16 = Fp16MatrixView{reinterpret_cast<const uint16_t*>(p), rows, cols};
+        break;
+      case Precision::kInt8:
+        view.i8 = Int8MatrixView{reinterpret_cast<const int8_t*>(p),
+                                 reinterpret_cast<const float*>(p + rows * cols), rows, cols,
+                                 group};
+        break;
+      case Precision::kW4:
+        view.q4 = QuantMatrixView{p, reinterpret_cast<const float*>(p + rows * cols / 2), rows,
+                                  cols, group};
+        break;
+    }
+    p += MatrixSpanBytes(precision, rows, cols, group);
     return view;
   };
   const size_t d = config.hidden;
   const size_t f = config.ffn;
-  QuantLayerView view;
+  AnyLayerView view;
+  view.precision = precision;
   view.wq = take(d, d);
   view.wk = take(d, d);
   view.wv = take(d, d);
@@ -108,16 +144,39 @@ QuantLayerView ParseQuantLayerBlob(const ModelConfig& config, std::span<const ui
   return view;
 }
 
-AnyLayerView ParseAnyLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob,
-                               bool quantized) {
-  AnyLayerView any;
-  any.quantized = quantized;
-  if (quantized) {
-    any.q4 = ParseQuantLayerBlob(config, blob);
-  } else {
-    any.f32 = ParseLayerBlob(config, blob);
+Status ValidateCheckpoint(const BlobFileReader& reader, const ModelConfig& config,
+                          Precision precision) {
+  const size_t expect_blobs = 2 + config.n_layers;
+  if (reader.blob_count() != expect_blobs) {
+    return Status::InvalidArgument("checkpoint has " + std::to_string(reader.blob_count()) +
+                                   " blobs, model wants " + std::to_string(expect_blobs));
   }
-  return any;
+  const int64_t layer_bytes = static_cast<int64_t>(LayerBlobBytes(config, precision));
+  for (size_t layer = 0; layer < config.n_layers; ++layer) {
+    const size_t index = LayerBlobIndex(layer);
+    if (reader.BlobSize(index) != layer_bytes) {
+      return Status::InvalidArgument(
+          "layer " + std::to_string(layer) + " blob is " + std::to_string(reader.BlobSize(index)) +
+          " bytes, expected " + std::to_string(layer_bytes) + " for precision " +
+          PrecisionName(precision));
+    }
+    if (reader.has_precision_tags()) {
+      const Precision tag = reader.BlobPrecision(index);
+      if (tag != precision) {
+        return Status::InvalidArgument("layer " + std::to_string(layer) + " is tagged " +
+                                       PrecisionName(tag) + ", engine configured for " +
+                                       PrecisionName(precision));
+      }
+      if ((precision == Precision::kInt8 || precision == Precision::kW4) &&
+          reader.BlobQuantGroup(index) != config.quant_group) {
+        return Status::InvalidArgument(
+            "layer " + std::to_string(layer) + " quant group " +
+            std::to_string(reader.BlobQuantGroup(index)) + " != config quant_group " +
+            std::to_string(config.quant_group));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 HeadWeights ParseHeadBlob(const ModelConfig& config, std::span<const uint8_t> blob) {

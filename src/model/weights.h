@@ -5,14 +5,15 @@
 //   blob 1 .. n_layers   one transformer layer each
 //   blob n_layers + 1    head: classifier weight [hidden] + bias [1], fp32
 //
-// A layer blob is either fp32 or 4-bit quantised (whole checkpoint is one or
-// the other). The fp32 layout, in floats:
+// Layer blobs are stored at one of four precisions (whole checkpoint is a
+// single tier; embedding and head stay fp32 at every tier). The fp32 layout,
+// in floats:
 //   wq[D·D] wk[D·D] wv[D·D] wo[D·D]
 //   w_gate[F·D]   (decoder-only; absent for encoder models)
 //   w_up[F·D] w_down[D·F]
 //   norm1_gain[D] norm1_bias[D] norm2_gain[D] norm2_bias[D]
-// The quantised layout replaces each big matrix with its packed-nibble +
-// scales serialisation (QuantMatrixView::SpanBytes) and keeps norms fp32.
+// Reduced-precision layouts replace each big matrix with its encoded span
+// (MatrixSpanBytes for that precision) and keep the norm vectors fp32.
 #ifndef PRISM_SRC_MODEL_WEIGHTS_H_
 #define PRISM_SRC_MODEL_WEIGHTS_H_
 
@@ -20,20 +21,42 @@
 #include <span>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/model/config.h"
 #include "src/tensor/quant.h"
 
 namespace prism {
+
+class BlobFileReader;
 
 // Blob indices within a checkpoint.
 inline size_t EmbeddingBlobIndex() { return 0; }
 inline size_t LayerBlobIndex(size_t layer) { return 1 + layer; }
 inline size_t HeadBlobIndex(const ModelConfig& config) { return 1 + config.n_layers; }
 
-// Byte size of a single (possibly quantised) layer blob.
-size_t LayerBlobBytes(const ModelConfig& config, bool quantized);
+// Byte size of a single layer blob at the given storage precision. This is
+// what the carousel/prefetcher stream per layer per cycle, so reduced tiers
+// cut SSD traffic by exactly the ratio of these sizes.
+size_t LayerBlobBytes(const ModelConfig& config, Precision precision);
 
-// Non-owning fp32 view into a layer blob.
+// Non-owning view of one weight matrix at whatever precision its blob is
+// stored in, with a fused dequantising GEMM: the forward pass calls
+// MatMulTransB and never materialises fp32 weights for reduced tiers.
+struct WeightView {
+  Precision precision = Precision::kFp32;
+  size_t rows = 0;
+  size_t cols = 0;
+  const float* f32 = nullptr;      // kFp32
+  Fp16MatrixView f16;              // kFp16
+  Int8MatrixView i8;               // kInt8
+  QuantMatrixView q4;              // kW4
+
+  // C[m, rows] = A[m, cols] · Wᵀ, dequantising on the fly for reduced tiers.
+  void MatMulTransB(const float* a, size_t m, float* c) const;
+};
+
+// Non-owning fp32 view into a layer blob (kept for fp32-only callers that
+// want raw pointers, e.g. layout tests).
 struct LayerView {
   const float* wq = nullptr;
   const float* wk = nullptr;
@@ -48,29 +71,29 @@ struct LayerView {
   std::span<const float> norm2_bias;
 };
 
-// Non-owning quantised view into a layer blob.
-struct QuantLayerView {
-  QuantMatrixView wq, wk, wv, wo;
-  QuantMatrixView w_gate;  // rows == 0 for encoder models
-  QuantMatrixView w_up, w_down;
+// Precision-generic view passed to the layer forward.
+struct AnyLayerView {
+  Precision precision = Precision::kFp32;
+  WeightView wq, wk, wv, wo;
+  WeightView w_gate;  // rows == 0 for encoder models
+  WeightView w_up, w_down;
   std::span<const float> norm1_gain;
   std::span<const float> norm1_bias;
   std::span<const float> norm2_gain;
   std::span<const float> norm2_bias;
 };
 
-// Either-or wrapper passed to the layer forward.
-struct AnyLayerView {
-  bool quantized = false;
-  LayerView f32;
-  QuantLayerView q4;
-};
-
 // Parses views out of a raw layer blob (no copy; blob must outlive the view).
 LayerView ParseLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob);
-QuantLayerView ParseQuantLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob);
 AnyLayerView ParseAnyLayerBlob(const ModelConfig& config, std::span<const uint8_t> blob,
-                               bool quantized);
+                               Precision precision);
+
+// Checks an opened checkpoint against the model config and the precision the
+// caller intends to stream at: blob count, per-blob byte sizes, and (for v2
+// files) the precision tags themselves. Catches a checkpoint generated at one
+// tier being opened at another before any garbage maths runs.
+Status ValidateCheckpoint(const BlobFileReader& reader, const ModelConfig& config,
+                          Precision precision);
 
 // Classifier head (copied out of its blob; it is a handful of floats).
 struct HeadWeights {

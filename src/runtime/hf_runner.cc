@@ -35,6 +35,8 @@ HfRunner::HfRunner(const ModelConfig& config, const std::string& checkpoint_path
   auto reader = BlobFileReader::Open(checkpoint_path, load_config);
   PRISM_CHECK_MSG(reader.ok(), reader.status().ToString().c_str());
   reader_ = std::move(reader).value();
+  const Status ckpt_status = ValidateCheckpoint(*reader_, config_, options_.precision);
+  PRISM_CHECK_MSG(ckpt_status.ok(), ckpt_status.ToString().c_str());
 
   embedding_ = std::make_unique<FullEmbeddingTable>(config_, reader_.get(), tracker_);
   int64_t total_layer_bytes = 0;
@@ -82,7 +84,7 @@ RerankResult HfRunner::Rerank(const RerankRequest& request) {
     const WallTimer compute_timer;
     for (size_t layer = 0; layer < config_.n_layers; ++layer) {
       const AnyLayerView view =
-          ParseAnyLayerBlob(config_, layer_blobs_[layer], options_.quantized);
+          ParseAnyLayerBlob(config_, layer_blobs_[layer], options_.precision);
       LayerForward(config_, view, seq_len, &hidden, &scratch);
       result.stats.candidate_layers += static_cast<int64_t>(bsz);
     }

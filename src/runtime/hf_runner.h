@@ -21,18 +21,30 @@ namespace prism {
 
 struct HfRunnerOptions {
   DeviceProfile device = NvidiaProfile();
-  bool quantized = false;  // W4 weights in memory ("HF Quant").
-  size_t batch_size = 0;   // 0 = device.hf_batch_size.
+  Precision precision = Precision::kFp32;  // Reduced weights in memory ("HF Quant" etc).
+  size_t batch_size = 0;                   // 0 = device.hf_batch_size.
 };
 
 class HfRunner : public Runner {
  public:
-  // `checkpoint_path` must match `options.quantized` (fp32 vs. q4 file).
+  // `checkpoint_path` must be a checkpoint stored at `options.precision`.
   HfRunner(const ModelConfig& config, const std::string& checkpoint_path,
            HfRunnerOptions options, MemoryTracker* tracker = &MemoryTracker::Global());
 
   RerankResult Rerank(const RerankRequest& request) override;
-  std::string name() const override { return options_.quantized ? "HF Quant" : "HF"; }
+  std::string name() const override {
+    switch (options_.precision) {
+      case Precision::kFp16:
+        return "HF Fp16";
+      case Precision::kInt8:
+        return "HF Int8";
+      case Precision::kW4:
+        return "HF Quant";
+      case Precision::kFp32:
+        break;
+    }
+    return "HF";
+  }
 
  private:
   ModelConfig config_;

@@ -17,6 +17,8 @@ OffloadRunner::OffloadRunner(const ModelConfig& config, const std::string& check
   auto reader = BlobFileReader::Open(checkpoint_path, options_.device.ssd);
   PRISM_CHECK_MSG(reader.ok(), reader.status().ToString().c_str());
   reader_ = std::move(reader).value();
+  const Status ckpt_status = ValidateCheckpoint(*reader_, config_, options_.precision);
+  PRISM_CHECK_MSG(ckpt_status.ok(), ckpt_status.ToString().c_str());
   embedding_ = std::make_unique<FullEmbeddingTable>(config_, reader_.get(), tracker_);
   std::vector<uint8_t> head_blob(static_cast<size_t>(reader_->BlobSize(HeadBlobIndex(config_))));
   const Status status = reader_->ReadBlob(HeadBlobIndex(config_), head_blob);
@@ -33,7 +35,7 @@ RerankResult OffloadRunner::Rerank(const RerankRequest& request) {
 
   const size_t batch = std::min(options_.batch_size, n);
   LayerScratch scratch = LayerScratch::Make(config_, batch * seq_len, seq_len, tracker_);
-  std::vector<uint8_t> layer_blob(LayerBlobBytes(config_, options_.quantized));
+  std::vector<uint8_t> layer_blob(LayerBlobBytes(config_, options_.precision));
 
   for (size_t b0 = 0; b0 < n; b0 += batch) {
     const size_t b1 = std::min(b0 + batch, n);
@@ -62,7 +64,7 @@ RerankResult OffloadRunner::Rerank(const RerankRequest& request) {
         result.stats.bytes_streamed += static_cast<int64_t>(layer_blob.size());
 
         const WallTimer compute_timer;
-        const AnyLayerView view = ParseAnyLayerBlob(config_, layer_blob, options_.quantized);
+        const AnyLayerView view = ParseAnyLayerBlob(config_, layer_blob, options_.precision);
         LayerForward(config_, view, seq_len, &hidden, &scratch);
         result.stats.candidate_layers += static_cast<int64_t>(bsz);
         const int64_t compute_micros = compute_timer.ElapsedMicros();

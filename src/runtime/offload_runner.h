@@ -22,7 +22,7 @@ namespace prism {
 
 struct OffloadRunnerOptions {
   DeviceProfile device = NvidiaProfile();
-  bool quantized = false;
+  Precision precision = Precision::kFp32;
   size_t batch_size = 0;  // 0 = device.hf_batch_size.
 };
 
@@ -33,7 +33,17 @@ class OffloadRunner : public Runner {
 
   RerankResult Rerank(const RerankRequest& request) override;
   std::string name() const override {
-    return options_.quantized ? "HF Offload Quant" : "HF Offload";
+    switch (options_.precision) {
+      case Precision::kFp16:
+        return "HF Offload Fp16";
+      case Precision::kInt8:
+        return "HF Offload Int8";
+      case Precision::kW4:
+        return "HF Offload Quant";
+      case Precision::kFp32:
+        break;
+    }
+    return "HF Offload";
   }
 
  private:

@@ -10,7 +10,12 @@ namespace prism {
 
 namespace {
 
-size_t HeaderBytes(size_t count) { return 16 + count * 16; }
+// v2 table entries carry {offset u64, size u64, precision u32, group u32};
+// legacy v1 entries are just {offset u64, size u64}.
+constexpr size_t kEntryBytesV2 = 24;
+constexpr size_t kEntryBytesV1 = 16;
+
+size_t HeaderBytes(size_t count) { return 16 + count * kEntryBytesV2; }
 
 void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
   const size_t at = buf.size();
@@ -34,10 +39,15 @@ BlobFileWriter::BlobFileWriter(const std::string& path) : path_(path) {
 }
 
 size_t BlobFileWriter::AddBlob(std::span<const uint8_t> bytes) {
+  return AddBlob(bytes, Precision::kFp32, 0);
+}
+
+size_t BlobFileWriter::AddBlob(std::span<const uint8_t> bytes, Precision precision,
+                               uint32_t quant_group) {
   PRISM_CHECK(!finished_);
   // Blob bytes are staged in memory and flushed after the header in Finish,
   // once the table size (and thus the data-region start) is known.
-  table_.emplace_back(data_cursor_, static_cast<int64_t>(bytes.size()));
+  table_.push_back(Entry{data_cursor_, static_cast<int64_t>(bytes.size()), precision, quant_group});
   data_cursor_ += static_cast<int64_t>(bytes.size());
   scratch_.insert(scratch_.end(), bytes.begin(), bytes.end());
   return table_.size() - 1;
@@ -52,9 +62,11 @@ Status BlobFileWriter::Finish() {
   PutU32(buf, kBlobFileMagic);
   PutU32(buf, kBlobFileVersion);
   PutU64(buf, table_.size());
-  for (const auto& [offset, size] : table_) {
-    PutU64(buf, static_cast<uint64_t>(offset + static_cast<int64_t>(header)));
-    PutU64(buf, static_cast<uint64_t>(size));
+  for (const Entry& entry : table_) {
+    PutU64(buf, static_cast<uint64_t>(entry.offset + static_cast<int64_t>(header)));
+    PutU64(buf, static_cast<uint64_t>(entry.size));
+    PutU32(buf, static_cast<uint32_t>(entry.precision));
+    PutU32(buf, entry.quant_group);
   }
   buf.insert(buf.end(), scratch_.begin(), scratch_.end());
   PRISM_RETURN_IF_ERROR(ssd_->Write(0, buf));
@@ -82,18 +94,34 @@ Result<std::unique_ptr<BlobFileReader>> BlobFileReader::Open(const std::string& 
     if (magic != kBlobFileMagic) {
       return Status::InvalidArgument("bad blob file magic in " + path);
     }
-    if (version != kBlobFileVersion) {
-      return Status::InvalidArgument("unsupported blob file version");
+    if (version != kBlobFileVersion && version != kBlobFileVersionLegacy) {
+      return Status::InvalidArgument("unsupported blob file version " + std::to_string(version));
     }
-    std::vector<uint8_t> table(count * 16);
+    reader->version_ = version;
+    const size_t entry_bytes = version >= 2 ? kEntryBytesV2 : kEntryBytesV1;
+    std::vector<uint8_t> table(count * entry_bytes);
     PRISM_RETURN_IF_ERROR(probe.Read(16, table));
     reader->table_.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
+      const uint8_t* at = table.data() + i * entry_bytes;
+      Entry entry;
       uint64_t offset = 0;
       uint64_t size = 0;
-      std::memcpy(&offset, table.data() + i * 16, 8);
-      std::memcpy(&size, table.data() + i * 16 + 8, 8);
-      reader->table_.emplace_back(static_cast<int64_t>(offset), static_cast<int64_t>(size));
+      std::memcpy(&offset, at, 8);
+      std::memcpy(&size, at + 8, 8);
+      entry.offset = static_cast<int64_t>(offset);
+      entry.size = static_cast<int64_t>(size);
+      if (version >= 2) {
+        uint32_t precision = 0;
+        std::memcpy(&precision, at + 16, 4);
+        std::memcpy(&entry.quant_group, at + 20, 4);
+        if (precision > static_cast<uint32_t>(Precision::kW4)) {
+          return Status::InvalidArgument("unknown precision tag " + std::to_string(precision) +
+                                         " for blob " + std::to_string(i) + " in " + path);
+        }
+        entry.precision = static_cast<Precision>(precision);
+      }
+      reader->table_.push_back(entry);
     }
   }
   return reader;
@@ -101,33 +129,43 @@ Result<std::unique_ptr<BlobFileReader>> BlobFileReader::Open(const std::string& 
 
 int64_t BlobFileReader::BlobSize(size_t index) const {
   PRISM_CHECK_LT(index, table_.size());
-  return table_[index].second;
+  return table_[index].size;
+}
+
+Precision BlobFileReader::BlobPrecision(size_t index) const {
+  PRISM_CHECK_LT(index, table_.size());
+  return table_[index].precision;
+}
+
+uint32_t BlobFileReader::BlobQuantGroup(size_t index) const {
+  PRISM_CHECK_LT(index, table_.size());
+  return table_[index].quant_group;
 }
 
 Status BlobFileReader::ReadBlob(size_t index, std::span<uint8_t> dest) {
   PRISM_CHECK_LT(index, table_.size());
-  const auto& [offset, size] = table_[index];
-  PRISM_CHECK_EQ(static_cast<int64_t>(dest.size()), size);
-  return ssd_->Read(offset, dest);
+  const Entry& entry = table_[index];
+  PRISM_CHECK_EQ(static_cast<int64_t>(dest.size()), entry.size);
+  return ssd_->Read(entry.offset, dest);
 }
 
 Status BlobFileReader::ReadBlobRange(size_t index, int64_t offset_in_blob,
                                      std::span<uint8_t> dest) {
   PRISM_CHECK_LT(index, table_.size());
-  const auto& [offset, size] = table_[index];
-  PRISM_CHECK_LE(offset_in_blob + static_cast<int64_t>(dest.size()), size);
-  return ssd_->Read(offset + offset_in_blob, dest);
+  const Entry& entry = table_[index];
+  PRISM_CHECK_LE(offset_in_blob + static_cast<int64_t>(dest.size()), entry.size);
+  return ssd_->Read(entry.offset + offset_in_blob, dest);
 }
 
 Status BlobFileReader::ReadBlobRanges(
     size_t index, std::span<const std::pair<int64_t, std::span<uint8_t>>> ranges) {
   PRISM_CHECK_LT(index, table_.size());
-  const auto& [offset, size] = table_[index];
+  const Entry& entry = table_[index];
   std::vector<std::pair<int64_t, std::span<uint8_t>>> absolute;
   absolute.reserve(ranges.size());
   for (const auto& [range_offset, dest] : ranges) {
-    PRISM_CHECK_LE(range_offset + static_cast<int64_t>(dest.size()), size);
-    absolute.emplace_back(offset + range_offset, dest);
+    PRISM_CHECK_LE(range_offset + static_cast<int64_t>(dest.size()), entry.size);
+    absolute.emplace_back(entry.offset + range_offset, dest);
   }
   return ssd_->ReadScattered(absolute);
 }

@@ -10,11 +10,223 @@ namespace prism {
 
 namespace {
 // Signed 4-bit range: [-8, 7] stored biased by +8 into a nibble.
-int8_t QuantizeValue(float v, float inv_scale) {
+int8_t QuantizeValue4(float v, float inv_scale) {
   const int q = static_cast<int>(std::lround(v * inv_scale));
   return static_cast<int8_t>(std::clamp(q, -8, 7));
 }
+
+// Symmetric int8 range: [-127, 127] (−128 unused so the grid is symmetric
+// and |err| ≤ scale/2 holds everywhere).
+int8_t QuantizeValue8(float v, float inv_scale) {
+  const int q = static_cast<int>(std::lround(v * inv_scale));
+  return static_cast<int8_t>(std::clamp(q, -127, 127));
+}
 }  // namespace
+
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kFp16:
+      return "fp16";
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kW4:
+      return "w4";
+  }
+  return "?";
+}
+
+bool PrecisionByName(const std::string& name, Precision* out) {
+  for (const Precision precision : kAllPrecisions) {
+    if (name == PrecisionName(precision)) {
+      *out = precision;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint16_t Fp32ToFp16(float v) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t exp = (bits >> 23) & 0xFFu;
+  uint32_t mant = bits & 0x7FFFFFu;
+  if (exp == 0xFFu) {
+    // NaN stays NaN; infinities saturate like any other out-of-range value.
+    if (mant != 0) {
+      return static_cast<uint16_t>(sign | 0x7C00u | 0x200u);
+    }
+    return static_cast<uint16_t>(sign | 0x7BFFu);
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;  // Rebias to half exponent.
+  if (e >= 0x1F) {
+    return static_cast<uint16_t>(sign | 0x7BFFu);  // Saturate to ±65504.
+  }
+  if (e <= 0) {
+    if (e < -10) {
+      return sign;  // Underflows even the smallest subnormal: ±0.
+    }
+    // Subnormal half: shift the 24-bit significand (implicit bit restored)
+    // down to a bare 10-bit field, rounding to nearest even.
+    mant |= 0x800000u;
+    const uint32_t shift = static_cast<uint32_t>(14 - e);
+    uint32_t half_mant = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u) != 0)) {
+      ++half_mant;
+    }
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half = (static_cast<uint32_t>(e) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u) != 0)) {
+    ++half;  // May carry into the exponent — that is the correct rounding.
+  }
+  if (half >= 0x7C00u) {
+    half = 0x7BFFu;  // Rounded past the largest finite half: saturate.
+  }
+  return static_cast<uint16_t>(sign | half);
+}
+
+float Fp16ToFp32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t bits = sign;
+  if (exp == 0) {
+    if (mant != 0) {
+      // Normalise the subnormal: slide the leading bit into the implicit
+      // position, adjusting the exponent per shift.
+      uint32_t e = 127 - 15 + 1;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        --e;
+      }
+      mant &= 0x3FFu;
+      bits |= (e << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    bits |= 0x7F800000u | (mant << 13);
+  } else {
+    bits |= ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+size_t MatrixSpanBytes(Precision precision, size_t rows, size_t cols, size_t group_size) {
+  switch (precision) {
+    case Precision::kFp32:
+      return rows * cols * sizeof(float);
+    case Precision::kFp16:
+      return Fp16MatrixView::SpanBytes(rows, cols);
+    case Precision::kInt8:
+      return Int8MatrixView::SpanBytes(rows, cols, group_size);
+    case Precision::kW4:
+      return QuantMatrixView::SpanBytes(rows, cols, group_size);
+  }
+  return 0;
+}
+
+void EncodeMatrix(Precision precision, const float* w, size_t rows, size_t cols,
+                  size_t group_size, uint8_t* out) {
+  switch (precision) {
+    case Precision::kFp32: {
+      std::memcpy(out, w, rows * cols * sizeof(float));
+      return;
+    }
+    case Precision::kFp16: {
+      uint16_t* dst = reinterpret_cast<uint16_t*>(out);
+      for (size_t i = 0; i < rows * cols; ++i) {
+        dst[i] = Fp32ToFp16(w[i]);
+      }
+      return;
+    }
+    case Precision::kInt8: {
+      PRISM_CHECK_GT(group_size, 0u);
+      PRISM_CHECK_EQ(cols % group_size, 0u);
+      const size_t groups_per_row = cols / group_size;
+      int8_t* values = reinterpret_cast<int8_t*>(out);
+      float* scales = reinterpret_cast<float*>(out + rows * cols);
+      for (size_t r = 0; r < rows; ++r) {
+        const float* wr = w + r * cols;
+        for (size_t g = 0; g < groups_per_row; ++g) {
+          const float* group = wr + g * group_size;
+          float max_abs = 0.0f;
+          for (size_t i = 0; i < group_size; ++i) {
+            max_abs = std::max(max_abs, std::fabs(group[i]));
+          }
+          const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+          const float inv_scale = 1.0f / scale;
+          scales[r * groups_per_row + g] = scale;
+          for (size_t i = 0; i < group_size; ++i) {
+            values[r * cols + g * group_size + i] = QuantizeValue8(group[i], inv_scale);
+          }
+        }
+      }
+      return;
+    }
+    case Precision::kW4: {
+      MemoryTracker scratch;  // Encoding scratch should not hit any tracker.
+      const QuantizedMatrix qm =
+          QuantizedMatrix::Quantize(w, rows, cols, group_size, MemCategory::kScratch, &scratch);
+      qm.SerializeTo(out);
+      return;
+    }
+  }
+}
+
+void DecodeMatrix(Precision precision, const uint8_t* in, size_t rows, size_t cols,
+                  size_t group_size, float* out) {
+  switch (precision) {
+    case Precision::kFp32: {
+      std::memcpy(out, in, rows * cols * sizeof(float));
+      return;
+    }
+    case Precision::kFp16: {
+      const uint16_t* src = reinterpret_cast<const uint16_t*>(in);
+      for (size_t i = 0; i < rows * cols; ++i) {
+        out[i] = Fp16ToFp32(src[i]);
+      }
+      return;
+    }
+    case Precision::kInt8: {
+      const size_t groups_per_row = cols / group_size;
+      const int8_t* values = reinterpret_cast<const int8_t*>(in);
+      const float* scales = reinterpret_cast<const float*>(in + rows * cols);
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t g = 0; g < groups_per_row; ++g) {
+          const float scale = scales[r * groups_per_row + g];
+          for (size_t i = 0; i < group_size; ++i) {
+            const size_t at = r * cols + g * group_size + i;
+            out[at] = scale * static_cast<float>(values[at]);
+          }
+        }
+      }
+      return;
+    }
+    case Precision::kW4: {
+      MemoryTracker scratch;
+      const QuantizedMatrix qm = QuantizedMatrix::Deserialize(in, rows, cols, group_size,
+                                                              MemCategory::kScratch, &scratch);
+      qm.Dequantize(out);
+      return;
+    }
+  }
+}
+
+float Int8MaxScale(const uint8_t* in, size_t rows, size_t cols, size_t group_size) {
+  const float* scales = reinterpret_cast<const float*>(in + rows * cols);
+  float max_scale = 0.0f;
+  for (size_t i = 0; i < rows * (cols / group_size); ++i) {
+    max_scale = std::max(max_scale, scales[i]);
+  }
+  return max_scale;
+}
 
 QuantizedMatrix QuantizedMatrix::Quantize(const float* w, size_t rows, size_t cols,
                                           size_t group_size, MemCategory category,
@@ -42,8 +254,8 @@ QuantizedMatrix QuantizedMatrix::Quantize(const float* w, size_t rows, size_t co
       const float inv_scale = 1.0f / scale;
       qm.scales_[r * groups_per_row + g] = scale;
       for (size_t i = 0; i < group_size; i += 2) {
-        const uint8_t lo = static_cast<uint8_t>(QuantizeValue(group[i], inv_scale) + 8);
-        const uint8_t hi = static_cast<uint8_t>(QuantizeValue(group[i + 1], inv_scale) + 8);
+        const uint8_t lo = static_cast<uint8_t>(QuantizeValue4(group[i], inv_scale) + 8);
+        const uint8_t hi = static_cast<uint8_t>(QuantizeValue4(group[i + 1], inv_scale) + 8);
         qm.packed_[(r * cols + g * group_size + i) / 2] =
             static_cast<uint8_t>(lo | (hi << 4));
       }
@@ -82,6 +294,47 @@ void QuantMatrixView::MatMulTransB(const float* a, size_t m, float* c) const {
         wrow[g * group_size + i] = scale * static_cast<float>(static_cast<int>(byte & 0x0F) - 8);
         wrow[g * group_size + i + 1] = scale * static_cast<float>(static_cast<int>(byte >> 4) - 8);
       }
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * cols;
+      float acc = 0.0f;
+      for (size_t k = 0; k < cols; ++k) {
+        acc += arow[k] * wrow[k];
+      }
+      c[i * rows + j] = acc;
+    }
+  }
+}
+
+void Int8MatrixView::MatMulTransB(const float* a, size_t m, float* c) const {
+  const size_t groups_per_row = cols / group_size;
+  // Same strip pattern as the 4-bit kernel: unpack one weight row, dot it
+  // against every input row.
+  std::vector<float> wrow(cols);
+  for (size_t j = 0; j < rows; ++j) {
+    for (size_t g = 0; g < groups_per_row; ++g) {
+      const float scale = scales[j * groups_per_row + g];
+      for (size_t i = 0; i < group_size; ++i) {
+        wrow[g * group_size + i] =
+            scale * static_cast<float>(values[j * cols + g * group_size + i]);
+      }
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * cols;
+      float acc = 0.0f;
+      for (size_t k = 0; k < cols; ++k) {
+        acc += arow[k] * wrow[k];
+      }
+      c[i * rows + j] = acc;
+    }
+  }
+}
+
+void Fp16MatrixView::MatMulTransB(const float* a, size_t m, float* c) const {
+  std::vector<float> wrow(cols);
+  for (size_t j = 0; j < rows; ++j) {
+    for (size_t k = 0; k < cols; ++k) {
+      wrow[k] = Fp16ToFp32(data[j * cols + k]);
     }
     for (size_t i = 0; i < m; ++i) {
       const float* arow = a + i * cols;

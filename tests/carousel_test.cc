@@ -14,6 +14,7 @@
 #include "src/core/engine.h"
 #include "src/core/scheduler.h"
 #include "src/core/service.h"
+#include "src/tensor/quant.h"
 #include "tests/test_util.h"
 
 namespace prism {
@@ -92,6 +93,48 @@ TEST_F(CarouselTest, SchedulerMatchesSerialBitIdentically) {
   }
   if (early_in_serial > 0) {
     EXPECT_GE(stats.exited_early, 1u);
+  }
+}
+
+TEST_F(CarouselTest, SchedulerMatchesSerialAtEveryReducedPrecision) {
+  // The bit-identical-to-serial contract is precision-blind: the carousel
+  // decodes the same quantized layer stream the serial path decodes, so each
+  // tier must agree with its own serial baseline to the last bit. Cross-tier
+  // drift against fp32 is golden_test's calibrated business, not ours.
+  for (const Precision precision :
+       {Precision::kFp16, Precision::kInt8, Precision::kW4}) {
+    const std::string ckpt = TestCheckpoint(config_, precision);
+    PrismOptions options = EngineOptions();
+    options.precision = precision;
+    MemoryTracker ref_tracker;
+    PrismEngine reference(config_, ckpt, options, &ref_tracker);
+    std::vector<RerankResult> expected;
+    for (const RerankRequest& request : requests_) {
+      expected.push_back(reference.Rerank(request));
+    }
+
+    MemoryTracker tracker;
+    PrismEngine engine(config_, ckpt, options, &tracker);
+    CarouselScheduler scheduler(&engine, /*max_inflight=*/3, /*compute_threads=*/2);
+    std::vector<RerankResult> results(requests_.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < requests_.size(); ++i) {
+      clients.emplace_back([&, i] { results[i] = scheduler.Submit(requests_[i]); });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    for (size_t i = 0; i < requests_.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok())
+          << PrecisionName(precision) << " request " << i;
+      EXPECT_EQ(results[i].topk, expected[i].topk)
+          << PrecisionName(precision) << " request " << i;
+      EXPECT_EQ(results[i].scores, expected[i].scores)
+          << PrecisionName(precision) << " request " << i;
+      EXPECT_EQ(results[i].stats.layers_until_done, expected[i].stats.layers_until_done)
+          << PrecisionName(precision) << " request " << i;
+    }
+    EXPECT_EQ(scheduler.stats().admitted, requests_.size()) << PrecisionName(precision);
   }
 }
 

@@ -181,7 +181,7 @@ TEST_F(EngineTest, StreamingKeepsAtMostTwoLayersResident) {
   PrismEngine engine(config_, ckpt_, options, &tracker);
   engine.Rerank(request_);
   EXPECT_LE(tracker.PeakBytes(MemCategory::kWeights),
-            static_cast<int64_t>(2 * LayerBlobBytes(config_, false)));
+            static_cast<int64_t>(2 * LayerBlobBytes(config_, Precision::kFp32)));
 }
 
 TEST_F(EngineTest, EmbedCacheBoundsEmbeddingMemory) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 
 #include "src/model/embedding.h"
@@ -19,13 +20,14 @@ SsdConfig Unthrottled() {
   return config;
 }
 
-// Loads everything needed to run layers of a test checkpoint in memory.
+// Loads everything needed to run layers of a test checkpoint in memory, at
+// every storage precision.
 struct LoadedModel {
   ModelConfig config;
   std::unique_ptr<BlobFileReader> reader;
   std::unique_ptr<FullEmbeddingTable> embedding;
-  std::vector<std::vector<uint8_t>> layers;
-  std::vector<std::vector<uint8_t>> qlayers;
+  // Indexed by static_cast<size_t>(Precision), then layer.
+  std::array<std::vector<std::vector<uint8_t>>, 4> layers;
   HeadWeights head;
   MemoryTracker tracker;
 };
@@ -33,20 +35,23 @@ struct LoadedModel {
 std::unique_ptr<LoadedModel> Load(ModelArch arch) {
   auto m = std::make_unique<LoadedModel>();
   m->config = TestModel(arch);
-  auto reader = BlobFileReader::Open(TestCheckpoint(m->config, false), Unthrottled());
-  auto qreader = BlobFileReader::Open(TestCheckpoint(m->config, true), Unthrottled());
+  auto reader = BlobFileReader::Open(TestCheckpoint(m->config), Unthrottled());
   PRISM_CHECK(reader.ok());
-  PRISM_CHECK(qreader.ok());
   m->reader = std::move(reader).value();
-  auto qr = std::move(qreader).value();
   m->embedding = std::make_unique<FullEmbeddingTable>(m->config, m->reader.get(), &m->tracker);
-  for (size_t layer = 0; layer < m->config.n_layers; ++layer) {
-    std::vector<uint8_t> blob(static_cast<size_t>(m->reader->BlobSize(LayerBlobIndex(layer))));
-    PRISM_CHECK(m->reader->ReadBlob(LayerBlobIndex(layer), blob).ok());
-    m->layers.push_back(std::move(blob));
-    std::vector<uint8_t> qblob(static_cast<size_t>(qr->BlobSize(LayerBlobIndex(layer))));
-    PRISM_CHECK(qr->ReadBlob(LayerBlobIndex(layer), qblob).ok());
-    m->qlayers.push_back(std::move(qblob));
+  for (const Precision precision : kAllPrecisions) {
+    auto r = precision == Precision::kFp32
+                 ? nullptr
+                 : std::move(BlobFileReader::Open(TestCheckpoint(m->config, precision),
+                                                  Unthrottled()))
+                       .value();
+    BlobFileReader* src = r != nullptr ? r.get() : m->reader.get();
+    auto& dst = m->layers[static_cast<size_t>(precision)];
+    for (size_t layer = 0; layer < m->config.n_layers; ++layer) {
+      std::vector<uint8_t> blob(static_cast<size_t>(src->BlobSize(LayerBlobIndex(layer))));
+      PRISM_CHECK(src->ReadBlob(LayerBlobIndex(layer), blob).ok());
+      dst.push_back(std::move(blob));
+    }
   }
   std::vector<uint8_t> head(static_cast<size_t>(m->reader->BlobSize(HeadBlobIndex(m->config))));
   PRISM_CHECK(m->reader->ReadBlob(HeadBlobIndex(m->config), head).ok());
@@ -65,16 +70,31 @@ Tensor EmbedBatch(LoadedModel* m, const RerankRequest& request, size_t seq_len) 
   return hidden;
 }
 
-std::vector<float> ForwardAll(LoadedModel* m, Tensor* hidden, size_t seq_len, bool quantized) {
+std::vector<float> ForwardAll(LoadedModel* m, Tensor* hidden, size_t seq_len,
+                              Precision precision = Precision::kFp32) {
   LayerScratch scratch = LayerScratch::Make(m->config, hidden->rows(), seq_len, &m->tracker);
+  const auto& blobs = m->layers[static_cast<size_t>(precision)];
   for (size_t layer = 0; layer < m->config.n_layers; ++layer) {
-    const AnyLayerView view = ParseAnyLayerBlob(
-        m->config, quantized ? m->qlayers[layer] : m->layers[layer], quantized);
+    const AnyLayerView view = ParseAnyLayerBlob(m->config, blobs[layer], precision);
     LayerForward(m->config, view, seq_len, hidden, &scratch);
   }
   std::vector<float> scores;
   ScoreChunk(m->config, m->head, *hidden, seq_len, &scores);
   return scores;
+}
+
+// Per-precision score tolerance vs fp32 for TestModel-sized layers: fp16 is
+// nearly exact, int8 a little looser, w4 the loosest (calibrated once against
+// the planted-relevance model, with ~3× headroom over observed drift).
+float ScoreTolerance(Precision precision) {
+  switch (precision) {
+    case Precision::kFp16:
+      return 0.01f;
+    case Precision::kInt8:
+      return 0.05f;
+    default:
+      return 0.15f;
+  }
 }
 
 class LayerArchTest : public ::testing::TestWithParam<ModelArch> {};
@@ -85,8 +105,8 @@ TEST_P(LayerArchTest, ForwardIsDeterministic) {
   const size_t seq_len = ChooseSeqLen(m->config, request.query, request.docs);
   Tensor h1 = EmbedBatch(m.get(), request, seq_len);
   Tensor h2 = EmbedBatch(m.get(), request, seq_len);
-  const auto s1 = ForwardAll(m.get(), &h1, seq_len, false);
-  const auto s2 = ForwardAll(m.get(), &h2, seq_len, false);
+  const auto s1 = ForwardAll(m.get(), &h1, seq_len);
+  const auto s2 = ForwardAll(m.get(), &h2, seq_len);
   EXPECT_EQ(s1, s2);
 }
 
@@ -98,7 +118,7 @@ TEST_P(LayerArchTest, BatchPartitioningDoesNotChangeScores) {
   const RerankRequest request = TestRequest(m->config, 6, 2);
   const size_t seq_len = ChooseSeqLen(m->config, request.query, request.docs);
   Tensor whole = EmbedBatch(m.get(), request, seq_len);
-  const auto s_whole = ForwardAll(m.get(), &whole, seq_len, false);
+  const auto s_whole = ForwardAll(m.get(), &whole, seq_len);
 
   std::vector<float> s_split;
   for (size_t half = 0; half < 2; ++half) {
@@ -110,7 +130,7 @@ TEST_P(LayerArchTest, BatchPartitioningDoesNotChangeScores) {
       sub.planted_r.push_back(request.planted_r[c]);
     }
     Tensor part = EmbedBatch(m.get(), sub, seq_len);
-    const auto s = ForwardAll(m.get(), &part, seq_len, false);
+    const auto s = ForwardAll(m.get(), &part, seq_len);
     s_split.insert(s_split.end(), s.begin(), s.end());
   }
   ASSERT_EQ(s_whole.size(), s_split.size());
@@ -124,7 +144,7 @@ TEST_P(LayerArchTest, ScoresAreProbabilities) {
   const RerankRequest request = TestRequest(m->config, 8, 2);
   const size_t seq_len = ChooseSeqLen(m->config, request.query, request.docs);
   Tensor hidden = EmbedBatch(m.get(), request, seq_len);
-  const auto scores = ForwardAll(m.get(), &hidden, seq_len, false);
+  const auto scores = ForwardAll(m.get(), &hidden, seq_len);
   for (float s : scores) {
     EXPECT_GT(s, 0.0f);
     EXPECT_LT(s, 1.0f);
@@ -132,16 +152,20 @@ TEST_P(LayerArchTest, ScoresAreProbabilities) {
   }
 }
 
-TEST_P(LayerArchTest, QuantizedScoresCloseToF32) {
+TEST_P(LayerArchTest, ReducedPrecisionScoresCloseToF32) {
   auto m = Load(GetParam());
   const RerankRequest request = TestRequest(m->config, 8, 2);
   const size_t seq_len = ChooseSeqLen(m->config, request.query, request.docs);
   Tensor h1 = EmbedBatch(m.get(), request, seq_len);
-  Tensor h2 = EmbedBatch(m.get(), request, seq_len);
-  const auto f32 = ForwardAll(m.get(), &h1, seq_len, false);
-  const auto q4 = ForwardAll(m.get(), &h2, seq_len, true);
-  for (size_t i = 0; i < f32.size(); ++i) {
-    EXPECT_NEAR(f32[i], q4[i], 0.15f) << "candidate " << i;
+  const auto f32 = ForwardAll(m.get(), &h1, seq_len);
+  for (const Precision precision :
+       {Precision::kFp16, Precision::kInt8, Precision::kW4}) {
+    Tensor h2 = EmbedBatch(m.get(), request, seq_len);
+    const auto reduced = ForwardAll(m.get(), &h2, seq_len, precision);
+    for (size_t i = 0; i < f32.size(); ++i) {
+      EXPECT_NEAR(f32[i], reduced[i], ScoreTolerance(precision))
+          << PrecisionName(precision) << " candidate " << i;
+    }
   }
 }
 
@@ -157,7 +181,7 @@ TEST_P(LayerArchTest, PlantedRelevanceDrivesScores) {
   request.k = 1;
   const size_t seq_len = ChooseSeqLen(m->config, request.query, request.docs);
   Tensor hidden = EmbedBatch(m.get(), request, seq_len);
-  const auto scores = ForwardAll(m.get(), &hidden, seq_len, false);
+  const auto scores = ForwardAll(m.get(), &hidden, seq_len);
   EXPECT_GT(scores[0], scores[1] + 0.2f);
 }
 

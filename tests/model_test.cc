@@ -83,15 +83,15 @@ TEST(SyntheticTest, BlobCountAndSizesMatchConfig) {
   EXPECT_EQ(reader.value()->BlobSize(EmbeddingBlobIndex()),
             static_cast<int64_t>(config.EmbeddingBlobBytes()));
   EXPECT_EQ(reader.value()->BlobSize(LayerBlobIndex(0)),
-            static_cast<int64_t>(LayerBlobBytes(config, false)));
+            static_cast<int64_t>(LayerBlobBytes(config, Precision::kFp32)));
   EXPECT_EQ(reader.value()->BlobSize(HeadBlobIndex(config)),
             static_cast<int64_t>(config.HeadBlobBytes()));
 }
 
 TEST(SyntheticTest, QuantizedCheckpointSmaller) {
   const ModelConfig config = TestModel();
-  const std::string f32 = TestCheckpoint(config, false);
-  const std::string q4 = TestCheckpoint(config, true);
+  const std::string f32 = TestCheckpoint(config);
+  const std::string q4 = TestCheckpoint(config, Precision::kW4);
   auto rf = BlobFileReader::Open(f32, Unthrottled());
   auto rq = BlobFileReader::Open(q4, Unthrottled());
   ASSERT_TRUE(rf.ok());
@@ -117,7 +117,7 @@ TEST(SyntheticTest, ClassifierIsScaledUnitVector) {
 
 TEST(WeightsTest, LayerViewPointersPartitionBlob) {
   const ModelConfig config = TestModel();
-  std::vector<uint8_t> blob(LayerBlobBytes(config, false));
+  std::vector<uint8_t> blob(LayerBlobBytes(config, Precision::kFp32));
   const LayerView view = ParseLayerBlob(config, blob);
   const auto* base = reinterpret_cast<const float*>(blob.data());
   EXPECT_EQ(view.wq, base);
@@ -131,7 +131,7 @@ TEST(WeightsTest, LayerViewPointersPartitionBlob) {
 
 TEST(WeightsTest, EncoderLayoutHasNoGate) {
   const ModelConfig config = TestModel(ModelArch::kEncoderOnly);
-  std::vector<uint8_t> blob(LayerBlobBytes(config, false));
+  std::vector<uint8_t> blob(LayerBlobBytes(config, Precision::kFp32));
   const LayerView view = ParseLayerBlob(config, blob);
   EXPECT_EQ(view.w_gate, nullptr);
 }

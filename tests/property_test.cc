@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <thread>
 #include <vector>
@@ -14,6 +15,8 @@
 #include "src/core/service.h"
 #include "src/core/stages.h"
 #include "src/model/layer.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/quant.h"
 #include "tests/test_util.h"
 
 namespace prism {
@@ -228,6 +231,200 @@ TEST(CarouselPropertyTest, NoRequestForwardedOutsideItsPlan) {
       ASSERT_EQ(results[i].topk, reference[i].topk);
       ASSERT_EQ(results[i].scores, reference[i].scores);
     }
+  }
+}
+
+// --- Precision tiers ------------------------------------------------------
+
+std::vector<float> RandomMatrix(Rng& rng, size_t n, float scale = 0.1f) {
+  std::vector<float> w(n);
+  for (float& v : w) {
+    v = static_cast<float>(rng.NextGaussian()) * scale;
+  }
+  return w;
+}
+
+// Random shape with cols a multiple of a random group size.
+void RandomShape(Rng& rng, size_t* rows, size_t* cols, size_t* group) {
+  *rows = 1 + rng.NextBelow(24);
+  *group = size_t{8} << rng.NextBelow(3);  // 8, 16, 32.
+  *cols = *group * (1 + rng.NextBelow(6));
+}
+
+TEST(PrecisionPropertyTest, Int8RoundtripBoundedByHalfScale) {
+  Rng rng(kSuiteSeed + 5);
+  for (int i = 0; i < kCases; ++i) {
+    size_t rows = 0;
+    size_t cols = 0;
+    size_t group = 0;
+    RandomShape(rng, &rows, &cols, &group);
+    SCOPED_TRACE(::testing::Message() << "case " << i << ": " << rows << "x" << cols
+                                      << " group " << group);
+    const std::vector<float> w = RandomMatrix(rng, rows * cols);
+    std::vector<uint8_t> encoded(MatrixSpanBytes(Precision::kInt8, rows, cols, group));
+    std::vector<float> back(rows * cols);
+    EncodeMatrix(Precision::kInt8, w.data(), rows, cols, group, encoded.data());
+    DecodeMatrix(Precision::kInt8, encoded.data(), rows, cols, group, back.data());
+    const float bound = Int8MaxScale(encoded.data(), rows, cols, group) * 0.5f + 1e-7f;
+    for (size_t j = 0; j < w.size(); ++j) {
+      ASSERT_LE(std::fabs(w[j] - back[j]), bound) << "element " << j;
+    }
+  }
+}
+
+TEST(PrecisionPropertyTest, Fp16RoundtripBoundedByHalfUlp) {
+  // For normal halves the relative error of round-to-nearest is <= 2^-11;
+  // subnormals add an absolute floor of half the smallest subnormal step
+  // (2^-25). Values are drawn across magnitudes via a random exponent.
+  Rng rng(kSuiteSeed + 6);
+  for (int i = 0; i < kCases; ++i) {
+    const float mag = std::ldexp(1.0f, static_cast<int>(rng.NextBelow(30)) - 20);
+    const float v = static_cast<float>(rng.NextGaussian()) * mag;
+    const float back = Fp16ToFp32(Fp32ToFp16(v));
+    const float bound = std::fabs(v) / 2048.0f + 6e-8f;
+    ASSERT_LE(std::fabs(v - back), bound) << "case " << i << " v=" << v;
+  }
+}
+
+TEST(PrecisionPropertyTest, EncodeIsDeterministic) {
+  Rng rng(kSuiteSeed + 7);
+  for (int i = 0; i < 40; ++i) {
+    size_t rows = 0;
+    size_t cols = 0;
+    size_t group = 0;
+    RandomShape(rng, &rows, &cols, &group);
+    const std::vector<float> w = RandomMatrix(rng, rows * cols);
+    for (const Precision precision : kAllPrecisions) {
+      std::vector<uint8_t> once(MatrixSpanBytes(precision, rows, cols, group));
+      std::vector<uint8_t> twice(once.size());
+      EncodeMatrix(precision, w.data(), rows, cols, group, once.data());
+      EncodeMatrix(precision, w.data(), rows, cols, group, twice.data());
+      ASSERT_EQ(once, twice) << "case " << i << " precision " << PrecisionName(precision);
+    }
+  }
+}
+
+// The fused dequantising GEMM must equal decode-then-GEMM at every precision
+// — the property that makes streaming reduced-precision blobs equivalent to
+// materialising fp32 weights.
+TEST(PrecisionPropertyTest, FusedMatMulEqualsDecodeThenGemm) {
+  Rng rng(kSuiteSeed + 8);
+  for (int i = 0; i < 60; ++i) {
+    size_t rows = 0;
+    size_t cols = 0;
+    size_t group = 0;
+    RandomShape(rng, &rows, &cols, &group);
+    const size_t m = 1 + rng.NextBelow(6);
+    const std::vector<float> w = RandomMatrix(rng, rows * cols);
+    const std::vector<float> a = RandomMatrix(rng, m * cols, 1.0f);
+    for (const Precision precision : kAllPrecisions) {
+      SCOPED_TRACE(::testing::Message() << "case " << i << ": " << rows << "x" << cols
+                                        << " group " << group << " m " << m << " "
+                                        << PrecisionName(precision));
+      std::vector<uint8_t> encoded(MatrixSpanBytes(precision, rows, cols, group));
+      EncodeMatrix(precision, w.data(), rows, cols, group, encoded.data());
+      std::vector<float> decoded(rows * cols);
+      DecodeMatrix(precision, encoded.data(), rows, cols, group, decoded.data());
+      std::vector<float> expected(m * rows, 0.0f);
+      for (size_t r = 0; r < m; ++r) {
+        for (size_t j = 0; j < rows; ++j) {
+          double acc = 0.0;
+          for (size_t k = 0; k < cols; ++k) {
+            acc += static_cast<double>(a[r * cols + k]) * decoded[j * cols + k];
+          }
+          expected[r * rows + j] = static_cast<float>(acc);
+        }
+      }
+      std::vector<float> got(m * rows, 0.0f);
+      const uint8_t* p = encoded.data();
+      switch (precision) {
+        case Precision::kFp32: {
+          MatMulTransBRaw(a.data(), m, cols, reinterpret_cast<const float*>(p), rows,
+                          got.data());
+          break;
+        }
+        case Precision::kFp16: {
+          Fp16MatrixView view{reinterpret_cast<const uint16_t*>(p), rows, cols};
+          view.MatMulTransB(a.data(), m, got.data());
+          break;
+        }
+        case Precision::kInt8: {
+          Int8MatrixView view{reinterpret_cast<const int8_t*>(p),
+                              reinterpret_cast<const float*>(p + rows * cols), rows, cols,
+                              group};
+          view.MatMulTransB(a.data(), m, got.data());
+          break;
+        }
+        case Precision::kW4: {
+          QuantMatrixView view{p, reinterpret_cast<const float*>(p + rows * cols / 2), rows,
+                               cols, group};
+          view.MatMulTransB(a.data(), m, got.data());
+          break;
+        }
+      }
+      for (size_t j = 0; j < got.size(); ++j) {
+        ASSERT_NEAR(got[j], expected[j], 2e-3f) << "element " << j;
+      }
+    }
+  }
+}
+
+// Scores perturbed by a storage tier (encode→decode roundtrip) are still
+// just scores: DecidePrune must keep every invariant, in particular that the
+// remaining_k-th ranked candidate survives.
+TEST(PrecisionPropertyTest, PruningUnderQuantizedScoresKeepsKth) {
+  Rng rng(kSuiteSeed + 9);
+  for (int i = 0; i < kCases; ++i) {
+    const size_t m = 2 + rng.NextBelow(30);
+    std::vector<float> scores = RandomScores(rng, m);
+    for (float& s : scores) {
+      s = 0.5f + 0.4f * std::tanh(s);  // Probability-like, as served.
+    }
+    // Perturb through a random tier's roundtrip. int8/w4 quantise the score
+    // vector as one group-sized row (padding with zeros).
+    const Precision precision = kAllPrecisions[1 + rng.NextBelow(3)];
+    if (precision == Precision::kFp16) {
+      for (float& s : scores) {
+        s = Fp16ToFp32(Fp32ToFp16(s));
+      }
+    } else {
+      const size_t group = 16;
+      const size_t padded = (m + group - 1) / group * group;
+      std::vector<float> row(padded, 0.0f);
+      std::copy(scores.begin(), scores.end(), row.begin());
+      std::vector<uint8_t> encoded(MatrixSpanBytes(precision, 1, padded, group));
+      EncodeMatrix(precision, row.data(), 1, padded, group, encoded.data());
+      DecodeMatrix(precision, encoded.data(), 1, padded, group, row.data());
+      std::copy(row.begin(), row.begin() + static_cast<ptrdiff_t>(m), scores.begin());
+    }
+
+    const size_t remaining_k = 1 + rng.NextBelow(m);
+    PrunerOptions options;
+    options.dispersion_threshold = static_cast<float>(rng.NextUniform(0.0, 1.2));
+    options.prune_winners = true;
+    options.seed = MixSeed(kSuiteSeed, static_cast<uint64_t>(i));
+    const PruneDecision decision = DecidePrune(scores, remaining_k, options);
+
+    SCOPED_TRACE(::testing::Message() << "case " << i << ": m=" << m << " k=" << remaining_k
+                                      << " precision=" << PrecisionName(precision));
+    std::set<size_t> seen;
+    for (const auto* list : {&decision.selected, &decision.dropped, &decision.deferred}) {
+      for (size_t idx : *list) {
+        ASSERT_LT(idx, m);
+        ASSERT_TRUE(seen.insert(idx).second);
+      }
+    }
+    ASSERT_EQ(seen.size(), m);
+    std::vector<size_t> order(m);
+    for (size_t j = 0; j < m; ++j) {
+      order[j] = j;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+    const size_t kth = order[remaining_k - 1];
+    ASSERT_EQ(std::count(decision.dropped.begin(), decision.dropped.end(), kth), 0)
+        << "k-th ranked candidate " << kth << " dropped under "
+        << PrecisionName(precision) << " scores";
   }
 }
 

@@ -37,7 +37,7 @@ class RunnerTest : public ::testing::Test {
   void SetUp() override {
     config_ = TestModel();
     ckpt_ = TestCheckpoint(config_);
-    qckpt_ = TestCheckpoint(config_, true);
+    qckpt_ = TestCheckpoint(config_, Precision::kW4);
     request_ = TestRequest(config_, 10, 3);
   }
 
@@ -83,7 +83,7 @@ TEST_F(RunnerTest, QuantizedCloseToF32) {
   f32.device = FastDevice();
   HfRunnerOptions q4;
   q4.device = FastDevice();
-  q4.quantized = true;
+  q4.precision = Precision::kW4;
   HfRunner a(config_, ckpt_, f32, &t1);
   HfRunner b(config_, qckpt_, q4, &t2);
   const RerankResult ra = a.Rerank(request_);
@@ -100,7 +100,7 @@ TEST_F(RunnerTest, HfKeepsAllWeightsResident) {
   opts.device = FastDevice();
   HfRunner hf(config_, ckpt_, opts, &tracker);
   const int64_t expected =
-      static_cast<int64_t>(config_.n_layers * LayerBlobBytes(config_, false));
+      static_cast<int64_t>(config_.n_layers * LayerBlobBytes(config_, Precision::kFp32));
   EXPECT_EQ(tracker.CurrentBytes(MemCategory::kWeights), expected);
   EXPECT_EQ(tracker.CurrentBytes(MemCategory::kEmbedding),
             static_cast<int64_t>(config_.EmbeddingBlobBytes()));
@@ -113,7 +113,7 @@ TEST_F(RunnerTest, OffloadKeepsAtMostOneLayerResident) {
   OffloadRunner off(config_, ckpt_, opts, &tracker);
   off.Rerank(request_);
   EXPECT_LE(tracker.PeakBytes(MemCategory::kWeights),
-            static_cast<int64_t>(LayerBlobBytes(config_, false)));
+            static_cast<int64_t>(LayerBlobBytes(config_, Precision::kFp32)));
   // After the request, no layer weights remain resident.
   EXPECT_EQ(tracker.CurrentBytes(MemCategory::kWeights), 0);
 }
@@ -127,7 +127,7 @@ TEST_F(RunnerTest, OffloadReportsStreamedBytes) {
   const RerankResult result = off.Rerank(request_);
   // 10 candidates in batches of 5 → every layer loaded twice.
   EXPECT_EQ(result.stats.bytes_streamed,
-            static_cast<int64_t>(2 * config_.n_layers * LayerBlobBytes(config_, false)));
+            static_cast<int64_t>(2 * config_.n_layers * LayerBlobBytes(config_, Precision::kFp32)));
 }
 
 TEST_F(RunnerTest, TopKSizeRespectsK) {

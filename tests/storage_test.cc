@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/timer.h"
+#include "src/model/weights.h"
 #include "src/storage/blob_file.h"
 #include "src/storage/hidden_spill.h"
 #include "src/storage/layer_streamer.h"
@@ -139,6 +141,233 @@ TEST(BlobFileTest, RejectsGarbageFile) {
   }
   const auto reader = BlobFileReader::Open(file.path(), Unthrottled());
   EXPECT_FALSE(reader.ok());
+}
+
+// --- v2 precision tags ----------------------------------------------------
+
+void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
+  const size_t at = buf.size();
+  buf.resize(at + 4);
+  std::memcpy(buf.data() + at, &v, 4);
+}
+
+void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
+  const size_t at = buf.size();
+  buf.resize(at + 8);
+  std::memcpy(buf.data() + at, &v, 8);
+}
+
+TEST(BlobFileTest, V2RoundTripPreservesPrecisionTags) {
+  TempFile file("blob_v2");
+  const std::vector<uint8_t> untagged = RandomBytes(64, 40);
+  const std::vector<uint8_t> tagged = RandomBytes(128, 41);
+  {
+    BlobFileWriter writer(file.path());
+    writer.AddBlob(untagged);  // Default tag: fp32, group 0.
+    writer.AddBlob(tagged, Precision::kInt8, 32);
+    writer.AddBlob(tagged, Precision::kW4, 16);
+    writer.AddBlob(tagged, Precision::kFp16, 0);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->version(), kBlobFileVersion);
+  EXPECT_TRUE(reader.value()->has_precision_tags());
+  EXPECT_EQ(reader.value()->BlobPrecision(0), Precision::kFp32);
+  EXPECT_EQ(reader.value()->BlobQuantGroup(0), 0u);
+  EXPECT_EQ(reader.value()->BlobPrecision(1), Precision::kInt8);
+  EXPECT_EQ(reader.value()->BlobQuantGroup(1), 32u);
+  EXPECT_EQ(reader.value()->BlobPrecision(2), Precision::kW4);
+  EXPECT_EQ(reader.value()->BlobQuantGroup(2), 16u);
+  EXPECT_EQ(reader.value()->BlobPrecision(3), Precision::kFp16);
+  std::vector<uint8_t> back(tagged.size());
+  ASSERT_TRUE(reader.value()->ReadBlob(1, back).ok());
+  EXPECT_EQ(back, tagged);
+}
+
+// Hand-writes a format-v1 file: [magic][version=1][count] then 16-byte
+// {offset, size} entries — no precision column.
+void WriteV1File(const std::string& path, const std::vector<std::vector<uint8_t>>& blobs) {
+  std::vector<uint8_t> buf;
+  PutU32(buf, kBlobFileMagic);
+  PutU32(buf, kBlobFileVersionLegacy);
+  PutU64(buf, blobs.size());
+  const size_t header = 16 + blobs.size() * 16;
+  uint64_t offset = header;
+  for (const auto& blob : blobs) {
+    PutU64(buf, offset);
+    PutU64(buf, blob.size());
+    offset += blob.size();
+  }
+  for (const auto& blob : blobs) {
+    buf.insert(buf.end(), blob.begin(), blob.end());
+  }
+  SimulatedSsd ssd(path, Unthrottled());
+  ASSERT_TRUE(ssd.Write(0, buf).ok());
+}
+
+TEST(BlobFileTest, OpensLegacyV1Files) {
+  TempFile file("blob_v1");
+  const std::vector<std::vector<uint8_t>> blobs = {RandomBytes(48, 42), RandomBytes(200, 43)};
+  WriteV1File(file.path(), blobs);
+  auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->version(), kBlobFileVersionLegacy);
+  EXPECT_FALSE(reader.value()->has_precision_tags());
+  ASSERT_EQ(reader.value()->blob_count(), 2u);
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    // Untagged blobs report the fp32 default.
+    EXPECT_EQ(reader.value()->BlobPrecision(i), Precision::kFp32);
+    EXPECT_EQ(reader.value()->BlobQuantGroup(i), 0u);
+    std::vector<uint8_t> back(blobs[i].size());
+    ASSERT_TRUE(reader.value()->ReadBlob(i, back).ok());
+    EXPECT_EQ(back, blobs[i]);
+  }
+}
+
+TEST(BlobFileTest, RejectsUnknownVersion) {
+  TempFile file("blob_v9");
+  std::vector<uint8_t> buf;
+  PutU32(buf, kBlobFileMagic);
+  PutU32(buf, 9);  // Future version.
+  PutU64(buf, 0);
+  {
+    SimulatedSsd ssd(file.path(), Unthrottled());
+    ASSERT_TRUE(ssd.Write(0, buf).ok());
+  }
+  const auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlobFileTest, RejectsTruncatedHeader) {
+  TempFile file("blob_trunc");
+  {
+    SimulatedSsd ssd(file.path(), Unthrottled());
+    std::vector<uint8_t> partial;
+    PutU32(partial, kBlobFileMagic);
+    PutU32(partial, kBlobFileVersion);  // Only 8 of the 16 header bytes.
+    ASSERT_TRUE(ssd.Write(0, partial).ok());
+  }
+  EXPECT_FALSE(BlobFileReader::Open(file.path(), Unthrottled()).ok());
+}
+
+TEST(BlobFileTest, RejectsTruncatedEntryTable) {
+  TempFile file("blob_trunc_table");
+  std::vector<uint8_t> buf;
+  PutU32(buf, kBlobFileMagic);
+  PutU32(buf, kBlobFileVersion);
+  PutU64(buf, 4);  // Claims four entries; the table is absent.
+  {
+    SimulatedSsd ssd(file.path(), Unthrottled());
+    ASSERT_TRUE(ssd.Write(0, buf).ok());
+  }
+  EXPECT_FALSE(BlobFileReader::Open(file.path(), Unthrottled()).ok());
+}
+
+TEST(BlobFileTest, RejectsUnknownPrecisionTag) {
+  TempFile file("blob_badtag");
+  {
+    BlobFileWriter writer(file.path());
+    writer.AddBlob(RandomBytes(32, 44), Precision::kInt8, 16);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  {
+    // Corrupt entry 0's precision column (header offset 16, entry field
+    // offset 16 within the 24-byte v2 entry).
+    SimulatedSsd ssd(file.path(), Unthrottled());
+    std::vector<uint8_t> tag;
+    PutU32(tag, 7);
+    ASSERT_TRUE(ssd.Write(16 + 16, tag).ok());
+  }
+  const auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- checkpoint-level validation ------------------------------------------
+
+// Builds a checkpoint-shaped blob file (embedding + n_layers + head) whose
+// layer blobs have `layer_bytes` bytes and carry the given tag.
+void WriteTaggedCheckpoint(const std::string& path, const ModelConfig& config,
+                           size_t layer_bytes, Precision tag, uint32_t group) {
+  BlobFileWriter writer(path);
+  writer.AddBlob(RandomBytes(64, 50));  // Embedding stand-in (not validated).
+  for (size_t layer = 0; layer < config.n_layers; ++layer) {
+    writer.AddBlob(RandomBytes(layer_bytes, 51 + layer), tag, group);
+  }
+  writer.AddBlob(RandomBytes(config.HeadBlobBytes(), 60));
+  ASSERT_TRUE(writer.Finish().ok());
+}
+
+TEST(CheckpointValidationTest, AcceptsMatchingPrecisionAndGroup) {
+  const ModelConfig config = TestModel();
+  TempFile file("ckpt_ok");
+  WriteTaggedCheckpoint(file.path(), config, LayerBlobBytes(config, Precision::kInt8),
+                        Precision::kInt8, static_cast<uint32_t>(config.quant_group));
+  auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(ValidateCheckpoint(*reader.value(), config, Precision::kInt8).ok());
+}
+
+TEST(CheckpointValidationTest, RejectsTagDisagreeingWithByteSize) {
+  // Layer blobs sized for fp32 but tagged int8: an engine configured for
+  // int8 must refuse (byte size disagrees with the tag's layout), and one
+  // configured for fp32 must refuse too (tag disagrees with configuration).
+  const ModelConfig config = TestModel();
+  TempFile file("ckpt_tagsize");
+  WriteTaggedCheckpoint(file.path(), config, LayerBlobBytes(config, Precision::kFp32),
+                        Precision::kInt8, static_cast<uint32_t>(config.quant_group));
+  auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  const Status as_int8 = ValidateCheckpoint(*reader.value(), config, Precision::kInt8);
+  ASSERT_FALSE(as_int8.ok());
+  EXPECT_EQ(as_int8.code(), StatusCode::kInvalidArgument);
+  const Status as_fp32 = ValidateCheckpoint(*reader.value(), config, Precision::kFp32);
+  ASSERT_FALSE(as_fp32.ok());
+  EXPECT_EQ(as_fp32.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointValidationTest, RejectsWrongQuantGroup) {
+  const ModelConfig config = TestModel();
+  TempFile file("ckpt_group");
+  WriteTaggedCheckpoint(file.path(), config, LayerBlobBytes(config, Precision::kInt8),
+                        Precision::kInt8, static_cast<uint32_t>(config.quant_group) * 2);
+  auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(ValidateCheckpoint(*reader.value(), config, Precision::kInt8).ok());
+}
+
+TEST(CheckpointValidationTest, RejectsWrongBlobCount) {
+  const ModelConfig config = TestModel();
+  TempFile file("ckpt_count");
+  {
+    BlobFileWriter writer(file.path());
+    writer.AddBlob(RandomBytes(64, 61));  // Embedding only, no layers/head.
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(ValidateCheckpoint(*reader.value(), config, Precision::kFp32).ok());
+}
+
+TEST(CheckpointValidationTest, LegacyV1CheckpointValidatesAsFp32) {
+  // v1 files carry no tags; size is the only check, so an fp32-shaped legacy
+  // checkpoint still opens — the back-compat contract.
+  const ModelConfig config = TestModel();
+  TempFile file("ckpt_v1");
+  std::vector<std::vector<uint8_t>> blobs;
+  blobs.push_back(RandomBytes(64, 62));
+  for (size_t layer = 0; layer < config.n_layers; ++layer) {
+    blobs.push_back(RandomBytes(LayerBlobBytes(config, Precision::kFp32), 63 + layer));
+  }
+  blobs.push_back(RandomBytes(config.HeadBlobBytes(), 70));
+  WriteV1File(file.path(), blobs);
+  auto reader = BlobFileReader::Open(file.path(), Unthrottled());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(ValidateCheckpoint(*reader.value(), config, Precision::kFp32).ok());
+  // A reduced-precision engine cannot use it: the blob sizes are fp32-shaped.
+  EXPECT_FALSE(ValidateCheckpoint(*reader.value(), config, Precision::kInt8).ok());
 }
 
 class StreamerTest : public ::testing::Test {

@@ -30,9 +30,9 @@ inline DeviceProfile SlowSsdDevice(double bytes_per_sec, int64_t latency_micros 
   return device;
 }
 
-inline std::string TestCheckpoint(const ModelConfig& config, bool quantized = false,
-                                  uint64_t seed = 99) {
-  return EnsureCheckpoint(config, seed, quantized);
+inline std::string TestCheckpoint(const ModelConfig& config,
+                                  Precision precision = Precision::kFp32, uint64_t seed = 99) {
+  return EnsureCheckpoint(config, seed, precision);
 }
 
 inline RerankRequest TestRequest(const ModelConfig& config, size_t n_candidates = 12,

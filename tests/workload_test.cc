@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "src/core/service_pool.h"
+#include "src/data/metrics.h"
 #include "src/serving/workload.h"
+#include "src/tensor/quant.h"
 #include "tests/test_util.h"
 
 namespace prism {
@@ -83,6 +85,49 @@ TEST_F(WorkloadTest, ServiceAndPoolAreDropInRunnersForEveryScenario) {
           << ScenarioKindName(kind) << " via " << service.name();
       EXPECT_EQ(harness.Run(q, &pool).selection, baseline[q])
           << ScenarioKindName(kind) << " via " << pool.name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ServedPrecisionTiersMatchTheirSerialBaselines) {
+  // Per reduced tier: a batching service under concurrent closed-loop
+  // clients reports zero mismatches against that tier's own single-client
+  // serial baseline (concurrency never changes what a tier serves), and the
+  // tier's selections stay above its calibrated agreement floor against the
+  // fp32 baseline (the same floors golden_test pins in its fixtures).
+  const ScenarioHarness harness(ScenarioKind::kFileSearch, config_, FastScenario());
+  MemoryTracker fp32_tracker;
+  PrismOptions fp32_opts;
+  fp32_opts.device = FastDevice();
+  PrismEngine fp32_engine(config_, ckpt_, fp32_opts, &fp32_tracker);
+  const std::vector<std::vector<size_t>> fp32_baseline =
+      BaselineSelections(harness, &fp32_engine);
+
+  struct Tier {
+    Precision precision;
+    double min_agreement;
+  };
+  for (const Tier tier : {Tier{Precision::kFp16, 1.0}, Tier{Precision::kInt8, 0.66},
+                          Tier{Precision::kW4, 0.66}}) {
+    const std::string ckpt = TestCheckpoint(config_, tier.precision);
+    ServiceOptions sopts = FastService(SchedulerKind::kBatch, 3);
+    sopts.engine.precision = tier.precision;
+    MemoryTracker tracker;
+    RerankService service(config_, ckpt, sopts, &tracker);
+    const std::vector<std::vector<size_t>> baseline = BaselineSelections(harness, &service);
+    WorkloadOptions options;
+    options.clients = 4;
+    options.requests = 12;
+    options.warmup = 2;
+    const WorkloadReport report = RunWorkload(harness, &service, options, &baseline);
+    EXPECT_EQ(report.served, 12u) << PrecisionName(tier.precision);
+    EXPECT_EQ(report.errors, 0u) << PrecisionName(tier.precision);
+    EXPECT_EQ(report.mismatches, 0u) << PrecisionName(tier.precision);
+    ASSERT_EQ(baseline.size(), fp32_baseline.size());
+    for (size_t q = 0; q < baseline.size(); ++q) {
+      EXPECT_GE(TopKOverlap(baseline[q], fp32_baseline[q], baseline[q].size()),
+                tier.min_agreement)
+          << PrecisionName(tier.precision) << " query " << q;
     }
   }
 }

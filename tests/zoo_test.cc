@@ -53,7 +53,7 @@ TEST_P(ZooPropertyTest, PrismMatchesFullInferenceShape) {
 
   // Streaming bound: at most two layers resident.
   EXPECT_LE(t_prism.PeakBytes(MemCategory::kWeights),
-            static_cast<int64_t>(2 * LayerBlobBytes(config, false)));
+            static_cast<int64_t>(2 * LayerBlobBytes(config, Precision::kFp32)));
 
   // Scores are valid probabilities wherever computed.
   for (float s : r_prism.scores) {
@@ -66,8 +66,8 @@ TEST_P(ZooPropertyTest, PrismMatchesFullInferenceShape) {
 
 TEST_P(ZooPropertyTest, QuantizedEngineAgreesWithF32) {
   const ModelConfig config = Miniature(ModelZoo()[GetParam()]);
-  const std::string f32 = TestCheckpoint(config, false);
-  const std::string q4 = TestCheckpoint(config, true);
+  const std::string f32 = TestCheckpoint(config);
+  const std::string q4 = TestCheckpoint(config, Precision::kW4);
   const RerankRequest request = TestRequest(config, 10, 3);
 
   MemoryTracker t1;
@@ -77,7 +77,7 @@ TEST_P(ZooPropertyTest, QuantizedEngineAgreesWithF32) {
   options.pruning = false;
   PrismEngine a(config, f32, options, &t1);
   PrismOptions qoptions = options;
-  qoptions.quantized = true;
+  qoptions.precision = Precision::kW4;
   PrismEngine b(config, q4, qoptions, &t2);
   const RerankResult ra = a.Rerank(request);
   const RerankResult rb = b.Rerank(request);
