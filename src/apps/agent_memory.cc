@@ -1,9 +1,7 @@
 #include "src/apps/agent_memory.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <thread>
 
 #include "src/common/check.h"
 #include "src/common/timer.h"
@@ -56,8 +54,11 @@ AgentWorkloadProfile CommunityWorkload() {
 }
 
 AgentMemoryApp::AgentMemoryApp(AgentWorkloadProfile profile, const ModelConfig& model,
-                               uint64_t seed)
-    : profile_(std::move(profile)), seed_(seed), vlm_(VlmConfig()) {
+                               uint64_t seed, Clock* clock)
+    : profile_(std::move(profile)),
+      seed_(seed),
+      clock_(ResolveClock(clock)),
+      vlm_(VlmConfig(), &MemoryTracker::Global(), clock_) {
   const ZipfSampler zipf(model.vocab_size - kFirstWordToken, profile_.text.vocab_skew);
   Rng rng(MixSeed(seed, 0xA6));
   auto draw = [&](size_t n) {
@@ -156,13 +157,13 @@ AgentTaskResult AgentMemoryApp::RunTask(size_t task_idx, Runner* runner) const {
         result.inference_ms += vlm_timer.ElapsedMillis();
       }
     }
-    // Environment action (UI click etc.).
+    // Environment action (UI click etc.) — charged through the Clock seam,
+    // so a SimClock run models the step without stalling the host.
     {
-      const WallTimer timer;
+      const double env_start_ms = clock_->NowMs();
       MemClaim env_claim(&MemoryTracker::Global(), MemCategory::kScratch, 600 * 1024);
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(profile_.env_step_ms / 1000.0));
-      result.env_ms += timer.ElapsedMillis();
+      clock_->SleepFor(profile_.env_step_ms);
+      result.env_ms += clock_->NowMs() - env_start_ms;
     }
   }
   result.task_ms = task_timer.ElapsedMillis();

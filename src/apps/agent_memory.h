@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/apps/sim_llm.h"
+#include "src/common/clock.h"
 #include "src/data/dataset.h"
 #include "src/retrieval/bm25.h"
 #include "src/runtime/runner.h"
@@ -62,7 +63,12 @@ struct AgentTaskResult {
 
 class AgentMemoryApp {
  public:
-  AgentMemoryApp(AgentWorkloadProfile profile, const ModelConfig& model, uint64_t seed);
+  // `clock` is the time source for the modelled VLM and environment-step
+  // latencies. nullptr (default) = the shared wall clock — identical to the
+  // old sleep_for behaviour; a SimClock charges those stages on virtual
+  // time. The pointee must outlive the app.
+  AgentMemoryApp(AgentWorkloadProfile profile, const ModelConfig& model, uint64_t seed,
+                 Clock* clock = nullptr);
 
   size_t n_tasks() const { return tasks_.size(); }
 
@@ -87,6 +93,7 @@ class AgentMemoryApp {
   std::vector<Trajectory> memory_;
   std::vector<Trajectory> tasks_;  // task_type is the ground truth.
   Bm25Index index_;                // Over memory descriptions; built once.
+  Clock* clock_;
   SimulatedLlm vlm_;
 };
 

@@ -1,25 +1,26 @@
 #include "src/apps/sim_llm.h"
 
-#include <chrono>
-#include <thread>
-
-#include "src/common/timer.h"
-
 namespace prism {
 
 SimLlmResult SimulatedLlm::Generate(size_t prompt_tokens, size_t max_new_tokens) const {
   SimLlmResult result;
   result.generated_tokens = max_new_tokens;
-  const WallTimer timer;
+  // All of the modelled latency goes through the Clock seam: with the
+  // default wall clock the sleeps (and so the reported latencies) are
+  // exactly the old std::this_thread::sleep_for behaviour; under a SimClock
+  // generation charges virtual time instead of stalling the host.
+  const double start_ms = clock_->NowMs();
   MemClaim claim(tracker_, MemCategory::kScratch,
                  config_.base_bytes + config_.bytes_per_context_token *
                                           static_cast<int64_t>(prompt_tokens + max_new_tokens));
-  const double prefill_s = static_cast<double>(prompt_tokens) / config_.prefill_tokens_per_sec;
-  std::this_thread::sleep_for(std::chrono::duration<double>(prefill_s));
-  result.first_token_ms = timer.ElapsedMillis();
-  const double decode_s = static_cast<double>(max_new_tokens) / config_.decode_tokens_per_sec;
-  std::this_thread::sleep_for(std::chrono::duration<double>(decode_s));
-  result.latency_ms = timer.ElapsedMillis();
+  const double prefill_ms =
+      1000.0 * static_cast<double>(prompt_tokens) / config_.prefill_tokens_per_sec;
+  clock_->SleepFor(prefill_ms);
+  result.first_token_ms = clock_->NowMs() - start_ms;
+  const double decode_ms =
+      1000.0 * static_cast<double>(max_new_tokens) / config_.decode_tokens_per_sec;
+  clock_->SleepFor(decode_ms);
+  result.latency_ms = clock_->NowMs() - start_ms;
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "src/common/clock.h"
 #include "src/common/memory_tracker.h"
 
 namespace prism {
@@ -32,8 +33,13 @@ struct SimLlmResult {
 
 class SimulatedLlm {
  public:
-  explicit SimulatedLlm(SimLlmConfig config, MemoryTracker* tracker = &MemoryTracker::Global())
-      : config_(config), tracker_(tracker) {}
+  // `clock` is the time source for the modelled generation latency. nullptr
+  // (default) = the shared wall clock — the generator really blocks for the
+  // modelled time, as before. Point it at a SimClock to charge generation
+  // on virtual time instead.
+  explicit SimulatedLlm(SimLlmConfig config, MemoryTracker* tracker = &MemoryTracker::Global(),
+                        Clock* clock = nullptr)
+      : config_(config), tracker_(tracker), clock_(ResolveClock(clock)) {}
 
   // Blocks for the modelled generation time. Thread-safe (the generator
   // holds no mutable state; the tracker is internally synchronized), so one
@@ -45,6 +51,7 @@ class SimulatedLlm {
  private:
   SimLlmConfig config_;
   MemoryTracker* tracker_;
+  Clock* clock_;
 };
 
 }  // namespace prism

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <thread>
 
+#include "src/common/mutex.h"
+
 namespace prism {
 namespace {
 
@@ -26,16 +28,23 @@ class WallCondVar : public ClockCondVar {
  public:
   explicit WallCondVar(const std::chrono::steady_clock::time_point epoch) : epoch_(epoch) {}
 
-  void Wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred) override {
-    cv_.wait(lock, pred);
+  void Wait(Mutex& mu) override PRISM_REQUIRES(mu) {
+    NativeMutexLock lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Still locked; ownership returns to the caller.
   }
 
-  bool WaitUntil(std::unique_lock<std::mutex>& lock, double deadline_ms,
-                 const std::function<bool()>& pred) override {
+  bool WaitUntil(Mutex& mu, double deadline_ms) override PRISM_REQUIRES(mu) {
     const auto deadline =
         epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                      std::chrono::duration<double, std::milli>(deadline_ms));
-    return cv_.wait_until(lock, deadline, pred);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;  // Already expired: never park (matches SimCondVar).
+    }
+    NativeMutexLock lock(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status != std::cv_status::timeout;
   }
 
   void NotifyOne() override { cv_.notify_one(); }
@@ -75,36 +84,32 @@ WallClock& WallClock::Get() {
 // SimCondVar
 
 // Waiters enroll in the clock's central table while holding BOTH the user's
-// lock and the clock's mutex (acquired in that order everywhere), so a
-// notify that happens after the user lock is released but before the waiter
+// mutex and the clock's mutex (acquired in that order everywhere), so a
+// notify that happens after the user mutex is released but before the waiter
 // parks still finds the enrolled entry — no missed wakeups.
 class SimCondVar : public ClockCondVar {
  public:
   explicit SimCondVar(SimClock* clock) : clock_(clock) {}
 
-  void Wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred) override {
-    while (!pred()) {
-      WaitOnce(lock, SimClock::kNever);
-    }
-  }
+  void Wait(Mutex& mu) override PRISM_REQUIRES(mu) { WaitOnce(mu, SimClock::kNever); }
 
-  bool WaitUntil(std::unique_lock<std::mutex>& lock, double deadline_ms,
-                 const std::function<bool()>& pred) override {
-    while (!pred()) {
-      {
-        std::unique_lock<std::mutex> clock_lock(clock_->mu_);
-        if (clock_->now_ms_ >= deadline_ms) {
-          clock_lock.unlock();
-          return pred();
-        }
+  bool WaitUntil(Mutex& mu, double deadline_ms) override PRISM_REQUIRES(mu) {
+    {
+      MutexLock clock_lock(clock_->mu_);
+      if (clock_->now_ms_ >= deadline_ms) {
+        return false;  // Already expired: never park.
       }
-      WaitOnce(lock, deadline_ms);
     }
-    return true;
+    WaitOnce(mu, deadline_ms);
+    // The park ends on a notify or on the deadline tag arriving; report
+    // which (a notify landing exactly at the deadline counts as expiry —
+    // the caller re-checks its condition either way).
+    MutexLock clock_lock(clock_->mu_);
+    return clock_->now_ms_ < deadline_ms;
   }
 
   void NotifyOne() override {
-    std::unique_lock<std::mutex> clock_lock(clock_->mu_);
+    MutexLock clock_lock(clock_->mu_);
     // Deterministic: resume the longest-enrolled non-woken waiter of this cv.
     SimClock::Waiter* chosen = nullptr;
     for (SimClock::Waiter* waiter : clock_->waiters_) {
@@ -120,7 +125,7 @@ class SimCondVar : public ClockCondVar {
   }
 
   void NotifyAll() override {
-    std::unique_lock<std::mutex> clock_lock(clock_->mu_);
+    MutexLock clock_lock(clock_->mu_);
     bool any = false;
     for (SimClock::Waiter* waiter : clock_->waiters_) {
       if (waiter->cv_tag == this && !waiter->wake) {
@@ -135,21 +140,24 @@ class SimCondVar : public ClockCondVar {
 
  private:
   // One enrollment/park/deenroll round trip. Returns after a notify or once
-  // virtual time reaches `deadline_ms`. The user's `lock` is released while
-  // parked and re-acquired before returning (standard cv contract).
-  void WaitOnce(std::unique_lock<std::mutex>& lock, double deadline_ms) {
+  // virtual time reaches `deadline_ms`. The user's mutex is released while
+  // parked and re-acquired before returning (standard cv contract; the
+  // release/relock happens through native() and is invisible to the
+  // thread-safety analysis, which only checks the held-on-entry-and-exit
+  // contract declared by PRISM_REQUIRES).
+  void WaitOnce(Mutex& mu, double deadline_ms) PRISM_REQUIRES(mu) {
     SimClock::Waiter waiter;
     waiter.wake_ms = deadline_ms;
     waiter.cv_tag = this;
     {
-      // User lock still held here — enrollment is atomic w.r.t. notifies.
-      std::unique_lock<std::mutex> clock_lock(clock_->mu_);
+      // User mutex still held here — enrollment is atomic w.r.t. notifies.
+      MutexLock clock_lock(clock_->mu_);
       clock_->EnrollLocked(&waiter);
-      lock.unlock();
-      clock_->BlockLocked(clock_lock, &waiter);
+      mu.native().unlock();
+      clock_->BlockLocked(clock_lock.native_lock(), &waiter);
       clock_->DeenrollLocked(&waiter);
     }
-    lock.lock();
+    mu.native().lock();
   }
 
   SimClock* clock_;
@@ -159,22 +167,22 @@ class SimCondVar : public ClockCondVar {
 // SimClock
 
 SimClock::~SimClock() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(waiters_.empty() && "SimClock destroyed with threads still blocked on it");
 }
 
 double SimClock::NowMs() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return now_ms_;
 }
 
 void SimClock::SleepUntil(double wake_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (now_ms_ >= wake_ms) return;
   Waiter waiter;
   waiter.wake_ms = wake_ms;
   EnrollLocked(&waiter);
-  BlockLocked(lock, &waiter);
+  BlockLocked(lock.native_lock(), &waiter);
   DeenrollLocked(&waiter);
 }
 
@@ -183,7 +191,7 @@ std::unique_ptr<ClockCondVar> SimClock::MakeCondVar() {
 }
 
 void SimClock::Join() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tls_memberships.push_back(this);
   ++participants_;
   if (reserved_ > 0) {
@@ -197,7 +205,7 @@ void SimClock::Join() {
 }
 
 void SimClock::Leave() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = tls_memberships.size(); i-- > 0;) {
     if (tls_memberships[i] == this) {
       tls_memberships.erase(tls_memberships.begin() + static_cast<ptrdiff_t>(i));
@@ -211,28 +219,28 @@ void SimClock::Leave() {
 }
 
 void SimClock::ExpectParticipants(size_t n) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   reserved_ += n;
 }
 
 void SimClock::YieldUntilQuiescent() {
   // A zero-length virtual sleep: tag == now, so the advance that wakes it
   // never moves time — it just waits for every other participant to block.
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Waiter waiter;
   waiter.wake_ms = now_ms_;
   EnrollLocked(&waiter);
-  BlockLocked(lock, &waiter);
+  BlockLocked(lock.native_lock(), &waiter);
   DeenrollLocked(&waiter);
 }
 
 void SimClock::PreWake() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++pending_wakeups_;
 }
 
 void SimClock::BeginExternalWait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Only participants count toward the quiescence gate — a non-participant
   // in an external wait must not loosen it (it never gated advance anyway).
   if (ThisThreadJoined(this)) {
@@ -244,7 +252,7 @@ void SimClock::BeginExternalWait() {
 }
 
 void SimClock::EndExternalWait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ThisThreadJoined(this)) {
     assert(external_ > 0);
     --external_;
@@ -258,12 +266,12 @@ void SimClock::EndExternalWait() {
 }
 
 size_t SimClock::participants() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return participants_;
 }
 
 uint64_t SimClock::advances() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return advances_;
 }
 
@@ -323,7 +331,7 @@ void SimClock::MaybeAdvanceLocked() {
   }
 }
 
-void SimClock::BlockLocked(std::unique_lock<std::mutex>& lock, Waiter* waiter) {
+void SimClock::BlockLocked(NativeMutexLock& lock, Waiter* waiter) {
   while (!waiter->wake) {
     cv_.wait(lock);
     // A wake may have landed for someone else, or state changed (Leave,

@@ -39,33 +39,42 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 
 namespace prism {
 
 // A condition variable bound to a Clock: Wait/WaitUntil release the caller's
-// lock and block through the clock's notion of time, so a SimClock can both
+// mutex and block through the clock's notion of time, so a SimClock can both
 // account the waiter as blocked and expire its deadline at an exact virtual
-// instant. Notify semantics match std::condition_variable (NotifyOne on a
-// SimClock wakes the longest-enrolled waiter, making wake order
-// deterministic).
+// instant. NotifyOne on a SimClock wakes the longest-enrolled waiter, making
+// wake order deterministic.
+//
+// Waiting is loop-style, matching prism::CondVar: one call parks once, the
+// caller re-checks its condition in a `while` loop (which keeps every
+// guarded read inside the function clang's thread-safety analysis is
+// checking — a predicate lambda would be an analysis hole).
 class ClockCondVar {
  public:
   virtual ~ClockCondVar() = default;
 
-  // Blocks until `pred()` holds (re-checked under `lock` after every wake).
-  virtual void Wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred) = 0;
+  // Parks once; returns after a notify (or, on the wall clock, a spurious
+  // wake — callers loop on their condition either way).
+  virtual void Wait(Mutex& mu) PRISM_REQUIRES(mu) = 0;
 
-  // Blocks until `pred()` holds or the clock reads `deadline_ms`; returns
-  // the final `pred()`. A deadline at or before the current instant checks
-  // the predicate once without blocking.
-  virtual bool WaitUntil(std::unique_lock<std::mutex>& lock, double deadline_ms,
-                         const std::function<bool()>& pred) = 0;
+  // Parks once, waking no later than the instant the clock reads
+  // `deadline_ms`. Returns false iff the deadline has arrived (a deadline
+  // at or before the current instant returns false without blocking);
+  // callers loop:
+  //   while (!cond) {
+  //     if (!cv->WaitUntil(mu, deadline_ms)) break;  // cond may hold too
+  //   }
+  virtual bool WaitUntil(Mutex& mu, double deadline_ms) PRISM_REQUIRES(mu) = 0;
 
   virtual void NotifyOne() = 0;
   virtual void NotifyAll() = 0;
@@ -202,26 +211,29 @@ class SimClock : public Clock {
   };
 
   // All Locked helpers require mu_ held.
-  void EnrollLocked(Waiter* waiter);
-  void DeenrollLocked(Waiter* waiter);
+  void EnrollLocked(Waiter* waiter) PRISM_REQUIRES(mu_);
+  void DeenrollLocked(Waiter* waiter) PRISM_REQUIRES(mu_);
   // Advances virtual time iff every participant is blocked (or in an
   // external wait), no cross-thread wake is in flight, and some waiter has a
   // finite tag. Wakes every waiter whose tag has arrived.
-  void MaybeAdvanceLocked();
-  // Parks the caller until its waiter is woken. `mu_` must be held on entry
-  // and is held again on return.
-  void BlockLocked(std::unique_lock<std::mutex>& lock, Waiter* waiter);
+  void MaybeAdvanceLocked() PRISM_REQUIRES(mu_);
+  // Parks the caller until its waiter is woken. `lock` owns mu_ on entry
+  // (it is the MutexLock's native lock) and owns it again on return.
+  void BlockLocked(NativeMutexLock& lock, Waiter* waiter) PRISM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;  // Central: every waiter parks here.
-  double now_ms_ = 0.0;
-  size_t participants_ = 0;
-  size_t reserved_ = 0;         // Announced participants not yet Join()ed.
-  size_t external_ = 0;         // Participants inside Begin/EndExternalWait.
-  size_t pending_wakeups_ = 0;  // PreWake handshakes not yet consumed.
-  uint64_t next_seq_ = 0;
-  uint64_t advances_ = 0;
-  std::vector<Waiter*> waiters_;
+  double now_ms_ PRISM_GUARDED_BY(mu_) = 0.0;
+  size_t participants_ PRISM_GUARDED_BY(mu_) = 0;
+  // Announced participants not yet Join()ed.
+  size_t reserved_ PRISM_GUARDED_BY(mu_) = 0;
+  // Participants inside Begin/EndExternalWait.
+  size_t external_ PRISM_GUARDED_BY(mu_) = 0;
+  // PreWake handshakes not yet consumed.
+  size_t pending_wakeups_ PRISM_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ PRISM_GUARDED_BY(mu_) = 0;
+  uint64_t advances_ PRISM_GUARDED_BY(mu_) = 0;
+  std::vector<Waiter*> waiters_ PRISM_GUARDED_BY(mu_);
 };
 
 }  // namespace prism

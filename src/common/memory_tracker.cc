@@ -27,7 +27,7 @@ const char* MemCategoryName(MemCategory category) {
 
 void MemoryTracker::Allocate(MemCategory category, int64_t bytes) {
   PRISM_CHECK_GE(bytes, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto idx = static_cast<size_t>(category);
   current_[idx] += bytes;
   peak_[idx] = std::max(peak_[idx], current_[idx]);
@@ -41,7 +41,7 @@ void MemoryTracker::Allocate(MemCategory category, int64_t bytes) {
 
 void MemoryTracker::Release(MemCategory category, int64_t bytes) {
   PRISM_CHECK_GE(bytes, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto idx = static_cast<size_t>(category);
   current_[idx] -= bytes;
   PRISM_CHECK_GE(current_[idx], 0);
@@ -49,12 +49,12 @@ void MemoryTracker::Release(MemCategory category, int64_t bytes) {
 }
 
 int64_t MemoryTracker::CurrentBytes(MemCategory category) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_[static_cast<size_t>(category)];
 }
 
 int64_t MemoryTracker::CurrentTotal() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t total = 0;
   for (int64_t b : current_) {
     total += b;
@@ -63,17 +63,17 @@ int64_t MemoryTracker::CurrentTotal() const {
 }
 
 int64_t MemoryTracker::PeakTotal() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return peak_total_;
 }
 
 int64_t MemoryTracker::PeakBytes(MemCategory category) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return peak_[static_cast<size_t>(category)];
 }
 
 double MemoryTracker::AverageTotal() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (timeline_start_ == 0) {
     return 0.0;
   }
@@ -91,7 +91,7 @@ double MemoryTracker::AverageTotal() const {
 }
 
 void MemoryTracker::StartTimeline() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   timeline_on_ = true;
   timeline_start_ = NowMicros();
   timeline_.clear();
@@ -106,18 +106,18 @@ void MemoryTracker::StartTimeline() {
 }
 
 void MemoryTracker::StopTimeline() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RecordLocked(NowMicros());
   timeline_on_ = false;
 }
 
 std::vector<MemSnapshot> MemoryTracker::Timeline() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return timeline_;
 }
 
 void MemoryTracker::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   current_.fill(0);
   peak_.fill(0);
   peak_total_ = 0;

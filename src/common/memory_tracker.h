@@ -11,9 +11,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 
 namespace prism {
 
@@ -71,19 +73,19 @@ class MemoryTracker {
   static MemoryTracker& Global();
 
  private:
-  void RecordLocked(int64_t now);
+  void RecordLocked(int64_t now) PRISM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::array<int64_t, static_cast<size_t>(MemCategory::kCount)> current_{};
-  std::array<int64_t, static_cast<size_t>(MemCategory::kCount)> peak_{};
-  int64_t peak_total_ = 0;
-  bool timeline_on_ = false;
-  int64_t timeline_start_ = 0;
-  std::vector<MemSnapshot> timeline_;
+  mutable Mutex mu_;
+  std::array<int64_t, static_cast<size_t>(MemCategory::kCount)> current_ PRISM_GUARDED_BY(mu_){};
+  std::array<int64_t, static_cast<size_t>(MemCategory::kCount)> peak_ PRISM_GUARDED_BY(mu_){};
+  int64_t peak_total_ PRISM_GUARDED_BY(mu_) = 0;
+  bool timeline_on_ PRISM_GUARDED_BY(mu_) = false;
+  int64_t timeline_start_ PRISM_GUARDED_BY(mu_) = 0;
+  std::vector<MemSnapshot> timeline_ PRISM_GUARDED_BY(mu_);
   // Time-weighted average accumulators.
-  double weighted_bytes_micros_ = 0.0;
-  int64_t last_event_micros_ = 0;
-  int64_t last_total_ = 0;
+  double weighted_bytes_micros_ PRISM_GUARDED_BY(mu_) = 0.0;
+  int64_t last_event_micros_ PRISM_GUARDED_BY(mu_) = 0;
+  int64_t last_total_ PRISM_GUARDED_BY(mu_) = 0;
 };
 
 // RAII claim: registers `bytes` on construction, releases on destruction.

@@ -19,10 +19,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) {
     t.join();
   }
@@ -32,11 +32,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> fut = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PRISM_CHECK_MSG(!shutting_down_, "Submit after shutdown");
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return fut;
 }
 
@@ -55,7 +55,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const std::function<void(
   std::atomic<size_t> next{begin};
   auto drain = [&] {
     size_t i;
-    while ((i = next.fetch_add(1)) < end) {
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < end) {
       fn(i);
     }
   };
@@ -75,8 +75,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // Shutting down and drained.
       }

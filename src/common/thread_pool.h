@@ -7,13 +7,14 @@
 #ifndef PRISM_SRC_COMMON_THREAD_POOL_H_
 #define PRISM_SRC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 
 namespace prism {
 
@@ -38,11 +39,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ PRISM_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  bool shutting_down_ = false;
+  bool shutting_down_ PRISM_GUARDED_BY(mu_) = false;
 };
 
 // Process-wide pool for I/O offload (lazily constructed, 2 workers).

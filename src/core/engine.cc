@@ -169,7 +169,7 @@ class PrismCarouselPass final : public CarouselPass {
     // most recently finalized request's records are what last_trace()
     // returns.
     {
-      std::lock_guard<std::mutex> lock(engine_->trace_mu_);
+      MutexLock lock(engine_->trace_mu_);
       engine_->trace_ = std::move(ticket->ctx().trace);
     }
     Deregister(ticket);
@@ -290,7 +290,7 @@ std::optional<EmbeddingCacheStats> PrismEngine::embed_cache_stats() const {
 }
 
 std::vector<LayerTraceEntry> PrismEngine::last_trace() const {
-  std::lock_guard<std::mutex> lock(trace_mu_);
+  MutexLock lock(trace_mu_);
   return trace_;
 }
 
@@ -355,7 +355,7 @@ std::vector<RerankResult> PrismEngine::RerankBatch(
   // Publish the last context's trace — full per-layer records in trace
   // mode, the light per-prune-decision entries otherwise.
   {
-    std::lock_guard<std::mutex> lock(trace_mu_);
+    MutexLock lock(trace_mu_);
     trace_ = std::move(contexts.back()->trace);
   }
   return results;

@@ -18,12 +18,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/memory_tracker.h"
 #include "src/common/thread_pool.h"
 #include "src/core/stages.h"
@@ -146,8 +147,8 @@ class PrismEngine : public BatchRunner {
   std::optional<LayerLoop> layer_loop_;
   std::optional<PruneStage> prune_stage_;
 
-  mutable std::mutex trace_mu_;
-  std::vector<LayerTraceEntry> trace_;
+  mutable Mutex trace_mu_;
+  std::vector<LayerTraceEntry> trace_ PRISM_GUARDED_BY(trace_mu_);
 };
 
 }  // namespace prism

@@ -9,12 +9,12 @@
 namespace prism {
 
 size_t OnlineCalibrator::pending_samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return log_.size();
 }
 
 size_t OnlineCalibrator::requests_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return served_;
 }
 
@@ -27,7 +27,7 @@ OnlineCalibrator::OnlineCalibrator(PrismEngine* engine, Runner* reference,
 
 RerankResult OnlineCalibrator::Rerank(const RerankRequest& request) {
   const RerankResult result = engine_->Rerank(request);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (served_++ % options_.sample_every == 0) {
     if (log_.size() == options_.max_samples) {
       log_.pop_front();
@@ -43,7 +43,7 @@ double OnlineCalibrator::RunIdleCycle(size_t budget) {
   while (processed < budget) {
     Sample sample;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (log_.empty()) {
         break;
       }

@@ -21,8 +21,9 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/core/engine.h"
 
 namespace prism {
@@ -65,9 +66,9 @@ class OnlineCalibrator : public Runner {
   PrismEngine* engine_;
   Runner* reference_;
   OnlineCalibratorOptions options_;
-  mutable std::mutex mu_;  // Guards log_ and served_.
-  std::deque<Sample> log_;
-  size_t served_ = 0;
+  mutable Mutex mu_;
+  std::deque<Sample> log_ PRISM_GUARDED_BY(mu_);
+  size_t served_ PRISM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace prism

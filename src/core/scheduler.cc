@@ -23,23 +23,25 @@ RerankResult MakeShedResult(double deadline_ms, double waited_ms) {
 
 RerankResult SerialScheduler::Submit(const RerankRequest& request) {
   const double arrived_ms = clock_->NowMs();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_->Wait(lock, [this] { return !busy_; });
+  mu_.Lock();
+  while (busy_) {
+    cv_->Wait(mu_);
+  }
   // The budget covers time spent queueing for the runner: if it ran out
   // while other requests held it, answer cheaply instead of running.
   const double waited_ms = clock_->NowMs() - arrived_ms;
   if (request.deadline_ms > 0.0 && waited_ms >= request.deadline_ms) {
-    lock.unlock();
+    mu_.Unlock();
     cv_->NotifyOne();  // Hand the turn we were woken for to the next waiter.
     return MakeShedResult(request.deadline_ms, waited_ms);
   }
   busy_ = true;
-  lock.unlock();
+  mu_.Unlock();
   RerankResult result = runner_->Rerank(request);
   result.stats.queue_wait_ms = waited_ms;
-  lock.lock();
+  mu_.Lock();
   busy_ = false;
-  lock.unlock();
+  mu_.Unlock();
   cv_->NotifyOne();
   return result;
 }
@@ -80,7 +82,7 @@ std::future<RerankResult> RequestQueue::Stage(const RerankRequest& request) {
     // the ring against.
     std::future<RerankResult> future;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       Pending pending;
       pending.request = &request;
       pending.ticket = enqueue_pos_.fetch_add(1, std::memory_order_relaxed);
@@ -118,14 +120,14 @@ std::future<RerankResult> RequestQueue::Stage(const RerankRequest& request) {
       // seam for the dispatcher to drain — never a spin, which would hold a
       // SimClock's virtual time frozen (a runnable participant blocks every
       // advance) while the dispatcher sleeps on it.
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       full_waiters_.fetch_add(1, std::memory_order_seq_cst);
-      not_full_cv_->Wait(lock, [this] {
-        return closed_.load(std::memory_order_relaxed) ||
-               enqueue_pos_.load(std::memory_order_relaxed) -
-                       dequeue_published_.load(std::memory_order_seq_cst) <=
-                   ring_mask_;
-      });
+      while (!closed_.load(std::memory_order_relaxed) &&
+             enqueue_pos_.load(std::memory_order_relaxed) -
+                     dequeue_published_.load(std::memory_order_seq_cst) >
+                 ring_mask_) {
+        not_full_cv_->Wait(mu_);
+      }
       full_waiters_.fetch_sub(1, std::memory_order_relaxed);
       PRISM_CHECK_MSG(!closed_.load(std::memory_order_relaxed), "Push after Close");
     }
@@ -148,7 +150,7 @@ std::future<RerankResult> RequestQueue::Stage(const RerankRequest& request) {
     // dispatcher's predicate check: either it saw our staged count, or we
     // see its sleeping flag — never neither (both sides seq_cst). Under
     // load the flag is false and producers skip the mutex entirely.
-    { std::lock_guard<std::mutex> lock(mu_); }
+    { MutexLock lock(mu_); }
     cv_->NotifyOne();
   }
   return future;
@@ -172,46 +174,48 @@ void RequestQueue::InsertOrdered(Pending pending) {
   ordered_.insert(pos, std::move(pending));
 }
 
-void RequestQueue::DrainStaged(const std::atomic<uint64_t>* epoch) {
+void RequestQueue::DrainRing(const std::atomic<uint64_t>* epoch) {
   const uint64_t tag = epoch != nullptr ? epoch->load(std::memory_order_relaxed) : 0;
   size_t drained = 0;
-  if (lock_free_) {
-    for (;;) {
-      Slot& slot = ring_[dequeue_pos_ & ring_mask_];
-      if (slot.seq.load(std::memory_order_acquire) != dequeue_pos_ + 1) {
-        break;  // Unpublished (or empty): stop, preserving ticket order.
-      }
-      Pending pending = std::move(slot.item);
-      // Free the slot for its next lap.
-      slot.seq.store(dequeue_pos_ + ring_mask_ + 1, std::memory_order_release);
-      ++dequeue_pos_;
-      pending.tag = tag;
-      InsertOrdered(std::move(pending));
-      ++drained;
+  for (;;) {
+    Slot& slot = ring_[dequeue_pos_ & ring_mask_];
+    if (slot.seq.load(std::memory_order_acquire) != dequeue_pos_ + 1) {
+      break;  // Unpublished (or empty): stop, preserving ticket order.
     }
-    if (drained > 0) {
-      dequeue_published_.store(dequeue_pos_, std::memory_order_seq_cst);
-      staged_count_.fetch_sub(drained, std::memory_order_seq_cst);
-      if (full_waiters_.load(std::memory_order_seq_cst) > 0) {
-        { std::lock_guard<std::mutex> lock(mu_); }
-        not_full_cv_->NotifyAll();
-      }
+    Pending pending = std::move(slot.item);
+    // Free the slot for its next lap.
+    slot.seq.store(dequeue_pos_ + ring_mask_ + 1, std::memory_order_release);
+    ++dequeue_pos_;
+    pending.tag = tag;
+    InsertOrdered(std::move(pending));
+    ++drained;
+  }
+  if (drained > 0) {
+    dequeue_published_.store(dequeue_pos_, std::memory_order_seq_cst);
+    staged_count_.fetch_sub(drained, std::memory_order_seq_cst);
+    if (full_waiters_.load(std::memory_order_seq_cst) > 0) {
+      { MutexLock lock(mu_); }
+      not_full_cv_->NotifyAll();
     }
-  } else {
-    // Mutexed baseline: the caller (a pop) holds mu_ across this drain and
-    // the shed/take that follows — the original implementation's lock-hold
-    // profile, where producers collide with the whole dispatch pass. Keep
-    // it that way: it is the contention bench_contention measures against.
-    drained = staged_mutex_.size();
-    if (drained > 0) {
-      staged_count_.fetch_sub(drained, std::memory_order_seq_cst);
-    }
-    while (!staged_mutex_.empty()) {
-      Pending pending = std::move(staged_mutex_.front());
-      staged_mutex_.pop_front();
-      pending.tag = tag;
-      InsertOrdered(std::move(pending));
-    }
+    ordered_count_.store(ordered_.size(), std::memory_order_relaxed);
+  }
+}
+
+void RequestQueue::DrainStagedLocked(const std::atomic<uint64_t>* epoch) {
+  // Mutexed baseline: the caller (DrainPass) holds mu_ across this drain and
+  // the shed/take that follows — the original implementation's lock-hold
+  // profile, where producers collide with the whole dispatch pass. Keep
+  // it that way: it is the contention bench_contention measures against.
+  const uint64_t tag = epoch != nullptr ? epoch->load(std::memory_order_relaxed) : 0;
+  const size_t drained = staged_mutex_.size();
+  if (drained > 0) {
+    staged_count_.fetch_sub(drained, std::memory_order_seq_cst);
+  }
+  while (!staged_mutex_.empty()) {
+    Pending pending = std::move(staged_mutex_.front());
+    staged_mutex_.pop_front();
+    pending.tag = tag;
+    InsertOrdered(std::move(pending));
   }
   if (drained > 0) {
     ordered_count_.store(ordered_.size(), std::memory_order_relaxed);
@@ -260,6 +264,27 @@ void BumpEpoch(std::atomic<uint64_t>* epoch, const std::vector<RequestQueue::Pen
 
 }  // namespace
 
+std::vector<RequestQueue::Pending> RequestQueue::DrainPass(size_t max_batch,
+                                                           std::atomic<uint64_t>* epoch,
+                                                           std::vector<Pending>* shed) {
+  if (!lock_free_) {
+    // Mutexed baseline: hold mu_ across drain+shed+take, the baseline's
+    // lock-hold profile (see DrainStagedLocked).
+    MutexLock lock(mu_);
+    DrainStagedLocked(epoch);
+    ShedExpired(shed);
+    std::vector<Pending> batch = Take(max_batch);
+    BumpEpoch(epoch, batch);
+    return batch;
+  }
+  // Lock-free mode: nothing to lock, the whole pass is consumer-private.
+  DrainRing(epoch);
+  ShedExpired(shed);
+  std::vector<Pending> batch = Take(max_batch);
+  BumpEpoch(epoch, batch);
+  return batch;
+}
+
 void RequestQueue::AnswerShed(std::vector<Pending> shed) {
   // Fulfil shed promises (set_value wakes the caller).
   for (Pending& pending : shed) {
@@ -277,12 +302,14 @@ std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch,
       // Park until staging has work (or Close). The sleeping flag pairs
       // with the producers' post-publish check — both sides seq_cst, so
       // either a producer sees the flag and notifies under the mutex, or
-      // this predicate (evaluated under the same mutex before sleeping)
-      // sees the staged count. No lost wakeup, and producers under load
-      // never touch the mutex.
-      std::unique_lock<std::mutex> lock(mu_);
+      // this loop condition (evaluated under the same mutex before
+      // sleeping) sees the staged count. No lost wakeup, and producers
+      // under load never touch the mutex.
+      MutexLock lock(mu_);
       dispatcher_sleeping_.store(true, std::memory_order_seq_cst);
-      cv_->Wait(lock, [this] { return closed_.load(std::memory_order_relaxed) || HasStaged(); });
+      while (!closed_.load(std::memory_order_relaxed) && !HasStaged()) {
+        cv_->Wait(mu_);
+      }
       dispatcher_sleeping_.store(false, std::memory_order_relaxed);
     }
     // Let every producer active at this instant land its push before the
@@ -290,19 +317,7 @@ std::vector<RequestQueue::Pending> RequestQueue::PopBatch(size_t max_batch,
     // function of the virtual arrival schedule, not host thread timing.
     clock_->YieldUntilQuiescent();
     std::vector<Pending> shed;
-    std::vector<Pending> batch;
-    {
-      // Lock-free mode: nothing to lock, the whole pass is consumer-private.
-      // Mutex mode: hold mu_ across drain+shed+take, the baseline's profile.
-      std::unique_lock<std::mutex> stage_lock(mu_, std::defer_lock);
-      if (!lock_free_) {
-        stage_lock.lock();
-      }
-      DrainStaged(epoch);
-      ShedExpired(&shed);
-      batch = Take(max_batch);
-      BumpEpoch(epoch, batch);
-    }
+    std::vector<Pending> batch = DrainPass(max_batch, epoch, &shed);
     const bool drained_out = batch.empty() && ordered_.empty() && !HasStaged();
     AnswerShed(std::move(shed));
     if (!batch.empty()) {
@@ -321,17 +336,7 @@ std::vector<RequestQueue::Pending> RequestQueue::TryPopBatch(size_t max_batch,
   // request issued by this virtual instant, deterministically.
   clock_->YieldUntilQuiescent();
   std::vector<Pending> shed;
-  std::vector<Pending> batch;
-  {
-    std::unique_lock<std::mutex> stage_lock(mu_, std::defer_lock);
-    if (!lock_free_) {
-      stage_lock.lock();
-    }
-    DrainStaged(epoch);
-    ShedExpired(&shed);
-    batch = Take(max_batch);
-    BumpEpoch(epoch, batch);
-  }
+  std::vector<Pending> batch = DrainPass(max_batch, epoch, &shed);
   AnswerShed(std::move(shed));
   return batch;
 }
@@ -343,28 +348,21 @@ std::vector<RequestQueue::Pending> RequestQueue::PopBatchFor(size_t max_batch, d
   for (;;) {
     bool timed_out = false;
     if (ordered_.empty()) {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       dispatcher_sleeping_.store(true, std::memory_order_seq_cst);
-      timed_out = !cv_->WaitUntil(lock, give_up_ms, [this] {
-        return closed_.load(std::memory_order_relaxed) || HasStaged();
-      });
+      while (!closed_.load(std::memory_order_relaxed) && !HasStaged()) {
+        if (!cv_->WaitUntil(mu_, give_up_ms)) {
+          break;  // Deadline reached; re-check the condition below.
+        }
+      }
+      timed_out = !closed_.load(std::memory_order_relaxed) && !HasStaged();
       dispatcher_sleeping_.store(false, std::memory_order_relaxed);
     }
     if (!timed_out) {
       clock_->YieldUntilQuiescent();
     }
     std::vector<Pending> shed;
-    std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> stage_lock(mu_, std::defer_lock);
-      if (!lock_free_) {
-        stage_lock.lock();
-      }
-      DrainStaged(epoch);
-      ShedExpired(&shed);
-      batch = Take(max_batch);
-      BumpEpoch(epoch, batch);
-    }
+    std::vector<Pending> batch = DrainPass(max_batch, epoch, &shed);
     AnswerShed(std::move(shed));
     if (!batch.empty() || timed_out) {
       return batch;
@@ -383,7 +381,7 @@ void RequestQueue::Close() {
   closed_.store(true, std::memory_order_seq_cst);
   // The empty critical section orders the store against any parked waiter's
   // predicate check, exactly like the producers' wake protocol.
-  { std::lock_guard<std::mutex> lock(mu_); }
+  { MutexLock lock(mu_); }
   cv_->NotifyAll();
   not_full_cv_->NotifyAll();
 }
@@ -488,7 +486,7 @@ RerankResult CarouselScheduler::Submit(const RerankRequest& request) {
 }
 
 CarouselScheduler::Stats CarouselScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
@@ -523,7 +521,7 @@ void CarouselScheduler::AdmitBoundary(CarouselPass* pass,
     max_wait = std::max(max_wait, static_cast<size_t>(boundary - batch[i].tag));
     residents->push_back(std::move(resident));
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_.admitted += batch.size();
   stats_.max_boundary_wait = std::max(stats_.max_boundary_wait, max_wait);
 }
@@ -547,7 +545,7 @@ void CarouselScheduler::DispatchLoop() {
     residents.reserve(max_inflight_);
     AdmitBoundary(pass.get(), std::move(batch), &residents);
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.passes;
       ++stats_.cycles;
     }
@@ -572,7 +570,7 @@ void CarouselScheduler::DispatchLoop() {
           result.stats.queue_wait_ms = it->queue_wait_ms;
           it->ticket.reset();
           if (mid_cycle) {
-            std::lock_guard<std::mutex> lock(stats_mu_);
+            MutexLock lock(stats_mu_);
             ++stats_.exited_early;
           }
           clock_->PreWake();
@@ -608,7 +606,7 @@ void CarouselScheduler::DispatchLoop() {
           }
           AdmitBoundary(pass.get(), std::move(stragglers), &residents);
         }
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.cycles;
       }
     }

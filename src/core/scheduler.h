@@ -54,12 +54,13 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/common/striped.h"
 #include "src/common/thread_pool.h"
 #include "src/runtime/runner.h"
@@ -98,8 +99,8 @@ class SerialScheduler : public Scheduler {
   Runner* runner_;
   Clock* clock_;
   std::unique_ptr<ClockCondVar> cv_;
-  std::mutex mu_;
-  bool busy_ = false;
+  Mutex mu_;
+  bool busy_ PRISM_GUARDED_BY(mu_) = false;
 };
 
 // Ticketed priority-then-FIFO queue of pending requests, single-consumer by
@@ -212,9 +213,18 @@ class RequestQueue {
 
   // Producer side: stamps and stages one entry, returns its future.
   std::future<RerankResult> Stage(const RerankRequest& request);
-  // Consumer side (dispatcher-private, no lock): moves every published
-  // staged entry into ordered_, tagging each with `epoch`'s current value.
-  void DrainStaged(const std::atomic<uint64_t>* epoch);
+  // Consumer side: moves every published staged entry into ordered_, tagging
+  // each with `epoch`'s current value. DrainRing is the lock-free variant
+  // (dispatcher-private, no lock); DrainStagedLocked drains the mutexed
+  // baseline's staging deque and so requires mu_.
+  void DrainRing(const std::atomic<uint64_t>* epoch);
+  void DrainStagedLocked(const std::atomic<uint64_t>* epoch) PRISM_REQUIRES(mu_);
+  // One consumer pass shared by the pop variants: drain staging (under mu_
+  // in the mutexed baseline, whose lock-hold profile spans shed+take too),
+  // shed expired entries into *shed, take up to max_batch survivors, and
+  // bump the epoch on a non-empty batch.
+  std::vector<Pending> DrainPass(size_t max_batch, std::atomic<uint64_t>* epoch,
+                                 std::vector<Pending>* shed);
   // Sorted insert into ordered_ (priority desc, ticket asc), scanning from
   // the back — O(1) for the in-ticket-order drains both modes produce.
   void InsertOrdered(Pending pending);
@@ -232,7 +242,7 @@ class RequestQueue {
   const bool lock_free_;
   std::unique_ptr<ClockCondVar> cv_;           // Dispatcher parks here.
   std::unique_ptr<ClockCondVar> not_full_cv_;  // Producers park on a full ring.
-  mutable std::mutex mu_;  // Sleep/wake handshake + mutex-mode staging only.
+  mutable Mutex mu_;  // Sleep/wake handshake + mutex-mode staging only.
 
   // --- Staging (producers → dispatcher). ---------------------------------
   // Lock-free mode: the bounded ring. enqueue_pos_ is the CAS ticket
@@ -244,7 +254,7 @@ class RequestQueue {
   uint64_t dequeue_pos_ = 0;
   std::atomic<uint64_t> dequeue_published_{0};
   // Mutex mode: staged under mu_; tickets still come from enqueue_pos_.
-  std::deque<Pending> staged_mutex_;
+  std::deque<Pending> staged_mutex_ PRISM_GUARDED_BY(mu_);
   // Ring + mutex staging, published but not yet drained. seq_cst: pairs
   // with dispatcher_sleeping_ / full_waiters_ in the two Dekker-style
   // sleep/wake handshakes below.
@@ -354,8 +364,8 @@ class CarouselScheduler : public Scheduler {
   // drains it out of staging, and bumped by the pops that hand out batches
   // (both on the dispatcher thread; see RequestQueue's epoch protocol).
   std::atomic<uint64_t> boundary_seq_{0};
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Mutex stats_mu_;
+  Stats stats_ PRISM_GUARDED_BY(stats_mu_);
   std::thread dispatcher_;
 };
 

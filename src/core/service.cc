@@ -155,7 +155,7 @@ void ConcurrentServiceStats::Observe(const RerankRequest& request, const RerankR
   stripe.candidate_layers.Add(result.stats.candidate_layers);
   stripe.candidates.Add(static_cast<int64_t>(request.docs.size()));
   stripe.bytes_streamed.Add(result.stats.bytes_streamed);
-  std::lock_guard<std::mutex> lock(stripe.reservoir_mu);
+  MutexLock lock(stripe.reservoir_mu);
   if (stripe.samples.size() < latency_capacity_) {
     stripe.samples.push_back(observed_ms);
   } else {
@@ -182,7 +182,7 @@ ServiceStats ConcurrentServiceStats::Snapshot() const {
     part.total_candidates = stripe.candidates.Load();
     part.bytes_streamed = stripe.bytes_streamed.Load();
     {
-      std::lock_guard<std::mutex> lock(stripe.reservoir_mu);
+      MutexLock lock(stripe.reservoir_mu);
       part.latency_samples = stripe.samples;
       part.latency_observed = stripe.observed;
     }
@@ -285,7 +285,7 @@ RerankResult RerankService::Rerank(const RerankRequest& request) {
   if (striped_stats_ != nullptr) {
     striped_stats_->Observe(request, result, observed_ms);
   } else {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.Observe(request, result, observed_ms);
   }
   return result;
@@ -303,7 +303,7 @@ ServiceStats RerankService::stats() const {
   if (striped_stats_ != nullptr) {
     snapshot = striped_stats_->Snapshot();
   } else {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     snapshot = stats_;
   }
   // Embedding-cache counters ride the snapshot (they live in the cache, not

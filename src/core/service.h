@@ -15,10 +15,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/striped.h"
 #include "src/core/engine.h"
 #include "src/core/online_calibrator.h"
@@ -232,10 +233,10 @@ class ConcurrentServiceStats {
     // Per-stripe seeded reservoir (same algorithm R as ServiceStats). Full
     // latency_capacity per stripe: a stripe that happens to absorb most of
     // the traffic still keeps as many samples as the mutexed path would.
-    mutable std::mutex reservoir_mu;
-    std::vector<double> samples;
-    size_t observed = 0;
-    uint64_t rng_state = 0;
+    mutable Mutex reservoir_mu;
+    std::vector<double> samples PRISM_GUARDED_BY(reservoir_mu);
+    size_t observed PRISM_GUARDED_BY(reservoir_mu) = 0;
+    uint64_t rng_state PRISM_GUARDED_BY(reservoir_mu) = 0;
   };
 
   const size_t latency_capacity_;
@@ -284,8 +285,8 @@ class RerankService : public Runner {
   // lockfree_stats): the striped accumulator, or the legacy mutex-guarded
   // struct kept as bench_contention's baseline.
   std::unique_ptr<ConcurrentServiceStats> striped_stats_;
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
+  mutable Mutex stats_mu_;
+  ServiceStats stats_ PRISM_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace prism

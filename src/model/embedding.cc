@@ -45,12 +45,13 @@ EmbeddingCache::EmbeddingCache(const ModelConfig& config, BlobFileReader* reader
 void EmbeddingCache::Lookup(uint32_t token, std::span<float> dest) {
   PRISM_CHECK_EQ(dest.size(), config_.hidden);
   PRISM_CHECK_LT(token, config_.vocab_size);
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   const auto it = map_.find(token);
   if (it != map_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
     std::memcpy(dest.data(), it->second->second.data(), config_.hidden * sizeof(float));
+    mu_.Unlock();
     return;
   }
   ++stats_.misses;
@@ -59,7 +60,7 @@ void EmbeddingCache::Lookup(uint32_t token, std::span<float> dest) {
   // latency" miss path the paper's ablation measures. The lock is released
   // across the device wait so other requests' hits proceed; misses
   // serialise behind the (single-queue) device itself.
-  lock.unlock();
+  mu_.Unlock();
   std::vector<float> row(config_.hidden);
   const int64_t offset =
       static_cast<int64_t>(token) * static_cast<int64_t>(config_.hidden * sizeof(float));
@@ -68,7 +69,7 @@ void EmbeddingCache::Lookup(uint32_t token, std::span<float> dest) {
       reader_->ReadBlobRange(EmbeddingBlobIndex(), offset, {bytes, row.size() * sizeof(float)});
   PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
   std::memcpy(dest.data(), row.data(), config_.hidden * sizeof(float));
-  lock.lock();
+  MutexLock lock(mu_);
   if (map_.find(token) == map_.end()) {
     InsertRowLocked(token, std::move(row));
   }
@@ -83,7 +84,7 @@ void EmbeddingCache::PrefetchTokens(const std::vector<uint32_t>& tokens) {
   // read, the same lock discipline Lookup documents for its miss path.
   std::vector<uint32_t> missing;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<uint32_t> unique(tokens);
     std::sort(unique.begin(), unique.end());
     unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
@@ -112,7 +113,7 @@ void EmbeddingCache::PrefetchTokens(const std::vector<uint32_t>& tokens) {
   }
   const Status status = reader_->ReadBlobRanges(EmbeddingBlobIndex(), ranges);
   PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The device read happened either way, so it counts as misses even for
   // rows that lose the insert race below.
   stats_.misses += static_cast<int64_t>(missing.size());
@@ -137,12 +138,12 @@ void EmbeddingCache::InsertRowLocked(uint32_t token, std::vector<float> row) {
 }
 
 size_t EmbeddingCache::resident_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 EmbeddingCacheStats EmbeddingCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -10,12 +10,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/memory_tracker.h"
+#include "src/common/mutex.h"
 #include "src/model/config.h"
 #include "src/storage/blob_file.h"
 
@@ -87,16 +88,17 @@ class EmbeddingCache : public EmbeddingSource {
   EmbeddingCacheStats stats() const;  // Snapshot (cumulative).
 
  private:
-  void InsertRowLocked(uint32_t token, std::vector<float> row);
+  void InsertRowLocked(uint32_t token, std::vector<float> row) PRISM_REQUIRES(mu_);
 
   ModelConfig config_;
   BlobFileReader* reader_;
   size_t capacity_rows_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // LRU: most-recent at front. map_ points into lru_.
-  std::list<std::pair<uint32_t, std::vector<float>>> lru_;
-  std::unordered_map<uint32_t, std::list<std::pair<uint32_t, std::vector<float>>>::iterator> map_;
-  EmbeddingCacheStats stats_;
+  std::list<std::pair<uint32_t, std::vector<float>>> lru_ PRISM_GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, std::list<std::pair<uint32_t, std::vector<float>>>::iterator> map_
+      PRISM_GUARDED_BY(mu_);
+  EmbeddingCacheStats stats_ PRISM_GUARDED_BY(mu_);
   MemClaim claim_;  // Claims capacity upfront: the cache is a fixed budget.
 };
 

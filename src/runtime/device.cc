@@ -49,6 +49,11 @@ void ApplyComputeSlowdown(const DeviceProfile& device, int64_t elapsed_micros) {
   const auto extra =
       static_cast<int64_t>(static_cast<double>(elapsed_micros) * (device.compute_slowdown - 1.0));
   if (extra > 0) {
+    // prism-lint: allow(wall-clock): device-domain stretch. Slower devices
+    // are modelled by padding *measured wall compute* by the slowdown
+    // factor; like the SSD throttle, real compute runs at wall speed even
+    // under a SimClock (simulated runs charge service time through
+    // SimulatedRunner on the virtual timeline instead).
     std::this_thread::sleep_for(std::chrono::microseconds(extra));
   }
 }

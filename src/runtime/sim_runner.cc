@@ -120,7 +120,7 @@ RerankResult SimulatedRunner::Cached(const RerankRequest& request) {
   }
   const std::string key = Fingerprint(request);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = memo_.find(key);
     if (it != memo_.end()) {
       return it->second;
@@ -130,7 +130,7 @@ RerankResult SimulatedRunner::Cached(const RerankRequest& request) {
   // virtual time — the computing thread is runnable throughout).
   RerankResult result = target_->Rerank(request);
   ScrubTimings(&result);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return memo_.emplace(key, std::move(result)).first->second;
 }
 
@@ -168,7 +168,7 @@ std::unique_ptr<CarouselPass> SimulatedRunner::BeginCarousel() {
 }
 
 size_t SimulatedRunner::memo_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return memo_.size();
 }
 

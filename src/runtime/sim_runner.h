@@ -27,13 +27,14 @@
 #define PRISM_SRC_RUNTIME_SIM_RUNNER_H_
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/runtime/runner.h"
 
 namespace prism {
@@ -81,8 +82,8 @@ class SimulatedRunner : public BatchRunner {
   SimCostOptions options_;
   size_t n_layers_;
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, RerankResult> memo_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, RerankResult> memo_ PRISM_GUARDED_BY(mu_);
 };
 
 }  // namespace prism

@@ -175,7 +175,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
   }
 
   const double enter_ms = clock_->NowMs();
-  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.mu.Lock();
   shard.counters.lookups.Add(1);
   bool parked = false;  // Did we ever wait behind another caller's fill?
   for (;;) {
@@ -193,13 +193,15 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
           shard.counters.hits.Add(1);
         }
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        return ServeCopy(entry.result, now_ms - enter_ms);
+        RerankResult served = ServeCopy(entry.result, now_ms - enter_ms);
+        shard.mu.Unlock();
+        return served;
       } else {
         // Hash collision with a different resident key: treat as an
         // uncacheable miss (forward without filling) rather than fight the
         // resident entry for the slot.
         shard.counters.misses.Add(1);
-        lock.unlock();
+        shard.mu.Unlock();
         return Forward(request, hash);
       }
     }
@@ -207,7 +209,9 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     if (similarity_on) {
       if (const Entry* near = SimilarLocked(shard, embedding, now_ms)) {
         shard.counters.similarity_hits.Add(1);
-        return ServeCopy(near->result, now_ms - enter_ms);
+        RerankResult served = ServeCopy(near->result, now_ms - enter_ms);
+        shard.mu.Unlock();
+        return served;
       }
     }
 
@@ -217,6 +221,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
       // burned our whole budget parked behind a fill that then failed.
       if (parked && request.deadline_ms > 0.0 && now_ms - enter_ms >= request.deadline_ms) {
         shard.counters.shed_waiting.Add(1);
+        shard.mu.Unlock();
         return MakeShedResult(request.deadline_ms, now_ms - enter_ms);
       }
       break;
@@ -225,7 +230,7 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
       // A *different* key's fill owns this hash; don't coalesce onto a
       // result that isn't ours — forward directly, uncached.
       shard.counters.misses.Add(1);
-      lock.unlock();
+      shard.mu.Unlock();
       return Forward(request, hash);
     }
     // Park behind the leader. Honor our own deadline: a waiter whose budget
@@ -234,15 +239,23 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     parked = true;
     const std::shared_ptr<FillState> fill = fill_it->second;
     const size_t slot = fill->parked++;
-    const auto fill_done = [&fill] { return fill->done; };
     if (request.deadline_ms > 0.0) {
-      if (!shard.cv->WaitUntil(lock, enter_ms + request.deadline_ms, fill_done)) {
+      const double give_up_ms = enter_ms + request.deadline_ms;
+      while (!fill->done) {
+        if (!shard.cv->WaitUntil(shard.mu, give_up_ms)) {
+          break;  // Budget exhausted; the post-check below decides.
+        }
+      }
+      if (!fill->done) {
         shard.counters.shed_waiting.Add(1);
         const double waited_ms = clock_->NowMs() - enter_ms;
+        shard.mu.Unlock();
         return MakeShedResult(request.deadline_ms, waited_ms);
       }
     } else {
-      shard.cv->Wait(lock, fill_done);
+      while (!fill->done) {
+        shard.cv->Wait(shard.mu);
+      }
     }
     // Staggered release (header note): every waiter woke at the fill's
     // completion instant; re-sleep to a slot of our own so waiters resume
@@ -250,9 +263,9 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     const double release_ms =
         fill->done_ms + kCoalesceStaggerMs * static_cast<double>(slot + 1) +
         kFillPhaseMs * static_cast<double>(hash % kFillPhaseBuckets + 1);
-    lock.unlock();
+    shard.mu.Unlock();
     clock_->SleepUntil(release_ms);
-    lock.lock();
+    shard.mu.Lock();
     // Loop: re-probe the map. If the leader succeeded we coalesce onto its
     // entry; if it failed (fill gone, no entry) we compete to lead anew.
   }
@@ -266,11 +279,11 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     state->key = MakeKey(request);
     shard.fills.emplace(hash, std::move(state));
   }
-  lock.unlock();
+  shard.mu.Unlock();
 
   RerankResult result = Forward(request, hash);
 
-  lock.lock();
+  shard.mu.Lock();
   const double done_ms = clock_->NowMs();
   if (result.status.ok()) {
     InsertLocked(shard, hash, MakeKey(request), result, std::move(embedding), done_ms);
@@ -288,12 +301,13 @@ RerankResult ResultCache::Rerank(const RerankRequest& request) {
     shard.fills.erase(done_it);
     shard.cv->NotifyAll();
   }
+  shard.mu.Unlock();
   return result;
 }
 
 void ResultCache::InvalidateAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->counters.invalidated.Add(static_cast<int64_t>(shard->lru.size()));
     shard->map.clear();
     shard->lru.clear();
@@ -303,7 +317,7 @@ void ResultCache::InvalidateAll() {
 bool ResultCache::Invalidate(const RerankRequest& request) {
   const uint64_t hash = QueryHash(request);
   Shard& shard = *shards_[hash % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(hash);
   if (it == shard.map.end() || !it->second->key.Matches(request)) {
     return false;
@@ -338,7 +352,7 @@ ResultCacheStats ResultCache::stats() const {
 size_t ResultCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;

@@ -51,12 +51,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/common/striped.h"
 #include "src/core/service_pool.h"
 #include "src/model/embedding.h"
@@ -174,7 +175,9 @@ class ResultCache : public Runner {
 
   // One in-flight fill. Waiters keep the state alive (shared_ptr) past the
   // fills-map erase that publishes completion; `parked` hands each waiter a
-  // release slot in park order for the staggered post-fill wakeup.
+  // release slot in park order for the staggered post-fill wakeup. All
+  // fields are guarded by the owning shard's mu (not annotatable here: the
+  // guarding mutex lives in a different object).
   struct FillState {
     Key key;  // Pins the exact identity: a colliding hash never coalesces.
     bool done = false;
@@ -200,26 +203,29 @@ class ResultCache : public Runner {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     std::unique_ptr<ClockCondVar> cv;  // Single-flight waiters park here.
     // LRU: most-recent at front; map points into the list. One entry per
     // hash (a colliding different key replaces on insert — the equality
     // check keeps that safe, merely a capacity loss).
-    std::list<Entry> lru;
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
-    std::unordered_map<uint64_t, std::shared_ptr<FillState>> fills;
-    ShardCounters counters;
+    std::list<Entry> lru PRISM_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map PRISM_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::shared_ptr<FillState>> fills PRISM_GUARDED_BY(mu);
+    ShardCounters counters;  // Lock-free cells; deliberately outside mu.
   };
 
-  // All *Locked helpers require shard.mu held.
+  // All *Locked helpers require the owning shard's mu held (ExpiredLocked
+  // touches no guarded state itself — the name documents the calling
+  // convention, since the entries it inspects live in guarded containers).
   bool ExpiredLocked(const Entry& entry, double now_ms) const;
-  void EraseEntryLocked(Shard& shard, std::list<Entry>::iterator it);
+  void EraseEntryLocked(Shard& shard, std::list<Entry>::iterator it)
+      PRISM_REQUIRES(shard.mu);
   void InsertLocked(Shard& shard, uint64_t hash, Key key, const RerankResult& result,
-                    std::vector<float> embedding, double now_ms);
+                    std::vector<float> embedding, double now_ms) PRISM_REQUIRES(shard.mu);
   // Scans the shard for a fresh entry whose embedding has cosine >= the
   // threshold with `embedding`; null when none.
   const Entry* SimilarLocked(Shard& shard, const std::vector<float>& embedding,
-                             double now_ms) const;
+                             double now_ms) const PRISM_REQUIRES(shard.mu);
 
   RerankResult Forward(const RerankRequest& request, uint64_t hash);
 

@@ -16,7 +16,10 @@ SpillPool::SpillPool(SsdConfig config, MemoryTracker* tracker) : tracker_(tracke
 }
 
 SpillPool::~SpillPool() {
-  // Drain all in-flight I/O before tearing down the device.
+  // Drain all in-flight I/O before tearing down the device. Holding the pool
+  // lock across the waits is safe: the I/O tasks touch only the device and
+  // the tensors, never this pool.
+  MutexLock lock(mu_);
   for (auto& [key, entry] : entries_) {
     if (entry.spill_done.valid()) {
       entry.spill_done.wait();
@@ -30,7 +33,7 @@ SpillPool::~SpillPool() {
 }
 
 SpillPool::Entry* SpillPool::FindEntry(int64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(key);
   return it == entries_.end() ? nullptr : &it->second;
 }
@@ -40,7 +43,7 @@ void SpillPool::SpillAsync(int64_t key, Tensor t) {
   Entry* entry = nullptr;
   int64_t offset = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entry = &entries_[key];
     offset = cursor_;
     cursor_ += bytes;
@@ -109,7 +112,7 @@ Tensor SpillPool::Take(int64_t key) {
   // Consume the entry: the map stays bounded in live chunks, and a later
   // Spill of the same key re-creates it.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries_.erase(key);
   }
   return t;
@@ -124,17 +127,17 @@ void SpillPool::Drop(int64_t key) {
   if (entry->prefetch_done.valid()) {
     entry->prefetch_done.get();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.erase(key);
 }
 
 int64_t SpillPool::bytes_on_disk() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cursor_;
 }
 
 size_t SpillPool::live_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -23,10 +23,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/storage/ssd.h"
 #include "src/tensor/tensor.h"
@@ -84,9 +85,12 @@ class SpillPool {
 
   std::unique_ptr<SimulatedSsd> ssd_;
   MemoryTracker* tracker_;
-  mutable std::mutex mu_;
-  std::map<int64_t, Entry> entries_;
-  int64_t cursor_ = 0;
+  mutable Mutex mu_;
+  // The map structure is guarded; the Entry values a FindEntry pointer leads
+  // to are deliberately NOT — each key has a single owner (see file comment),
+  // so entry-field access happens outside the lock by design.
+  std::map<int64_t, Entry> entries_ PRISM_GUARDED_BY(mu_);
+  int64_t cursor_ PRISM_GUARDED_BY(mu_) = 0;
   std::string path_;
 };
 

@@ -19,10 +19,10 @@ LayerStreamer::LayerStreamer(BlobFileReader* reader, std::vector<size_t> schedul
 
 LayerStreamer::~LayerStreamer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   prefetcher_.join();
 }
 
@@ -45,19 +45,22 @@ void LayerStreamer::FreeBufferLocked(Buffer* buf) {
 
 std::span<const uint8_t> LayerStreamer::Acquire(size_t seq) {
   const int64_t start = NowMicros();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PRISM_CHECK_LT(seq, schedule_end_);
   PRISM_CHECK_GE(seq, release_floor_);  // Released or skipped positions are gone.
   Buffer* hit = nullptr;
-  cv_.wait(lock, [&] {
+  for (;;) {
     for (auto& buf : buffers_) {
       if (buf.seq == seq && buf.ready) {
         hit = &buf;
-        return true;
+        break;
       }
     }
-    return false;
-  });
+    if (hit != nullptr) {
+      break;
+    }
+    cv_.Wait(mu_);
+  }
   const int64_t stalled = NowMicros() - start;
   stats_.stall_micros += stalled;
   CycleSlotLocked(seq).stall_micros += stalled;
@@ -66,7 +69,7 @@ std::span<const uint8_t> LayerStreamer::Acquire(size_t seq) {
 
 void LayerStreamer::Release(size_t seq) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bool found = false;
     for (auto& buf : buffers_) {
       if (buf.seq == seq) {
@@ -78,20 +81,20 @@ void LayerStreamer::Release(size_t seq) {
     PRISM_CHECK_MSG(found, "Release of blob that is not resident");
     release_floor_ = std::max(release_floor_, seq + 1);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LayerStreamer::TruncateSchedule(size_t last_seq) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     schedule_end_ = std::min(schedule_end_, last_seq + 1);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LayerStreamer::SkipTo(size_t seq) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PRISM_CHECK_GE(seq, release_floor_);
     release_floor_ = seq;
     next_to_load_ = std::max(next_to_load_, seq);
@@ -104,11 +107,11 @@ void LayerStreamer::SkipTo(size_t seq) {
       }
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 StreamerStats LayerStreamer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -118,29 +121,27 @@ void LayerStreamer::PrefetchLoop() {
     Buffer* target = nullptr;
     size_t blob_index = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
+      MutexLock lock(mu_);
+      for (;;) {
         if (shutting_down_) {
-          return true;
+          return;
         }
-        if (next_to_load_ >= schedule_end_) {
-          return false;  // Nothing (currently) left to load.
-        }
-        // Only run `buffer_count` blobs ahead of the release floor so that at
-        // most that many blobs are ever resident.
-        if (next_to_load_ >= release_floor_ + buffers_.size()) {
-          return false;
-        }
-        for (auto& buf : buffers_) {
-          if (buf.seq == SIZE_MAX) {
-            target = &buf;
-            return true;
+        // A position must be pending, within `buffer_count` of the release
+        // floor (so at most that many blobs are ever resident), and a free
+        // buffer must exist.
+        if (next_to_load_ < schedule_end_ &&
+            next_to_load_ < release_floor_ + buffers_.size()) {
+          for (auto& buf : buffers_) {
+            if (buf.seq == SIZE_MAX) {
+              target = &buf;
+              break;
+            }
           }
         }
-        return false;
-      });
-      if (shutting_down_) {
-        return;
+        if (target != nullptr) {
+          break;
+        }
+        cv_.Wait(mu_);
       }
       seq = next_to_load_++;
       blob_index = schedule_[seq % schedule_.size()];
@@ -155,7 +156,7 @@ void LayerStreamer::PrefetchLoop() {
     const Status status = reader_->ReadBlob(blob_index, target->bytes);
     PRISM_CHECK_MSG(status.ok(), status.ToString().c_str());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.bytes_loaded += static_cast<int64_t>(target->bytes.size());
       ++stats_.blobs_loaded;
       StreamerCycleStats& cycle = CycleSlotLocked(target->seq);
@@ -169,7 +170,7 @@ void LayerStreamer::PrefetchLoop() {
         target->ready = true;
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 

@@ -27,14 +27,14 @@
 #ifndef PRISM_SRC_STORAGE_LAYER_STREAMER_H_
 #define PRISM_SRC_STORAGE_LAYER_STREAMER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/memory_tracker.h"
+#include "src/common/mutex.h"
 #include "src/storage/blob_file.h"
 
 namespace prism {
@@ -111,23 +111,29 @@ class LayerStreamer {
   };
 
   void PrefetchLoop();
-  // Both require mu_ held.
-  StreamerCycleStats& CycleSlotLocked(size_t seq);
-  void FreeBufferLocked(Buffer* buf);
+  StreamerCycleStats& CycleSlotLocked(size_t seq) PRISM_REQUIRES(mu_);
+  void FreeBufferLocked(Buffer* buf) PRISM_REQUIRES(mu_);
 
   BlobFileReader* reader_;
   std::vector<size_t> schedule_;
   MemoryTracker* tracker_;
   bool cyclic_ = false;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Buffer> buffers_;
-  size_t next_to_load_ = 0;      // Next schedule position the prefetcher fills.
-  size_t release_floor_ = 0;     // All seq < floor have been released/skipped.
-  size_t schedule_end_ = 0;      // Exclusive end (may shrink via Truncate).
-  bool shutting_down_ = false;
-  StreamerStats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  // The vector and every Buffer's bookkeeping fields are guarded; a buffer
+  // mid-load (seq set, !ready) additionally has its `bytes` written by the
+  // prefetcher outside the lock — nobody else may touch a !ready buffer's
+  // bytes (Acquire only returns ready ones).
+  std::vector<Buffer> buffers_ PRISM_GUARDED_BY(mu_);
+  // Next schedule position the prefetcher fills.
+  size_t next_to_load_ PRISM_GUARDED_BY(mu_) = 0;
+  // All seq < floor have been released/skipped.
+  size_t release_floor_ PRISM_GUARDED_BY(mu_) = 0;
+  // Exclusive end (may shrink via Truncate).
+  size_t schedule_end_ PRISM_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ PRISM_GUARDED_BY(mu_) = false;
+  StreamerStats stats_ PRISM_GUARDED_BY(mu_);
   std::thread prefetcher_;
 };
 

@@ -11,10 +11,11 @@
 #define PRISM_SRC_STORAGE_SSD_H_
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace prism {
@@ -71,10 +72,11 @@ class SimulatedSsd {
   std::string path_;
   SsdConfig config_;
   int fd_ = -1;
-  mutable std::mutex mu_;
-  int64_t append_offset_ = 0;
-  int64_t device_free_at_micros_ = 0;  // Queue model: when the device frees up.
-  SsdStats stats_;
+  mutable Mutex mu_;
+  int64_t append_offset_ PRISM_GUARDED_BY(mu_) = 0;
+  // Queue model: when the device frees up.
+  int64_t device_free_at_micros_ PRISM_GUARDED_BY(mu_) = 0;
+  SsdStats stats_ PRISM_GUARDED_BY(mu_);
 };
 
 // Creates a unique temp-file path under /tmp for simulated devices.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 
 namespace prism {
 namespace {
@@ -62,32 +63,38 @@ TEST(SimClockTest, AdvancesOnlyWhenAllParticipantsBlockAndWakesInTagOrder) {
 TEST(SimClockTest, CondVarDeadlineExpiresAtTheExactInstant) {
   SimClock clock;
   std::unique_ptr<ClockCondVar> cv = clock.MakeCondVar();
-  std::mutex mu;
-  std::unique_lock<std::mutex> lock(mu);
+  Mutex mu;
+  MutexLock lock(mu);
   // No notifier anywhere: the wait can only end by expiry, and the clock
   // must land exactly on the deadline tag — not a tick past it.
-  const bool ok = cv->WaitUntil(lock, 5.0, [] { return false; });
+  const bool ok = cv->WaitUntil(mu, 5.0);
   EXPECT_FALSE(ok);
   EXPECT_EQ(clock.NowMs(), 5.0);
-  // A deadline at (or before) the current instant checks the predicate once
-  // without blocking and without moving time.
-  EXPECT_FALSE(cv->WaitUntil(lock, 5.0, [] { return false; }));
-  EXPECT_FALSE(cv->WaitUntil(lock, 2.0, [] { return false; }));
+  // A deadline at (or before) the current instant returns false without
+  // blocking and without moving time.
+  EXPECT_FALSE(cv->WaitUntil(mu, 5.0));
+  EXPECT_FALSE(cv->WaitUntil(mu, 2.0));
   EXPECT_EQ(clock.NowMs(), 5.0);
 }
 
 TEST(SimClockTest, NotifyBeforeDeadlineWinsAndFreezesTimeAtTheNotify) {
   SimClock clock;
   std::unique_ptr<ClockCondVar> cv = clock.MakeCondVar();
-  std::mutex mu;
+  Mutex mu;
   bool ready = false;
   // Without the reservation the notifier could join, sleep, and fire (or
   // the waiter could expire) before the other thread even registered.
   clock.ExpectParticipants(2);
   std::thread waiter([&] {
     const ClockMembership membership(&clock);
-    std::unique_lock<std::mutex> lock(mu);
-    const bool ok = cv->WaitUntil(lock, 10.0, [&] { return ready; });
+    MutexLock lock(mu);
+    bool ok = true;
+    while (!ready) {
+      if (!cv->WaitUntil(mu, 10.0)) {
+        ok = ready;
+        break;
+      }
+    }
     EXPECT_TRUE(ok);
     // The notifier fired at virtual 2.0; the 10.0 deadline never arrived.
     EXPECT_EQ(clock.NowMs(), 2.0);
@@ -96,7 +103,7 @@ TEST(SimClockTest, NotifyBeforeDeadlineWinsAndFreezesTimeAtTheNotify) {
     const ClockMembership membership(&clock);
     clock.SleepUntil(2.0);
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       ready = true;
     }
     cv->NotifyOne();
@@ -109,7 +116,7 @@ TEST(SimClockTest, NotifyBeforeDeadlineWinsAndFreezesTimeAtTheNotify) {
 TEST(SimClockTest, NotifyOneResumesWaitersInEnrollmentOrder) {
   SimClock clock;
   std::unique_ptr<ClockCondVar> cv = clock.MakeCondVar();
-  std::mutex mu;
+  Mutex mu;
   int tokens = 0;
   std::vector<int> order;
   // Waiters 1 and 2 enroll at staggered virtual instants (the sleep makes
@@ -121,8 +128,10 @@ TEST(SimClockTest, NotifyOneResumesWaitersInEnrollmentOrder) {
     threads.emplace_back([&, id] {
       const ClockMembership membership(&clock);
       clock.SleepUntil(static_cast<double>(id));
-      std::unique_lock<std::mutex> lock(mu);
-      cv->Wait(lock, [&] { return tokens > 0; });
+      MutexLock lock(mu);
+      while (tokens <= 0) {
+        cv->Wait(mu);
+      }
       --tokens;
       order.push_back(id);
     });
@@ -132,7 +141,7 @@ TEST(SimClockTest, NotifyOneResumesWaitersInEnrollmentOrder) {
     for (int round = 0; round < 2; ++round) {
       clock.SleepUntil(static_cast<double>(10 + round));
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         ++tokens;
       }
       cv->NotifyOne();

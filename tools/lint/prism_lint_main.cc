@@ -1,0 +1,36 @@
+// prism_lint CLI: lints the repository's src/ tree against the project
+// invariants (see tools/lint/lint.h). Exit 0 = clean, 1 = violations,
+// 2 = usage error. Runs as a CTest entry and as a CI step:
+//
+//   prism_lint --root=/path/to/repo
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(std::strlen("--root="));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: prism_lint [--root=<repo root>]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  const std::vector<prism::lint::Violation> violations = prism::lint::LintTree(root);
+  for (const prism::lint::Violation& v : violations) {
+    std::cerr << v.ToString() << "\n";
+  }
+  if (!violations.empty()) {
+    std::cerr << violations.size() << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "prism_lint: clean\n";
+  return 0;
+}
